@@ -1,0 +1,54 @@
+// Command dsavlab runs the paper's controlled lab experiments: the
+// software port-pool survey (Table 5), the OS spoof-acceptance matrix
+// (Table 6), and the sample-range distributions of Figure 3a.
+//
+// Usage:
+//
+//	dsavlab [-queries N] [-seed N] [-figures]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/labexp"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		queries = flag.Int("queries", 10000, "queries per software configuration (the paper used 10,000)")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		figures = flag.Bool("figures", true, "print Figure 3a histograms")
+	)
+	flag.Parse()
+
+	rows5, err := labexp.RunTable5(*queries, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsavlab:", err)
+		os.Exit(1)
+	}
+	fmt.Println(report.Table5(rows5))
+
+	rows6, err := labexp.RunSpoofMatrix(*seed + 100)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsavlab:", err)
+		os.Exit(1)
+	}
+	fmt.Println(report.Table6(rows6))
+
+	if *figures {
+		series, err := labexp.RunFigure3a(*queries, *seed+200)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsavlab:", err)
+			os.Exit(1)
+		}
+		for _, s := range series {
+			fmt.Println(report.Histogram(
+				fmt.Sprintf("Figure 3a: %s (pool %d), %d samples of 10",
+					s.Label, s.PoolSize, len(s.Ranges)),
+				nil, s.HistFull, report.DefaultOverlays()))
+		}
+	}
+}

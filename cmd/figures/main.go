@@ -1,0 +1,138 @@
+// Command figures exports the data behind Figures 2, 3a, and 3b as CSV
+// for external plotting: per-bin counts split by open/closed status,
+// plus the Beta(9,2) model density evaluated at each bin for the
+// overlay curves.
+//
+// Usage:
+//
+//	figures [-ases N] [-seed N] [-labqueries N] [-o DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	doors "repro"
+	"repro/internal/ditl"
+	"repro/internal/labexp"
+	"repro/internal/scanner"
+	"repro/internal/stats"
+)
+
+// pools for model overlays.
+var pools = []struct {
+	label string
+	size  int
+}{
+	{"windows", 2500}, {"freebsd", 16383}, {"linux", 28232}, {"full", 64511},
+}
+
+func writeCSV(dir, name string, header string, rows []string) error {
+	path := filepath.Join(dir, name)
+	var b strings.Builder
+	b.WriteString(header + "\n")
+	for _, r := range rows {
+		b.WriteString(r + "\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// p0fRows renders the Figure 3b p0f composition columns.
+func p0fRows(win, lin *stats.Histogram) []string {
+	var rows []string
+	for i := range win.Counts {
+		rows = append(rows, fmt.Sprintf("%d,%d,%d", win.BinStart(i), win.Counts[i], lin.Counts[i]))
+	}
+	return rows
+}
+
+// histRows renders one histogram pair as CSV rows with model columns.
+func histRows(open, closed *stats.Histogram) []string {
+	var rows []string
+	for i := range closed.Counts {
+		oc := 0
+		if open != nil {
+			oc = open.Counts[i]
+		}
+		binStart := closed.BinStart(i)
+		cols := []string{fmt.Sprintf("%d,%d,%d", binStart, oc, closed.Counts[i])}
+		for _, p := range pools {
+			// Expected count density per bin under Beta(9,2), normalized
+			// per sample (multiply by series size when plotting).
+			density := stats.RangePDF(float64(binStart)+float64(closed.BinWidth)/2, p.size, stats.SampleSize) *
+				float64(closed.BinWidth)
+			cols = append(cols, fmt.Sprintf("%.6g", density))
+		}
+		rows = append(rows, strings.Join(cols, ","))
+	}
+	return rows
+}
+
+func main() {
+	var (
+		ases       = flag.Int("ases", 600, "survey world size")
+		seed       = flag.Int64("seed", 42, "seed")
+		labQueries = flag.Int("labqueries", 10000, "lab queries per configuration")
+		out        = flag.String("o", "figures-out", "output directory")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	header := "range_bin,open,closed,model_windows,model_freebsd,model_linux,model_full"
+
+	s, err := doors.RunSurvey(doors.SurveyConfig{
+		Population: ditl.Params{Seed: *seed, ASes: *ases},
+		Scanner:    scanner.Config{Seed: *seed + 2, Rate: 20000},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	p := s.Report.Ports
+	if err := writeCSV(*out, "figure2_upper.csv", header, histRows(p.HistFullOpen, p.HistFullClosed)); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	if err := writeCSV(*out, "figure2_lower.csv", header, histRows(p.HistZoomOpen, p.HistZoomClosed)); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	// Figure 3b bar composition: p0f-identified subsets per range bin.
+	if err := writeCSV(*out, "figure3b_p0f.csv", "range_bin,p0f_windows,p0f_linux",
+		p0fRows(p.HistFullP0fWin, p.HistFullP0fLin)); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	// Figure 3b is the same data with the model overlay emphasized; the
+	// p0f composition comes from Table 4 and is exported alongside.
+	var t4 []string
+	for _, row := range p.Table4 {
+		t4 = append(t4, fmt.Sprintf("%q,%d,%d,%d,%d,%d",
+			row.Band.String(), row.Total, row.Open, row.Closed, row.P0fWindows, row.P0fLinux))
+	}
+	if err := writeCSV(*out, "table4.csv", "band,total,open,closed,p0f_windows,p0f_linux", t4); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+
+	series, err := labexp.RunFigure3a(*labQueries, *seed+700)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	for _, sr := range series {
+		name := fmt.Sprintf("figure3a_%s.csv", strings.ReplaceAll(strings.ToLower(sr.Label), " ", "_"))
+		if err := writeCSV(*out, name, header, histRows(nil, sr.HistFull)); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("wrote %s/figure2_upper.csv, figure2_lower.csv, table4.csv, and %d figure3a series\n",
+		*out, len(series))
+}

@@ -1,0 +1,157 @@
+// Package doors reproduces the measurement system of "Behind Closed
+// Doors: A Network Tale of Spoofing, Intrusion, and False DNS Security"
+// (Deccio et al., IMC 2020) against a deterministic simulated Internet.
+//
+// The paper surveys destination-side source address validation (DSAV)
+// by sending DNS queries with spoofed, target-internal source addresses
+// to millions of resolvers and watching for induced
+// recursive-to-authoritative queries at experimenter-controlled
+// authoritative servers. This package wires the full pipeline together:
+//
+//	population := ditl.Generate(...)      // synthetic DITL target world
+//	w, _ := world.Build(population, ...)  // simulated Internet
+//	survey, _ := doors.RunSurvey(cfg)     // probe + monitor + analyze
+//	fmt.Println(survey.Report.V4.ASFraction()) // ≈0.49 in the paper
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package doors
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/ditl"
+	"repro/internal/geo"
+	"repro/internal/routing"
+	"repro/internal/scanner"
+	"repro/internal/world"
+)
+
+// SurveyConfig parameterizes a full DSAV survey.
+type SurveyConfig struct {
+	// Population generates the synthetic DITL target world.
+	Population ditl.Params
+	// World tunes the simulated Internet (loss, wildcard zone, DSAV
+	// counterfactuals).
+	World world.Options
+	// Scanner tunes the measurement client.
+	Scanner scanner.Config
+	// LifetimeThreshold filters human-induced queries (default 10s,
+	// §3.6.3).
+	LifetimeThreshold time.Duration
+	// ChurnFraction takes this share of resolvers offline at random
+	// points during the experiment (§3.6.2's address churn).
+	ChurnFraction float64
+}
+
+// Survey is a completed run.
+type Survey struct {
+	Population *ditl.Population
+	World      *world.World
+	Scanner    *scanner.Scanner
+	Report     *analysis.Report
+	Geo        *geo.DB
+
+	// Probes is the number of probe queries scheduled; Duration is the
+	// virtual experiment duration they were spread over.
+	Probes   int
+	Duration time.Duration
+}
+
+// CandidateAddrs lists every DITL-derived candidate target (live
+// resolvers and dead addresses alike; the scanner cannot tell them
+// apart, §3.6.2).
+func CandidateAddrs(pop *ditl.Population) []netip.Addr {
+	var out []netip.Addr
+	for _, as := range pop.ASes {
+		for _, r := range as.Resolvers {
+			if r.HasV4() {
+				out = append(out, r.Addr4)
+			}
+			if r.HasV6() {
+				out = append(out, r.Addr6)
+			}
+		}
+		out = append(out, as.DeadTargets...)
+	}
+	return out
+}
+
+// V6HitList derives the IPv6 hit list (§3.2, [21]) from the population:
+// the /64s of every known-active v6 address (live resolvers and
+// once-seen dead targets alike — activity, not liveness).
+func V6HitList(pop *ditl.Population) map[netip.Prefix]bool {
+	hl := make(map[netip.Prefix]bool)
+	add := func(a netip.Addr) {
+		if a.IsValid() && a.Is6() {
+			hl[routing.SubnetOf(a)] = true
+		}
+	}
+	for _, as := range pop.ASes {
+		for _, r := range as.Resolvers {
+			add(r.Addr6)
+		}
+		for _, d := range as.DeadTargets {
+			add(d)
+		}
+	}
+	return hl
+}
+
+// GeoDB builds the country database from the population's AS
+// assignments (standing in for MaxMind GeoLite2, §4).
+func GeoDB(pop *ditl.Population) *geo.DB {
+	db := geo.New()
+	for _, as := range pop.ASes {
+		db.Assign(as.ASN, as.Countries...)
+	}
+	return db
+}
+
+// RunSurvey generates a population, builds the world, runs the probing
+// experiment to completion, and analyzes the authoritative logs.
+func RunSurvey(cfg SurveyConfig) (*Survey, error) {
+	pop := ditl.Generate(cfg.Population)
+	return RunSurveyOn(pop, cfg)
+}
+
+// RunSurveyOn runs a survey over an existing population (so ablations
+// can share one population across world variants).
+func RunSurveyOn(pop *ditl.Population, cfg SurveyConfig) (*Survey, error) {
+	w, err := world.Build(pop, cfg.World)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Scanner.V6HitList == nil {
+		cfg.Scanner.V6HitList = V6HitList(pop)
+	}
+	sc, err := scanner.New(w.Scanner, w.ScannerAddr4, w.ScannerAddr6, w.Reg, w.Auth, cfg.Scanner)
+	if err != nil {
+		return nil, err
+	}
+	sc.Admit(CandidateAddrs(pop))
+	probes, duration := sc.ScheduleAll()
+	if cfg.ChurnFraction > 0 {
+		w.ScheduleChurn(cfg.ChurnFraction, duration, cfg.Scanner.Seed+99)
+	}
+	w.Net.Run()
+
+	gdb := GeoDB(pop)
+	report := analysis.Analyze(analysis.Input{
+		Hits:              sc.Hits,
+		Partials:          sc.Partials,
+		Targets:           sc.Targets,
+		ScannerAddrs:      []netip.Addr{w.ScannerAddr4, w.ScannerAddr6},
+		Reg:               w.Reg,
+		Geo:               gdb,
+		PublicDNS:         w.PublicDNS,
+		LifetimeThreshold: cfg.LifetimeThreshold,
+		FollowUpCount:     cfg.Scanner.FollowUpCount,
+	})
+	return &Survey{
+		Population: pop, World: w, Scanner: sc, Report: report, Geo: gdb,
+		Probes: probes, Duration: duration,
+	}, nil
+}

@@ -1,0 +1,93 @@
+// Poisonrisk: estimate each reached resolver's Kaminsky-style cache
+// poisoning search space from its observed source-port behaviour
+// (§5.2.1). A resolver that randomizes over a pool of p ports and a
+// 16-bit transaction ID forces an off-path attacker to guess among
+// p x 65,536 combinations; a fixed-port resolver leaves only the
+// transaction ID — 65,536 guesses, trivially brute-forced — and a
+// *closed* fixed-port resolver owes its entire remaining exposure to
+// the lack of DSAV.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	doors "repro"
+	"repro/internal/ditl"
+	"repro/internal/scanner"
+)
+
+func main() {
+	survey, err := doors.RunSurvey(doors.SurveyConfig{
+		Population: ditl.Params{Seed: 31, ASes: 400},
+		Scanner:    scanner.Config{Seed: 32, Rate: 20000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := survey.Report
+
+	type risk struct {
+		addr        string
+		open        bool
+		pool        int
+		searchSpace float64
+	}
+	var risks []risk
+	for _, s := range r.Ports.Samples {
+		// Estimate the port pool from the observed range of 10 draws:
+		// E[range] = pool * 9/11, so pool ≈ range * 11/9 (minimum 1).
+		pool := s.Range*11/9 + 1
+		risks = append(risks, risk{
+			addr: s.Addr.String(), open: s.Open, pool: pool,
+			searchSpace: float64(pool) * 65536,
+		})
+	}
+	sort.Slice(risks, func(i, j int) bool { return risks[i].searchSpace < risks[j].searchSpace })
+
+	fmt.Printf("Analyzed %d directly-responding resolvers.\n\n", len(risks))
+	fmt.Println("Most vulnerable (smallest spoofed-response search space):")
+	fmt.Printf("%-18s %-7s %13s %16s\n", "resolver", "status", "port pool", "search space")
+	for i, k := range risks {
+		if i >= 10 {
+			break
+		}
+		status := "closed"
+		if k.open {
+			status = "open"
+		}
+		fmt.Printf("%-18s %-7s %13d %16.3g\n", k.addr, status, k.pool, k.searchSpace)
+	}
+
+	zero, zeroClosed := 0, 0
+	for _, k := range risks {
+		if k.pool == 1 {
+			zero++
+			if !k.open {
+				zeroClosed++
+			}
+		}
+	}
+	fmt.Printf("\n%d resolvers expose the bare 2^16 = 65,536 search space (no port randomization).\n", zero)
+	fmt.Printf("%d of them are closed: without the DSAV gap they could not be attacked at all —\n", zeroClosed)
+	fmt.Println("the paper's point that 59% of its 3,810 fixed-port resolvers would have been")
+	fmt.Println("protected by DSAV (§5.2.1).")
+
+	// The paper's framing of the same number: the full search space is
+	// 2^32; port randomization over the full unprivileged range restores
+	// nearly all of it.
+	fmt.Printf("\nFor reference: full randomization over %d ports x 65,536 IDs = %.3g combinations.\n",
+		64511, float64(64511)*65536)
+	bound := 0.01 * float64(64511) * 65536
+	below := 0
+	for _, k := range risks {
+		if k.searchSpace < bound {
+			below++
+		}
+	}
+	if len(risks) > 0 {
+		fmt.Printf("Fraction of resolvers below 1%% of that: %.1f%%\n",
+			100*float64(below)/float64(len(risks)))
+	}
+}

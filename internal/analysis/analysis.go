@@ -1,0 +1,361 @@
+// Package analysis turns the scanner's observations (authoritative-log
+// hits) into the paper's results: the headline DSAV reachability
+// numbers (§4), the country tables (Tables 1-2), the spoofed-source
+// category table (Table 3), the open/closed study (§5.1), the
+// source-port and OS-identification analyses (Tables 4-5, Figures 2-3,
+// §5.2-5.3), forwarding (§5.4), local-system infiltration (§5.5), and
+// the methodology accountings of §3.6 (middleboxes, human intervention,
+// QNAME minimization).
+//
+// Analysis uses only what the experimenters could observe: the target
+// list, the routing table, the query log, and the geo database — never
+// the simulation's ground truth.
+package analysis
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/geo"
+	"repro/internal/routing"
+	"repro/internal/scanner"
+	"repro/internal/stats"
+)
+
+// Input bundles the observations.
+type Input struct {
+	Hits         []scanner.Hit
+	Partials     []scanner.PartialHit
+	Targets      []scanner.Target
+	ScannerAddrs []netip.Addr
+	Reg          *routing.Registry
+	Geo          *geo.DB
+	PublicDNS    []netip.Addr
+	// LifetimeThreshold filters human-induced queries (10s, §3.6.3).
+	LifetimeThreshold time.Duration
+	// FollowUpCount is the expected port-sample size (10).
+	FollowUpCount int
+	FPDB          *fingerprint.DB
+	Bands         []stats.Band
+}
+
+// DefaultBands derives the Table 4 banding from the §5.3.2 pools.
+func DefaultBands() []stats.Band {
+	return stats.DeriveBands([]stats.PoolSpec{
+		{Label: "Windows DNS", Size: 2500},
+		{Label: "FreeBSD", Size: 16383},
+		{Label: "Linux", Size: 28232},
+		{Label: "Full Port Range", Size: 64511},
+	}, stats.SampleSize, 0.999, 65536)
+}
+
+// FamilyStat is a per-address-family headline row (§4 ¶1).
+type FamilyStat struct {
+	Targets        int
+	ReachableAddrs int
+	ASes           int
+	ReachableASes  int
+}
+
+// AddrFraction is the reachable-address share.
+func (f FamilyStat) AddrFraction() float64 {
+	if f.Targets == 0 {
+		return 0
+	}
+	return float64(f.ReachableAddrs) / float64(f.Targets)
+}
+
+// ASFraction is the reachable-AS share.
+func (f FamilyStat) ASFraction() float64 {
+	if f.ASes == 0 {
+		return 0
+	}
+	return float64(f.ReachableASes) / float64(f.ASes)
+}
+
+// CategoryRow is one Table 3 row for one family.
+type CategoryRow struct {
+	Category scanner.SourceCategory
+	// Inclusive: reached by at least one source of this category.
+	InclusiveAddrs, InclusiveASNs int
+	// Exclusive: reached by no other category.
+	ExclusiveAddrs, ExclusiveASNs int
+}
+
+// CategoryTable is Table 3.
+type CategoryTable struct {
+	V4, V6 []CategoryRow
+}
+
+// OpenClosed is the §5.1 study.
+type OpenClosed struct {
+	Open, Closed int
+	// ReachableASes is the number of ASes with ≥1 reachable resolver;
+	// ASesWithClosed of those host ≥1 closed reachable resolver (the
+	// "nearly 9 out of 10" statistic).
+	ReachableASes, ASesWithClosed int
+}
+
+// PortSample is one directly-responding resolver's follow-up port
+// observations (§5.2).
+type PortSample struct {
+	Addr netip.Addr
+	ASN  routing.ASN
+	// Ports are the observations in arrival order, wrap-adjusted (and
+	// therefore widened to int) when p0f identified the host as Windows.
+	Ports []int
+	// RawPorts are the pre-adjustment observations.
+	RawPorts []uint16
+	Range    int
+	Open     bool
+	P0f      fingerprint.Label
+}
+
+// BandRow is one Table 4 row.
+type BandRow struct {
+	Band         stats.Band
+	Total        int
+	Open, Closed int
+	P0fWindows   int
+	P0fLinux     int
+}
+
+// PortReport covers §5.2-§5.3.
+type PortReport struct {
+	Samples []PortSample
+	Table4  []BandRow
+
+	// Figure 2 / 3b histograms of source-port ranges, split by status.
+	HistFullOpen, HistFullClosed *stats.Histogram // 0-65535, bin 500
+	HistZoomOpen, HistZoomClosed *stats.Histogram // 0-3000, bin 50
+	// Figure 3b's bar composition: the p0f-identified subsets.
+	HistFullP0fWin, HistFullP0fLin *stats.Histogram
+
+	// Zero source-port randomization (§5.2.1).
+	ZeroRange          []PortSample
+	ZeroRangeClosed    int
+	ZeroRangePort53    int
+	ZeroRangeASNs      int
+	ZeroASNsWithClosed int
+	ZeroTopPorts       map[uint16]int
+	// Ineffective allocation (§5.2.3), range 1-200.
+	LowRange           []PortSample
+	LowRangeIncreasing int
+	LowRangeWrapped    int
+	LowRangeFewUnique  int // ≤7 unique of 10
+	LowRangeASNs       int
+}
+
+// Forwarding is §5.4.
+type Forwarding struct {
+	V4Resolved, V4Direct, V4Forwarded, V4Both int
+	V6Resolved, V6Direct, V6Forwarded, V6Both int
+}
+
+// Middlebox is the §3.6.1 accounting.
+type Middlebox struct {
+	ReachableASes int
+	DirectFromAS  int // ≥1 query from an address in the target AS
+	ViaPublicDNS  int // otherwise explained by public DNS services
+	Unexplained   int
+}
+
+// Qmin is the §3.6.4 accounting.
+type Qmin struct {
+	// ClientAddrs is the number of targeted addresses observed sending
+	// QNAME-minimized queries; NeverFull of them never sent the full
+	// query name (and are excluded from reachable counts).
+	ClientAddrs, NeverFull int
+	// ASNs observed via minimized queries; DetectedAnyway of them were
+	// identified as lacking DSAV through full-name queries too.
+	ASNs, DetectedAnyway int
+}
+
+// Lifetime is the §3.6.3 accounting.
+type Lifetime struct {
+	OverThresholdAddrs int // addresses whose only hits exceeded the threshold
+	OverThresholdASes  int
+	RecoveredASes      int // of those, ASes still detected via other resolvers
+}
+
+// Infiltration is §5.5's headline: targets reached with sources that
+// should never arrive from outside.
+type Infiltration struct {
+	DstAsSrcAddrs int
+	LoopbackAddrs int
+}
+
+// Report is the full analysis output.
+type Report struct {
+	V4, V6       FamilyStat
+	Countries    []geo.CountryRow
+	Table1       []geo.CountryRow
+	Table2       []geo.CountryRow
+	Table3       CategoryTable
+	OpenClosed   OpenClosed
+	Ports        PortReport
+	Forwarding   Forwarding
+	Middlebox    Middlebox
+	Qmin         Qmin
+	Lifetime     Lifetime
+	Infiltration Infiltration
+
+	// ReachableAddrs lists every reachable target, sorted (input to the
+	// ground-truth validation of internal/analysis.Validate).
+	ReachableAddrs []netip.Addr
+	// OpenAddrs lists the reachable targets that answered the
+	// non-spoofed open-resolver probe.
+	OpenAddrs []netip.Addr
+
+	// SourcesPerTarget: distinct spoofed sources that reached each
+	// reachable target (§4.1's effectiveness distribution).
+	MedianSourcesV4, MedianSourcesV6 float64
+	// OneOrTwoSourcesV4/V6 count reachable targets hit by at most two
+	// sources ("for nearly half of all reachable target IP addresses,
+	// only one or two sources resulted in reachable queries").
+	OneOrTwoSourcesV4, OneOrTwoSourcesV6 int
+	// Over50SourcesV4/V6 count targets reachable via more than 50
+	// sources (16% of v4, 9% of v6 in the paper).
+	Over50SourcesV4, Over50SourcesV6 int
+}
+
+func (in Input) withDefaults() Input {
+	if in.LifetimeThreshold == 0 {
+		in.LifetimeThreshold = 10 * time.Second
+	}
+	if in.FollowUpCount == 0 {
+		in.FollowUpCount = 10
+	}
+	if in.FPDB == nil {
+		in.FPDB = fingerprint.NewDB()
+	}
+	if len(in.Bands) == 0 {
+		in.Bands = DefaultBands()
+	}
+	return in
+}
+
+// Analyze runs the full evaluation.
+func Analyze(in Input) *Report {
+	in = in.withDefaults()
+	r := &Report{}
+
+	targetASN := make(map[netip.Addr]routing.ASN, len(in.Targets))
+	for _, t := range in.Targets {
+		targetASN[t.Addr] = t.ASN
+	}
+
+	// Partition hits: valid (spoofed, timely, aimed at a known target),
+	// late (over-threshold), open-probe.
+	obs := make(map[netip.Addr]*targetObs)
+	get := func(a netip.Addr) *targetObs {
+		o := obs[a]
+		if o == nil {
+			o = &targetObs{
+				categories: make(map[scanner.SourceCategory]bool),
+				sources:    make(map[netip.Addr]bool),
+			}
+			obs[a] = o
+		}
+		return o
+	}
+
+	lateAddrs := make(map[netip.Addr]bool)
+	for i := range in.Hits {
+		h := &in.Hits[i]
+		if _, known := targetASN[h.Dst]; !known {
+			continue
+		}
+		cat := scanner.Categorize(h.Src, h.Dst, in.ScannerAddrs)
+		if h.Lifetime > in.LifetimeThreshold {
+			lateAddrs[h.Dst] = true
+			continue
+		}
+		o := get(h.Dst)
+		o.sawTimely = true
+		if cat == scanner.CatNotSpoofed {
+			if h.Kind == scanner.ProbeMain {
+				o.open = true
+			}
+			continue
+		}
+		if h.Kind == scanner.ProbeMain {
+			o.categories[cat] = true
+			o.sources[h.Src] = true
+		}
+	}
+
+	// Reachable = targeted + at least one timely spoofed full-name hit.
+	reachable := make(map[netip.Addr]*targetObs)
+	for a, o := range obs {
+		if len(o.categories) > 0 {
+			reachable[a] = o
+		}
+	}
+
+	computeHeadline(r, in, targetASN, reachable)
+	computeCountries(r, in, targetASN, reachable)
+	computeTable3(r, in, targetASN, reachable)
+	computeOpenClosed(r, in, targetASN, reachable)
+	computePorts(r, in, targetASN, reachable)
+	computeForwarding(r, in, targetASN, reachable)
+	computeMiddlebox(r, in, targetASN, reachable)
+	computeQmin(r, in, targetASN, reachable)
+	computeLifetime(r, in, targetASN, reachable, lateAddrs)
+
+	// §4.1 source-effectiveness medians and §5.5 infiltration.
+	var nsrc4, nsrc6 []int
+	for a, o := range reachable {
+		n := len(o.sources)
+		if a.Is4() {
+			nsrc4 = append(nsrc4, n)
+			if n <= 2 {
+				r.OneOrTwoSourcesV4++
+			}
+			if n > 50 {
+				r.Over50SourcesV4++
+			}
+		} else {
+			nsrc6 = append(nsrc6, n)
+			if n <= 2 {
+				r.OneOrTwoSourcesV6++
+			}
+			if n > 50 {
+				r.Over50SourcesV6++
+			}
+		}
+		if o.categories[scanner.CatDstAsSrc] {
+			r.Infiltration.DstAsSrcAddrs++
+		}
+		if o.categories[scanner.CatLoopback] {
+			r.Infiltration.LoopbackAddrs++
+		}
+	}
+	r.MedianSourcesV4 = stats.Median(nsrc4)
+	r.MedianSourcesV6 = stats.Median(nsrc6)
+
+	for a, o := range reachable {
+		r.ReachableAddrs = append(r.ReachableAddrs, a)
+		if o.open {
+			r.OpenAddrs = append(r.OpenAddrs, a)
+		}
+	}
+	sortAddrs(r.ReachableAddrs)
+	sortAddrs(r.OpenAddrs)
+	return r
+}
+
+// targetObs accumulates per-target observations during hit partitioning.
+type targetObs struct {
+	categories map[scanner.SourceCategory]bool
+	sources    map[netip.Addr]bool
+	open       bool
+	sawTimely  bool
+}
+
+// sortAddrs orders addresses for deterministic output.
+func sortAddrs(a []netip.Addr) {
+	sort.Slice(a, func(i, j int) bool { return a[i].Less(a[j]) })
+}

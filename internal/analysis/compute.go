@@ -1,0 +1,435 @@
+package analysis
+
+import (
+	"net/netip"
+
+	"repro/internal/authserver"
+	"repro/internal/fingerprint"
+	"repro/internal/geo"
+	"repro/internal/routing"
+	"repro/internal/scanner"
+	"repro/internal/stats"
+)
+
+func computeHeadline(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs) {
+	asSeen4 := make(map[routing.ASN]bool)
+	asSeen6 := make(map[routing.ASN]bool)
+	asReach4 := make(map[routing.ASN]bool)
+	asReach6 := make(map[routing.ASN]bool)
+	for _, t := range in.Targets {
+		if t.Addr.Is4() {
+			r.V4.Targets++
+			asSeen4[t.ASN] = true
+		} else {
+			r.V6.Targets++
+			asSeen6[t.ASN] = true
+		}
+	}
+	for a := range reachable {
+		asn := targetASN[a]
+		if a.Is4() {
+			r.V4.ReachableAddrs++
+			asReach4[asn] = true
+		} else {
+			r.V6.ReachableAddrs++
+			asReach6[asn] = true
+		}
+	}
+	r.V4.ASes, r.V6.ASes = len(asSeen4), len(asSeen6)
+	r.V4.ReachableASes, r.V6.ReachableASes = len(asReach4), len(asReach6)
+}
+
+func computeCountries(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs) {
+	if in.Geo == nil {
+		return
+	}
+	perAS := make(map[routing.ASN]geo.ASStat)
+	for _, t := range in.Targets {
+		st := perAS[t.ASN]
+		st.Targets++
+		perAS[t.ASN] = st
+	}
+	for a := range reachable {
+		asn := targetASN[a]
+		st := perAS[asn]
+		st.ReachableAddrs++
+		st.Reachable = true
+		perAS[asn] = st
+	}
+	r.Countries = in.Geo.Aggregate(perAS)
+	r.Table1 = geo.TopByASCount(r.Countries, 10)
+	r.Table2 = geo.TopByAddrFraction(r.Countries, 10)
+}
+
+var allCategories = []scanner.SourceCategory{
+	scanner.CatOtherPrefix, scanner.CatSamePrefix, scanner.CatPrivate,
+	scanner.CatDstAsSrc, scanner.CatLoopback,
+}
+
+func computeTable3(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs) {
+	build := func(v6 bool) []CategoryRow {
+		// Per-AS union of categories.
+		asCats := make(map[routing.ASN]map[scanner.SourceCategory]bool)
+		rows := make([]CategoryRow, len(allCategories))
+		for i, c := range allCategories {
+			rows[i].Category = c
+		}
+		inclASN := make(map[scanner.SourceCategory]map[routing.ASN]bool)
+		for _, c := range allCategories {
+			inclASN[c] = make(map[routing.ASN]bool)
+		}
+		for a, o := range reachable {
+			if a.Is6() != v6 {
+				continue
+			}
+			asn := targetASN[a]
+			if asCats[asn] == nil {
+				asCats[asn] = make(map[scanner.SourceCategory]bool)
+			}
+			for i, c := range allCategories {
+				if o.categories[c] {
+					rows[i].InclusiveAddrs++
+					inclASN[c][asn] = true
+					asCats[asn][c] = true
+				}
+			}
+			if len(o.categories) == 1 {
+				for i, c := range allCategories {
+					if o.categories[c] {
+						rows[i].ExclusiveAddrs++
+					}
+				}
+			}
+		}
+		for i, c := range allCategories {
+			rows[i].InclusiveASNs = len(inclASN[c])
+		}
+		for _, cats := range asCats {
+			if len(cats) == 1 {
+				for i, c := range allCategories {
+					if cats[c] {
+						rows[i].ExclusiveASNs++
+					}
+				}
+			}
+		}
+		return rows
+	}
+	r.Table3.V4 = build(false)
+	r.Table3.V6 = build(true)
+}
+
+func computeOpenClosed(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs) {
+	asReach := make(map[routing.ASN]bool)
+	asClosed := make(map[routing.ASN]bool)
+	for a, o := range reachable {
+		asn := targetASN[a]
+		asReach[asn] = true
+		if o.open {
+			r.OpenClosed.Open++
+		} else {
+			r.OpenClosed.Closed++
+			asClosed[asn] = true
+		}
+	}
+	r.OpenClosed.ReachableASes = len(asReach)
+	r.OpenClosed.ASesWithClosed = len(asClosed)
+}
+
+func computePorts(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs) {
+	pr := &r.Ports
+	pr.HistFullOpen = stats.NewHistogram(500, 65535)
+	pr.HistFullClosed = stats.NewHistogram(500, 65535)
+	pr.HistZoomOpen = stats.NewHistogram(50, 3000)
+	pr.HistZoomClosed = stats.NewHistogram(50, 3000)
+	pr.HistFullP0fWin = stats.NewHistogram(500, 65535)
+	pr.HistFullP0fLin = stats.NewHistogram(500, 65535)
+	pr.ZeroTopPorts = make(map[uint16]int)
+
+	// Gather direct follow-up observations per target: UDP transport
+	// queries whose source IP matches the probed target (§5.2: only
+	// direct responders are analyzed).
+	ports := make(map[netip.Addr][]uint16)
+	syn := make(map[netip.Addr]*scanner.Hit)
+	for i := range in.Hits {
+		h := &in.Hits[i]
+		if h.Client != h.Dst || h.Lifetime > in.LifetimeThreshold {
+			continue
+		}
+		if _, ok := reachable[h.Dst]; !ok {
+			continue
+		}
+		switch {
+		case (h.Kind == scanner.ProbeV4 || h.Kind == scanner.ProbeV6) && h.Transport == authserver.TransportUDP:
+			ports[h.Dst] = append(ports[h.Dst], h.ClientPort)
+		case h.Kind == scanner.ProbeTC && h.Transport == authserver.TransportTCP && h.SYN != nil:
+			syn[h.Dst] = h
+		}
+	}
+
+	zeroASNs := make(map[routing.ASN]bool)
+	zeroASNsClosed := make(map[routing.ASN]bool)
+	lowASNs := make(map[routing.ASN]bool)
+
+	for _, a := range sortedAddrsPorts(ports) {
+		raw := ports[a]
+		if len(raw) < in.FollowUpCount {
+			continue // incomplete sample: not comparable (§5.2.2 spirit)
+		}
+		raw = raw[:in.FollowUpCount]
+		o := reachable[a]
+		sample := PortSample{
+			Addr: a, ASN: targetASN[a],
+			RawPorts: raw, Open: o.open,
+		}
+		if h := syn[a]; h != nil {
+			sample.P0f = in.FPDB.Classify(h.SYN)
+		}
+		adj := make([]int, len(raw))
+		for k, p := range raw {
+			adj[k] = int(p)
+		}
+		if sample.P0f == fingerprint.LabelWindows {
+			adj = stats.AdjustWindowsPorts(raw)
+		}
+		sample.Ports = adj
+		sample.Range = stats.RangeOfInts(adj)
+		pr.Samples = append(pr.Samples, sample)
+
+		if sample.Open {
+			pr.HistFullOpen.Add(sample.Range)
+			if sample.Range <= 3000 {
+				pr.HistZoomOpen.Add(sample.Range)
+			}
+		} else {
+			pr.HistFullClosed.Add(sample.Range)
+			if sample.Range <= 3000 {
+				pr.HistZoomClosed.Add(sample.Range)
+			}
+		}
+		switch sample.P0f {
+		case fingerprint.LabelWindows:
+			pr.HistFullP0fWin.Add(sample.Range)
+		case fingerprint.LabelLinux:
+			pr.HistFullP0fLin.Add(sample.Range)
+		}
+
+		switch {
+		case sample.Range == 0:
+			pr.ZeroRange = append(pr.ZeroRange, sample)
+			zeroASNs[sample.ASN] = true
+			if !sample.Open {
+				pr.ZeroRangeClosed++
+				zeroASNsClosed[sample.ASN] = true
+			}
+			pr.ZeroTopPorts[raw[0]]++
+			if raw[0] == 53 {
+				pr.ZeroRangePort53++
+			}
+		case sample.Range <= 200:
+			pr.LowRange = append(pr.LowRange, sample)
+			lowASNs[sample.ASN] = true
+			inc, wrap := stats.StrictlyIncreasing(sample.RawPorts)
+			if inc && sample.Range > 0 {
+				pr.LowRangeIncreasing++
+				if wrap {
+					pr.LowRangeWrapped++
+				}
+			}
+			if stats.UniqueCount(sample.RawPorts) <= 7 {
+				pr.LowRangeFewUnique++
+			}
+		}
+	}
+	pr.ZeroRangeASNs = len(zeroASNs)
+	pr.ZeroASNsWithClosed = len(zeroASNsClosed)
+	pr.LowRangeASNs = len(lowASNs)
+
+	// Table 4.
+	pr.Table4 = make([]BandRow, len(in.Bands))
+	for i, b := range in.Bands {
+		pr.Table4[i].Band = b
+	}
+	for _, s := range pr.Samples {
+		for i := range pr.Table4 {
+			if pr.Table4[i].Band.Contains(s.Range) {
+				row := &pr.Table4[i]
+				row.Total++
+				if s.Open {
+					row.Open++
+				} else {
+					row.Closed++
+				}
+				switch s.P0f {
+				case fingerprint.LabelWindows:
+					row.P0fWindows++
+				case fingerprint.LabelLinux:
+					row.P0fLinux++
+				}
+				break
+			}
+		}
+	}
+}
+
+func sortedAddrsPorts(m map[netip.Addr][]uint16) []netip.Addr {
+	out := make([]netip.Addr, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sortAddrs(out)
+	return out
+}
+
+func computeForwarding(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs) {
+	type fw struct{ direct, forwarded bool }
+	perTarget := make(map[netip.Addr]*fw)
+	for i := range in.Hits {
+		h := &in.Hits[i]
+		// §5.4: the zone is dual-stack, so direct/forwarded is judged on
+		// the family-matching transport follow-ups only — a dual-stack
+		// resolver probed at its v6 address answers v4-zone queries from
+		// its v4 address, which must not be mistaken for forwarding.
+		if h.Dst.Is4() && h.Kind != scanner.ProbeV4 {
+			continue
+		}
+		if h.Dst.Is6() && h.Kind != scanner.ProbeV6 {
+			continue
+		}
+		// Leaf-zone queries only: a v4-only (v6-only) zone is served by a
+		// v4-only (v6-only) server, so genuine transport-probe queries
+		// arrive over that family. Referral lookups at the dual-stack
+		// parent can arrive over the other family and must not count.
+		if h.Kind == scanner.ProbeV4 && !h.Client.Is4() {
+			continue
+		}
+		if h.Kind == scanner.ProbeV6 && !h.Client.Is6() {
+			continue
+		}
+		if _, ok := reachable[h.Dst]; !ok || h.Lifetime > in.LifetimeThreshold {
+			continue
+		}
+		f := perTarget[h.Dst]
+		if f == nil {
+			f = &fw{}
+			perTarget[h.Dst] = f
+		}
+		if h.Client == h.Dst {
+			f.direct = true
+		} else {
+			f.forwarded = true
+		}
+	}
+	for a, f := range perTarget {
+		if a.Is4() {
+			r.Forwarding.V4Resolved++
+			if f.direct {
+				r.Forwarding.V4Direct++
+			}
+			if f.forwarded {
+				r.Forwarding.V4Forwarded++
+			}
+			if f.direct && f.forwarded {
+				r.Forwarding.V4Both++
+			}
+		} else {
+			r.Forwarding.V6Resolved++
+			if f.direct {
+				r.Forwarding.V6Direct++
+			}
+			if f.forwarded {
+				r.Forwarding.V6Forwarded++
+			}
+			if f.direct && f.forwarded {
+				r.Forwarding.V6Both++
+			}
+		}
+	}
+}
+
+func computeMiddlebox(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs) {
+	public := make(map[netip.Addr]bool)
+	for _, a := range in.PublicDNS {
+		public[a] = true
+	}
+	reachAS := make(map[routing.ASN]bool)
+	directAS := make(map[routing.ASN]bool)
+	publicAS := make(map[routing.ASN]bool)
+	for a := range reachable {
+		reachAS[targetASN[a]] = true
+	}
+	for i := range in.Hits {
+		h := &in.Hits[i]
+		if _, ok := reachable[h.Dst]; !ok || h.Lifetime > in.LifetimeThreshold {
+			continue
+		}
+		asn := targetASN[h.Dst]
+		if origin := in.Reg.OriginOf(h.Client); origin != nil && origin.ASN == asn {
+			directAS[asn] = true
+		}
+		if public[h.Client] {
+			publicAS[asn] = true
+		}
+	}
+	r.Middlebox.ReachableASes = len(reachAS)
+	for asn := range reachAS {
+		switch {
+		case directAS[asn]:
+			r.Middlebox.DirectFromAS++
+		case publicAS[asn]:
+			r.Middlebox.ViaPublicDNS++
+		default:
+			r.Middlebox.Unexplained++
+		}
+	}
+}
+
+func computeQmin(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs) {
+	clients := make(map[netip.Addr]bool)
+	asns := make(map[routing.ASN]bool)
+	for _, p := range in.Partials {
+		if _, isTarget := targetASN[p.Client]; isTarget {
+			clients[p.Client] = true
+		}
+		if origin := in.Reg.OriginOf(p.Client); origin != nil {
+			asns[origin.ASN] = true
+		}
+	}
+	r.Qmin.ClientAddrs = len(clients)
+	for c := range clients {
+		if _, ok := reachable[c]; !ok {
+			r.Qmin.NeverFull++
+		}
+	}
+	reachASN := make(map[routing.ASN]bool)
+	for a := range reachable {
+		reachASN[targetASN[a]] = true
+	}
+	r.Qmin.ASNs = len(asns)
+	for asn := range asns {
+		if reachASN[asn] {
+			r.Qmin.DetectedAnyway++
+		}
+	}
+}
+
+func computeLifetime(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs, lateAddrs map[netip.Addr]bool) {
+	lateOnlyAS := make(map[routing.ASN]bool)
+	reachASN := make(map[routing.ASN]bool)
+	for a := range reachable {
+		reachASN[targetASN[a]] = true
+	}
+	for a := range lateAddrs {
+		if _, ok := reachable[a]; ok {
+			continue // also seen timely: not excluded
+		}
+		r.Lifetime.OverThresholdAddrs++
+		lateOnlyAS[targetASN[a]] = true
+	}
+	r.Lifetime.OverThresholdASes = len(lateOnlyAS)
+	for asn := range lateOnlyAS {
+		if reachASN[asn] {
+			r.Lifetime.RecoveredASes++
+		}
+	}
+}

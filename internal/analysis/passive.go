@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"net/netip"
+
+	"repro/internal/ditl"
+	"repro/internal/stats"
+)
+
+// PassiveComparison is the §5.2.2 result: for the resolvers currently
+// exhibiting zero source-port range, what the (synthetic) 2018 DITL
+// collection shows.
+type PassiveComparison struct {
+	// Compared is the number of zero-range resolvers present in the
+	// passive data with a usable sample.
+	Compared int
+	// SameZero showed no port variance in 2018 either (51% in the paper).
+	SameZero int
+	// HadVariance showed some randomization in 2018 — the vulnerability
+	// is new (25% in the paper).
+	HadVariance int
+	// Absent had no usable 2018 data (24% in the paper).
+	Absent int
+}
+
+// ComparePassive cross-references the active measurement's zero-range
+// resolvers against a passive DITL-style port capture (§5.2.2). The
+// passive sample for an address is usable if it has at least
+// SampleSize observations (mirroring the paper's comparability filter).
+func ComparePassive(zeroRange []PortSample, passive map[netip.Addr]ditl.PassiveSample) PassiveComparison {
+	var out PassiveComparison
+	for _, s := range zeroRange {
+		sample, ok := passive[s.Addr]
+		if !ok || len(sample.Ports) < stats.SampleSize {
+			out.Absent++
+			continue
+		}
+		out.Compared++
+		if stats.RangeOf(sample.Ports) == 0 {
+			out.SameZero++
+		} else {
+			out.HadVariance++
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"net/netip"
+
+	"repro/internal/ditl"
+	"repro/internal/fingerprint"
+	"repro/internal/oskernel"
+	"repro/internal/routing"
+)
+
+// Validation scores the measurement methodology against the
+// simulation's ground truth — the check the real experimenters could
+// never run. It answers: when the survey says "this AS lacks DSAV",
+// "this resolver is open", or "this resolver runs Windows", how often
+// is it right?
+type Validation struct {
+	// DSAV detection (AS level): every truly-no-DSAV AS with at least
+	// one live resolver is a detection opportunity.
+	NoDSAVASes        int // ground truth: ASes lacking DSAV (with live resolvers)
+	DetectedASes      int // ASes the survey flagged reachable
+	TruePositiveASes  int // flagged and truly lacking DSAV
+	FalsePositiveASes int // flagged but DSAV-enabled (private/loopback leakage)
+
+	// Open/closed classification over the direct port samples.
+	OpenChecked, OpenCorrect int
+
+	// Port-band OS attribution: samples in an OS-labeled band whose
+	// ground-truth OS family matches the band's label.
+	BandChecked, BandCorrect int
+
+	// p0f precision: labeled samples whose label matches the
+	// ground-truth family.
+	P0fLabeled, P0fCorrect int
+}
+
+// DSAVRecall is the share of truly vulnerable ASes the survey found.
+func (v Validation) DSAVRecall() float64 {
+	if v.NoDSAVASes == 0 {
+		return 0
+	}
+	return float64(v.TruePositiveASes) / float64(v.NoDSAVASes)
+}
+
+// DSAVPrecision is the share of flagged ASes that truly lack DSAV.
+func (v Validation) DSAVPrecision() float64 {
+	if v.DetectedASes == 0 {
+		return 0
+	}
+	return float64(v.TruePositiveASes) / float64(v.DetectedASes)
+}
+
+// Validate compares a survey report against the generating population.
+func Validate(r *Report, pop *ditl.Population) Validation {
+	var v Validation
+
+	specByAddr := make(map[netip.Addr]*ditl.ResolverSpec)
+	asByASN := make(map[routing.ASN]*ditl.ASSpec)
+	for _, as := range pop.ASes {
+		asByASN[as.ASN] = as
+		if !as.DSAV && len(as.Resolvers) > 0 {
+			v.NoDSAVASes++
+		}
+		for _, rs := range as.Resolvers {
+			if rs.HasV4() {
+				specByAddr[rs.Addr4] = rs
+			}
+			if rs.HasV6() {
+				specByAddr[rs.Addr6] = rs
+			}
+		}
+	}
+
+	reachSet := make(map[netip.Addr]bool, len(r.ReachableAddrs))
+	for _, a := range r.ReachableAddrs {
+		reachSet[a] = true
+	}
+	detected := make(map[routing.ASN]bool)
+	for _, a := range r.ReachableAddrs {
+		if spec, ok := specByAddr[a]; ok {
+			detected[spec.ASN] = true
+		}
+	}
+	// Middlebox-answered dead targets also flag their AS.
+	for _, as := range pop.ASes {
+		if detected[as.ASN] {
+			continue
+		}
+		for _, d := range as.DeadTargets {
+			if reachSet[d] {
+				detected[as.ASN] = true
+				break
+			}
+		}
+	}
+	v.DetectedASes = len(detected)
+	for asn := range detected {
+		if as := asByASN[asn]; as != nil && !as.DSAV {
+			v.TruePositiveASes++
+		} else {
+			v.FalsePositiveASes++
+		}
+	}
+
+	bandFamily := map[string]oskernel.Family{
+		"Windows DNS": oskernel.FamilyWindows,
+		"FreeBSD":     oskernel.FamilyFreeBSD,
+		"Linux":       oskernel.FamilyLinux,
+	}
+	for _, s := range r.Ports.Samples {
+		spec := specByAddr[s.Addr]
+		if spec == nil {
+			continue
+		}
+		v.OpenChecked++
+		if s.Open == (spec.Scope == ditl.ScopeOpen) {
+			v.OpenCorrect++
+		}
+		for _, row := range r.Ports.Table4 {
+			fam, labeled := bandFamily[row.Band.Label]
+			if !labeled || !row.Band.Contains(s.Range) {
+				continue
+			}
+			v.BandChecked++
+			if spec.OS.Family == fam {
+				v.BandCorrect++
+			}
+		}
+		switch s.P0f {
+		case fingerprint.LabelWindows:
+			v.P0fLabeled++
+			if spec.OS.Family == oskernel.FamilyWindows {
+				v.P0fCorrect++
+			}
+		case fingerprint.LabelLinux:
+			v.P0fLabeled++
+			if spec.OS.Family == oskernel.FamilyLinux {
+				v.P0fCorrect++
+			}
+		case fingerprint.LabelFreeBSD:
+			v.P0fLabeled++
+			if spec.OS.Family == oskernel.FamilyFreeBSD {
+				v.P0fCorrect++
+			}
+		case fingerprint.LabelBaidu:
+			v.P0fLabeled++
+			if spec.OS == oskernel.BaiduSpiderLike {
+				v.P0fCorrect++
+			}
+		}
+	}
+	return v
+}

@@ -1,0 +1,16 @@
+package attack
+
+import (
+	mrand "math/rand"
+	"net/netip"
+
+	"repro/internal/packet"
+)
+
+// rawUDP builds a raw (spoofable) UDP datagram.
+func rawUDP(src, dst netip.Addr, sport, dport uint16, payload []byte) ([]byte, error) {
+	return packet.BuildUDP(src, dst, sport, dport, 64, payload)
+}
+
+// newRand builds a seeded RNG for allocator construction in tests.
+func newRand(seed int64) *mrand.Rand { return mrand.New(mrand.NewSource(seed)) }

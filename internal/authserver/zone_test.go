@@ -1,0 +1,207 @@
+package authserver
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/dnswire"
+)
+
+func testSOA() dnswire.SOAData {
+	return dnswire.SOAData{
+		MName: "ns1.dns-lab.org", RName: "research.dns-lab.org",
+		Serial: 1, Refresh: 2, Retry: 3, Expire: 4, Minimum: 60,
+	}
+}
+
+func q(name dnswire.Name, typ dnswire.Type) *dnswire.Message {
+	return dnswire.NewQuery(1, name, typ)
+}
+
+func TestZoneDefaultNXDomain(t *testing.T) {
+	z := NewZone("dns-lab.org", testSOA())
+	r := z.Respond(q("1573066000.a.b.c.kw.dns-lab.org", dnswire.TypeA), true)
+	if r.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("rcode = %v", r.RCode)
+	}
+	if !r.AA {
+		t.Fatal("authoritative answer flag not set")
+	}
+	if len(r.Authority) != 1 || r.Authority[0].Type != dnswire.TypeSOA {
+		t.Fatalf("authority = %+v, want SOA", r.Authority)
+	}
+	if r.Authority[0].SOA.RName != "research.dns-lab.org" {
+		t.Fatal("SOA must carry the experimenter contact (§3.7)")
+	}
+}
+
+func TestZoneApexExists(t *testing.T) {
+	z := NewZone("dns-lab.org", testSOA())
+	r := z.Respond(q("dns-lab.org", dnswire.TypeA), true)
+	if r.RCode != dnswire.RCodeNoError {
+		t.Fatalf("apex query rcode = %v, want NOERROR/NODATA", r.RCode)
+	}
+}
+
+func TestZoneStaticRecord(t *testing.T) {
+	z := NewZone("dns-lab.org", testSOA())
+	z.AddAddr("www.dns-lab.org", netip.MustParseAddr("192.0.2.80"), 300)
+	r := z.Respond(q("WWW.dns-lab.org", dnswire.TypeA), true)
+	if len(r.Answer) != 1 || r.Answer[0].Addr != netip.MustParseAddr("192.0.2.80") {
+		t.Fatalf("answer = %+v", r.Answer)
+	}
+	// Existing name, missing type: NODATA, not NXDOMAIN.
+	r = z.Respond(q("www.dns-lab.org", dnswire.TypeAAAA), true)
+	if r.RCode != dnswire.RCodeNoError || len(r.Answer) != 0 {
+		t.Fatalf("NODATA response = %+v", r)
+	}
+}
+
+func TestZoneReferral(t *testing.T) {
+	z := NewZone("org", testSOA())
+	z.Delegate(&Delegation{
+		Apex: "dns-lab.org",
+		NS:   []dnswire.Name{"ns1.dns-lab.org"},
+		Glue: map[dnswire.Name][]netip.Addr{
+			"ns1.dns-lab.org": {netip.MustParseAddr("192.0.9.3"), netip.MustParseAddr("2001:db8:9::3")},
+		},
+	})
+	r := z.Respond(q("deep.name.dns-lab.org", dnswire.TypeA), true)
+	if r.RCode != dnswire.RCodeNoError || r.AA {
+		t.Fatalf("referral flags wrong: %+v", r)
+	}
+	if len(r.Authority) != 1 || r.Authority[0].Type != dnswire.TypeNS || r.Authority[0].Name != "dns-lab.org" {
+		t.Fatalf("authority = %+v", r.Authority)
+	}
+	if len(r.Additional) != 2 {
+		t.Fatalf("glue = %+v", r.Additional)
+	}
+}
+
+func TestZoneWildcardSynthesis(t *testing.T) {
+	z := NewZone("dns-lab.org", testSOA())
+	z.Wildcard = true
+	r := z.Respond(q("anything.at.all.dns-lab.org", dnswire.TypeA), true)
+	if r.RCode != dnswire.RCodeNoError || len(r.Answer) != 1 || r.Answer[0].Type != dnswire.TypeA {
+		t.Fatalf("wildcard A response = %+v", r)
+	}
+	r = z.Respond(q("kw.dns-lab.org", dnswire.TypeNS), true)
+	if r.RCode != dnswire.RCodeNoError || len(r.Answer) != 0 {
+		t.Fatalf("wildcard NS response should be NODATA-exists: %+v", r)
+	}
+}
+
+func TestZoneAlwaysTruncateOnlyUDP(t *testing.T) {
+	z := NewZone("tc.dns-lab.org", testSOA())
+	z.AlwaysTruncate = true
+	r := z.Respond(q("x.tc.dns-lab.org", dnswire.TypeA), true)
+	if !r.TC {
+		t.Fatal("UDP response not truncated")
+	}
+	r = z.Respond(q("x.tc.dns-lab.org", dnswire.TypeA), false)
+	if r.TC {
+		t.Fatal("TCP response truncated")
+	}
+	if r.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("TCP rcode = %v", r.RCode)
+	}
+}
+
+func TestZoneRefusesOutOfZone(t *testing.T) {
+	z := NewZone("dns-lab.org", testSOA())
+	r := z.Respond(q("example.com", dnswire.TypeA), true)
+	if r.RCode != dnswire.RCodeRefused {
+		t.Fatalf("out-of-zone rcode = %v", r.RCode)
+	}
+}
+
+func TestDelegationForNested(t *testing.T) {
+	z := NewZone("org", testSOA())
+	d := &Delegation{Apex: "dns-lab.org", NS: []dnswire.Name{"ns1.dns-lab.org"}}
+	z.Delegate(d)
+	if z.delegationFor("a.b.dns-lab.org") != d {
+		t.Fatal("nested name not covered by delegation")
+	}
+	if z.delegationFor("dns-lab.org") != d {
+		t.Fatal("delegation apex itself not covered")
+	}
+	if z.delegationFor("other.org") != nil {
+		t.Fatal("sibling name wrongly covered")
+	}
+	if z.delegationFor("org") != nil {
+		t.Fatal("zone origin wrongly covered")
+	}
+}
+
+func TestApplyUpdateACL(t *testing.T) {
+	z := NewZone("corp.example", testSOA())
+	z.AllowUpdateFrom = []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")}
+	z.AddAddr("www.corp.example", netip.MustParseAddr("10.0.0.80"), 300)
+
+	upd := dnswire.NewUpdate(1, "corp.example")
+	upd.AddUpdateDeleteRRset("www.corp.example", dnswire.TypeA)
+	upd.AddUpdateRecord(dnswire.RR{Name: "www.corp.example", Type: dnswire.TypeA, TTL: 1,
+		Addr: netip.MustParseAddr("203.0.113.66")})
+
+	// Outside the ACL: refused and unchanged.
+	r := z.ApplyUpdate(netip.MustParseAddr("203.0.113.1"), upd)
+	if r.RCode != dnswire.RCodeRefused {
+		t.Fatalf("outsider update rcode = %v", r.RCode)
+	}
+	resp := z.Respond(q("www.corp.example", dnswire.TypeA), true)
+	if len(resp.Answer) != 1 || resp.Answer[0].Addr != netip.MustParseAddr("10.0.0.80") {
+		t.Fatalf("record changed by refused update: %+v", resp.Answer)
+	}
+
+	// Inside (or spoofed-inside) the ACL: applied.
+	r = z.ApplyUpdate(netip.MustParseAddr("10.9.9.9"), upd)
+	if r.RCode != dnswire.RCodeNoError {
+		t.Fatalf("insider update rcode = %v", r.RCode)
+	}
+	resp = z.Respond(q("www.corp.example", dnswire.TypeA), true)
+	if len(resp.Answer) != 1 || resp.Answer[0].Addr != netip.MustParseAddr("203.0.113.66") {
+		t.Fatalf("update not applied: %+v", resp.Answer)
+	}
+}
+
+func TestApplyUpdateWrongZone(t *testing.T) {
+	z := NewZone("corp.example", testSOA())
+	z.AllowUpdateFrom = []netip.Prefix{netip.MustParsePrefix("0.0.0.0/0")}
+	upd := dnswire.NewUpdate(1, "other.example")
+	if r := z.ApplyUpdate(netip.MustParseAddr("1.2.3.4"), upd); r.RCode != dnswire.RCodeNotAuth {
+		t.Fatalf("rcode = %v, want NOTAUTH", r.RCode)
+	}
+	// An update naming the right zone but touching out-of-zone records.
+	upd2 := dnswire.NewUpdate(2, "corp.example")
+	upd2.AddUpdateRecord(dnswire.RR{Name: "www.elsewhere.example", Type: dnswire.TypeA, TTL: 1,
+		Addr: netip.MustParseAddr("203.0.113.66")})
+	if r := z.ApplyUpdate(netip.MustParseAddr("1.2.3.4"), upd2); r.RCode != dnswire.RCodeNotAuth {
+		t.Fatalf("out-of-zone add rcode = %v", r.RCode)
+	}
+}
+
+func BenchmarkZoneRespondNXDomain(b *testing.B) {
+	z := NewZone("dns-lab.org", testSOA())
+	query := q("1573066000.v4-1-2-3-4.v4-5-6-7-8.64500.x1.dns-lab.org", dnswire.TypeA)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r := z.Respond(query, true); r.RCode != dnswire.RCodeNXDomain {
+			b.Fatal("unexpected rcode")
+		}
+	}
+}
+
+func BenchmarkZoneRespondReferral(b *testing.B) {
+	z := NewZone("org", testSOA())
+	z.Delegate(&Delegation{
+		Apex: "dns-lab.org", NS: []dnswire.Name{"ns1.dns-lab.org"},
+		Glue: map[dnswire.Name][]netip.Addr{"ns1.dns-lab.org": {netip.MustParseAddr("192.0.9.3")}},
+	})
+	query := q("deep.dns-lab.org", dnswire.TypeA)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r := z.Respond(query, true); len(r.Authority) == 0 {
+			b.Fatal("no referral")
+		}
+	}
+}

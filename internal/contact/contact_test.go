@@ -1,0 +1,109 @@
+package contact
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/ditl"
+	"repro/internal/dnswire"
+	"repro/internal/world"
+)
+
+func TestReverseNameV4(t *testing.T) {
+	got := ReverseName(netip.MustParseAddr("198.51.100.7"))
+	if got != "7.100.51.198.in-addr.arpa" {
+		t.Fatalf("ReverseName = %q", got)
+	}
+}
+
+func TestReverseNameV6(t *testing.T) {
+	got := ReverseName(netip.MustParseAddr("2a00::1"))
+	want := "1.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.a.2.ip6.arpa"
+	if string(got) != want {
+		t.Fatalf("ReverseName = %q, want %q", got, want)
+	}
+	// Must be a valid, packable DNS name.
+	if _, err := dnswire.NewQuery(1, got, dnswire.TypePTR).Pack(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNameToEmail(t *testing.T) {
+	if got := rnameToEmail("hostmaster.as1000.example.net"); got != "hostmaster@as1000.example.net" {
+		t.Fatalf("email = %q", got)
+	}
+}
+
+func TestLookupThroughSimulatedWorld(t *testing.T) {
+	pop := ditl.Generate(ditl.Params{Seed: 77, ASes: 40})
+	w, err := world.Build(pop, world.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &Client{Host: w.Scanner, From: w.ScannerAddr4, Resolver: w.PublicDNS[0]}
+
+	var withPTR, withoutPTR *ditl.ResolverSpec
+	for _, as := range pop.ASes {
+		for _, rs := range as.Resolvers {
+			if !rs.HasV4() {
+				continue
+			}
+			if world.PublishesPTR(rs) && withPTR == nil {
+				withPTR = rs
+			}
+			if !world.PublishesPTR(rs) && withoutPTR == nil {
+				withoutPTR = rs
+			}
+		}
+	}
+	if withPTR == nil || withoutPTR == nil {
+		t.Fatal("population lacks both PTR classes")
+	}
+
+	info, err := Lookup(client, withPTR.Addr4)
+	if err != nil {
+		t.Fatalf("Lookup(%v): %v", withPTR.Addr4, err)
+	}
+	wantDomain := fmt.Sprintf("as%d.example.net", withPTR.ASN)
+	if string(info.Domain) != wantDomain {
+		t.Fatalf("domain = %q, want %q", info.Domain, wantDomain)
+	}
+	if info.Email != "hostmaster@"+wantDomain {
+		t.Fatalf("email = %q", info.Email)
+	}
+	if !strings.HasPrefix(string(info.PTR), fmt.Sprintf("r%d.", withPTR.Index)) {
+		t.Fatalf("PTR = %q", info.PTR)
+	}
+
+	// Resolvers without published PTR records are uncontactable — the
+	// reason the paper could reach only a fraction of operators.
+	if _, err := Lookup(client, withoutPTR.Addr4); err == nil {
+		t.Fatal("lookup for PTR-less resolver succeeded")
+	}
+}
+
+func TestLookupV6(t *testing.T) {
+	pop := ditl.Generate(ditl.Params{Seed: 78, ASes: 80})
+	w, err := world.Build(pop, world.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &Client{Host: w.Scanner, From: w.ScannerAddr4, Resolver: w.PublicDNS[0]}
+	for _, as := range pop.ASes {
+		for _, rs := range as.Resolvers {
+			if rs.HasV6() && world.PublishesPTR(rs) {
+				info, err := Lookup(client, rs.Addr6)
+				if err != nil {
+					t.Fatalf("v6 Lookup(%v): %v", rs.Addr6, err)
+				}
+				if info.Email == "" {
+					t.Fatal("empty email")
+				}
+				return
+			}
+		}
+	}
+	t.Skip("no v6 resolver with PTR in this seed")
+}

@@ -1,0 +1,49 @@
+// Package core names the paper's primary contribution — the DSAV
+// measurement pipeline — and aliases its entry points. The substance
+// lives in two packages this one ties together:
+//
+//   - internal/scanner: spoofed-source probing, the query-name
+//     correlation encoding, real-time follow-ups (§3);
+//   - internal/analysis: the evaluation turning authoritative-log hits
+//     into the paper's tables and findings (§4-§5, §3.6).
+//
+// The root package doors composes them with the simulated-Internet
+// substrate; use core when only the measurement/analysis types are
+// needed.
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/scanner"
+)
+
+// Scanner is the measurement client (§3).
+type Scanner = scanner.Scanner
+
+// ScannerConfig parameterizes the scanner.
+type ScannerConfig = scanner.Config
+
+// Hit is one correlated authoritative-log observation.
+type Hit = scanner.Hit
+
+// Target is one candidate resolver address.
+type Target = scanner.Target
+
+// SourceCategory classifies a spoofed source (§3.2).
+type SourceCategory = scanner.SourceCategory
+
+// Report is the full evaluation output (§4-§5).
+type Report = analysis.Report
+
+// Input bundles the observations for analysis.
+type Input = analysis.Input
+
+// NewScanner creates the measurement client; see scanner.New.
+var NewScanner = scanner.New
+
+// Analyze runs the full evaluation; see analysis.Analyze.
+var Analyze = analysis.Analyze
+
+// Categorize recovers a spoofed source's category; see
+// scanner.Categorize.
+var Categorize = scanner.Categorize

@@ -1,0 +1,21 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/scanner"
+)
+
+func TestAliasesPointAtTheContribution(t *testing.T) {
+	// Compile-time identity checks: the aliases must be the same types.
+	var h Hit = scanner.Hit{}
+	var tgt Target = scanner.Target{}
+	var r *Report = &analysis.Report{}
+	_ = h
+	_ = tgt
+	_ = r
+	if Categorize == nil || Analyze == nil || NewScanner == nil {
+		t.Fatal("core entry points unbound")
+	}
+}

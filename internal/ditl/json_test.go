@@ -1,0 +1,133 @@
+package ditl
+
+import (
+	"bytes"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func netipMustParse(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestJSONRoundTrip(t *testing.T) {
+	pop := Generate(Params{Seed: 31, ASes: 50})
+	var buf bytes.Buffer
+	if err := pop.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summarize() != pop.Summarize() {
+		t.Fatalf("summaries differ: %+v vs %+v", got.Summarize(), pop.Summarize())
+	}
+	if len(got.ASes) != len(pop.ASes) {
+		t.Fatalf("AS count %d vs %d", len(got.ASes), len(pop.ASes))
+	}
+	for i, as := range pop.ASes {
+		g := got.ASes[i]
+		if g.ASN != as.ASN || g.DSAV != as.DSAV || g.OSAV != as.OSAV ||
+			g.FilterBogons != as.FilterBogons || g.IDS != as.IDS || g.Middlebox != as.Middlebox {
+			t.Fatalf("AS %d flags differ", i)
+		}
+		if !reflect.DeepEqual(g.V4Prefixes, as.V4Prefixes) ||
+			!reflect.DeepEqual(g.Countries, as.Countries) ||
+			!reflect.DeepEqual(g.DeadTargets, as.DeadTargets) {
+			t.Fatalf("AS %d data differs", i)
+		}
+		if len(g.Resolvers) != len(as.Resolvers) {
+			t.Fatalf("AS %d resolver count differs", i)
+		}
+		for j, r := range as.Resolvers {
+			gr := g.Resolvers[j]
+			if !reflect.DeepEqual(gr, r) {
+				t.Fatalf("resolver %d/%d differs:\n%+v\n%+v", i, j, gr, r)
+			}
+		}
+	}
+}
+
+func TestJSONRoundTripAllocatorsIdentical(t *testing.T) {
+	// The reloaded specs must yield byte-identical port allocators (the
+	// seeds travel with the spec).
+	pop := Generate(Params{Seed: 32, ASes: 30})
+	var buf bytes.Buffer
+	if err := pop.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pop.ASes {
+		for j := range pop.ASes[i].Resolvers {
+			a1 := pop.ASes[i].Resolvers[j].Allocator()
+			a2 := got.ASes[i].Resolvers[j].Allocator()
+			for k := 0; k < 20; k++ {
+				if a1.Next() != a2.Next() {
+					t.Fatalf("allocator %d/%d diverged at draw %d", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"{",
+		`{"params":{},"ases":[{"asn":1,"v4_prefixes":["not-a-prefix"]}]}`,
+		`{"params":{},"ases":[{"asn":1,"v4_prefixes":[],"resolvers":[{"os":"NoSuchOS"}]}]}`,
+		`{"params":{},"ases":[{"asn":1,"v4_prefixes":[],"dead_targets":["999.1.1.1"]}]}`,
+	} {
+		if _, err := ReadJSON(strings.NewReader(s)); err == nil {
+			t.Errorf("garbage accepted: %q", s)
+		}
+	}
+}
+
+func TestValidateAcceptsGenerated(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		pop := Generate(Params{Seed: seed, ASes: 120})
+		if err := pop.Validate(); err != nil {
+			t.Fatalf("seed %d: generated population invalid: %v", seed, err)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	fresh := func() *Population { return Generate(Params{Seed: 40, ASes: 20}) }
+
+	pop := fresh()
+	pop.ASes[1].ASN = pop.ASes[0].ASN
+	if err := pop.Validate(); err == nil {
+		t.Error("duplicate ASN accepted")
+	}
+
+	pop = fresh()
+	pop.ASes[0].Resolvers[0].Addr4 = pop.ASes[1].Resolvers[0].Addr4
+	if err := pop.Validate(); err == nil {
+		t.Error("duplicate address accepted")
+	}
+
+	pop = fresh()
+	pop.ASes[0].Resolvers[0].Addr4 = netipMustParse("9.9.9.9")
+	if err := pop.Validate(); err == nil {
+		t.Error("out-of-prefix address accepted")
+	}
+
+	pop = fresh()
+	pop.ASes[0].Resolvers[0].OS = nil
+	if err := pop.Validate(); err == nil {
+		t.Error("missing OS accepted")
+	}
+
+	pop = fresh()
+	pop.ASes[0].Resolvers[0].SmallPoolSize = 10
+	pop.ASes[0].Resolvers[0].SeqSize = 10
+	if err := pop.Validate(); err == nil {
+		t.Error("conflicting allocator overrides accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package ditl
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"repro/internal/oskernel"
+)
+
+// PassiveSample is one resolver's synthesized appearance in the 2018
+// DITL collection (§5.2.2): the source ports of the queries it sent to
+// the root servers over the 48-hour window.
+type PassiveSample struct {
+	Addr  netip.Addr
+	Ports []uint16
+}
+
+// Passive2018 synthesizes the 2018 DITL view of the population,
+// following each resolver's History2018: resolvers that were already
+// fixed-port in 2018 show a single port; resolvers that regressed show
+// randomized ports; absent resolvers have no entry.
+func Passive2018(pop *Population, seed int64) map[netip.Addr]PassiveSample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[netip.Addr]PassiveSample)
+	for _, as := range pop.ASes {
+		for _, r := range as.Resolvers {
+			addr := r.Addr4
+			if !addr.IsValid() {
+				addr = r.Addr6
+			}
+			if !addr.IsValid() || r.History == HistoryAbsent {
+				continue
+			}
+			n := 10 + rng.Intn(30)
+			ports := make([]uint16, n)
+			switch {
+			case r.Band == BandZero && r.History == HistorySameZero:
+				// Same fixed-port behaviour in 2018.
+				p := r.Allocator().Next()
+				for i := range ports {
+					ports[i] = p
+				}
+			case r.Band == BandZero && r.History == HistoryRegressed:
+				// Had randomization in 2018; the vulnerability is new.
+				pool := oskernel.PoolLinux
+				for i := range ports {
+					ports[i] = pool.Lo + uint16(rng.Intn(pool.Size()))
+				}
+			default:
+				// Non-zero-range resolvers: sample from their allocator.
+				alloc := r.Allocator()
+				for i := range ports {
+					ports[i] = alloc.Next()
+				}
+			}
+			out[addr] = PassiveSample{Addr: addr, Ports: ports}
+		}
+	}
+	return out
+}

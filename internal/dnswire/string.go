@@ -1,0 +1,99 @@
+package dnswire
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the message in a dig-like presentation format, for
+// logs and debugging.
+func (m *Message) String() string {
+	var b strings.Builder
+	op := "QUERY"
+	if m.OpCode == OpUpdate {
+		op = "UPDATE"
+	} else if m.OpCode != OpQuery {
+		op = fmt.Sprintf("OPCODE%d", int(m.OpCode))
+	}
+	var flags []string
+	if m.QR {
+		flags = append(flags, "qr")
+	}
+	if m.AA {
+		flags = append(flags, "aa")
+	}
+	if m.TC {
+		flags = append(flags, "tc")
+	}
+	if m.RD {
+		flags = append(flags, "rd")
+	}
+	if m.RA {
+		flags = append(flags, "ra")
+	}
+	fmt.Fprintf(&b, ";; opcode: %s, status: %s, id: %d\n", op, m.RCode, m.ID)
+	fmt.Fprintf(&b, ";; flags: %s; QUERY: %d, ANSWER: %d, AUTHORITY: %d, ADDITIONAL: %d\n",
+		strings.Join(flags, " "), len(m.Question), len(m.Answer), len(m.Authority), len(m.Additional))
+	if len(m.Question) > 0 {
+		b.WriteString(";; QUESTION SECTION:\n")
+		for _, q := range m.Question {
+			fmt.Fprintf(&b, ";%s\t%s\t%s\n", q.Name, classString(q.Class), q.Type)
+		}
+	}
+	section := func(title string, rrs []RR) {
+		if len(rrs) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, ";; %s SECTION:\n", title)
+		for i := range rrs {
+			b.WriteString(rrs[i].String())
+			b.WriteByte('\n')
+		}
+	}
+	section("ANSWER", m.Answer)
+	section("AUTHORITY", m.Authority)
+	section("ADDITIONAL", m.Additional)
+	return b.String()
+}
+
+func classString(c Class) string {
+	switch c {
+	case ClassIN:
+		return "IN"
+	case ClassANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("CLASS%d", uint16(c))
+	}
+}
+
+// String renders the record in zone-file style.
+func (rr RR) String() string {
+	rdata := ""
+	switch rr.Type {
+	case TypeA, TypeAAAA:
+		if rr.Addr.IsValid() {
+			rdata = rr.Addr.String()
+		}
+	case TypeNS, TypeCNAME, TypePTR:
+		rdata = rr.Target.String()
+	case TypeSOA:
+		if rr.SOA != nil {
+			rdata = fmt.Sprintf("%s %s %d %d %d %d %d",
+				rr.SOA.MName, rr.SOA.RName, rr.SOA.Serial,
+				rr.SOA.Refresh, rr.SOA.Retry, rr.SOA.Expire, rr.SOA.Minimum)
+		}
+	case TypeTXT:
+		parts := make([]string, len(rr.Txt))
+		for i, s := range rr.Txt {
+			parts[i] = fmt.Sprintf("%q", s)
+		}
+		rdata = strings.Join(parts, " ")
+	case TypeOPT:
+		rdata = fmt.Sprintf("; EDNS: udp %d", uint16(rr.Class))
+	default:
+		rdata = fmt.Sprintf("\\# %d", len(rr.Data))
+	}
+	return fmt.Sprintf("%s\t%d\t%s\t%s\t%s",
+		rr.Name, rr.TTL, classString(rr.Class), rr.Type, rdata)
+}

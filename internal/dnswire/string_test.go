@@ -1,0 +1,65 @@
+package dnswire
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func TestMessageStringQuery(t *testing.T) {
+	m := NewQuery(42, "www.example.org", TypeA)
+	out := m.String()
+	for _, want := range []string{"opcode: QUERY", "id: 42", "rd", ";www.example.org.\tIN\tA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ANSWER SECTION") {
+		t.Error("empty answer section rendered")
+	}
+}
+
+func TestMessageStringResponse(t *testing.T) {
+	m := NewQuery(7, "www.example.org", TypeA).Reply()
+	m.AA = true
+	m.RCode = RCodeNXDomain
+	m.Authority = []RR{{Name: "example.org", Type: TypeSOA, Class: ClassIN, TTL: 300,
+		SOA: &SOAData{MName: "ns.example.org", RName: "host.example.org", Serial: 9}}}
+	out := m.String()
+	for _, want := range []string{"status: NXDOMAIN", "qr", "aa", "AUTHORITY SECTION",
+		"ns.example.org. host.example.org. 9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRRStringForms(t *testing.T) {
+	cases := []struct {
+		rr   RR
+		want string
+	}{
+		{RR{Name: "a.org", Type: TypeA, Class: ClassIN, TTL: 60,
+			Addr: netip.MustParseAddr("192.0.2.1")}, "192.0.2.1"},
+		{RR{Name: "a.org", Type: TypeAAAA, Class: ClassIN, TTL: 60,
+			Addr: netip.MustParseAddr("2001:db8::1")}, "2001:db8::1"},
+		{RR{Name: "a.org", Type: TypeNS, Class: ClassIN, TTL: 60, Target: "ns.a.org"}, "ns.a.org."},
+		{RR{Name: "a.org", Type: TypeTXT, Class: ClassIN, TTL: 60, Txt: []string{"x y"}}, `"x y"`},
+		{RR{Name: "", Type: TypeOPT, Class: Class(1232)}, "udp 1232"},
+		{RR{Name: "del.a.org", Type: TypeA, Class: ClassANY}, "ANY"},
+	}
+	for _, c := range cases {
+		if got := c.rr.String(); !strings.Contains(got, c.want) {
+			t.Errorf("RR.String() = %q, want containing %q", got, c.want)
+		}
+	}
+}
+
+func TestMessageStringUpdate(t *testing.T) {
+	u := NewUpdate(3, "corp.example")
+	u.AddUpdateRecord(RR{Name: "www.corp.example", Type: TypeA, TTL: 60,
+		Addr: netip.MustParseAddr("192.0.2.9")})
+	if out := u.String(); !strings.Contains(out, "opcode: UPDATE") {
+		t.Errorf("update render:\n%s", out)
+	}
+}

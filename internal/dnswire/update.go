@@ -1,0 +1,65 @@
+package dnswire
+
+// Dynamic updates (RFC 2136), the substrate of the DNS zone-poisoning
+// attack the paper cites ([29], §6) as another consequence of missing
+// DSAV: a server that accepts updates from "internal" sources only is
+// wide open to spoofed-internal UPDATE messages.
+//
+// An UPDATE message reuses the query wire format with reinterpreted
+// sections: the question holds the zone (ZTYPE=SOA), and the authority
+// section carries the update records. This package models additions and
+// deletions of complete RRsets — the operations [29] found exploitable.
+
+// OpUpdate is the UPDATE opcode.
+const OpUpdate OpCode = 5
+
+// RCodes specific to UPDATE (RFC 2136 §2.2).
+const (
+	RCodeNotAuth RCode = 9 // server not authoritative for the zone
+)
+
+// NewUpdate builds an UPDATE message skeleton for zone.
+func NewUpdate(id uint16, zone Name) *Message {
+	return &Message{
+		ID: id, OpCode: OpUpdate,
+		Question: []Question{{Name: zone, Type: TypeSOA, Class: ClassIN}},
+	}
+}
+
+// AddRecord appends an "add to an RRset" update (class IN).
+func (m *Message) AddUpdateRecord(rr RR) {
+	rr.Class = ClassIN
+	m.Authority = append(m.Authority, rr)
+}
+
+// DeleteRRset appends a "delete an RRset" update (class ANY, TTL 0,
+// empty RDATA).
+func (m *Message) AddUpdateDeleteRRset(name Name, typ Type) {
+	m.Authority = append(m.Authority, RR{
+		Name: name, Type: typ, Class: ClassANY, TTL: 0,
+	})
+}
+
+// ClassANY is the ANY class used by RRset deletion.
+const ClassANY Class = 255
+
+// UpdateZone returns the zone an UPDATE message addresses.
+func (m *Message) UpdateZone() (Name, bool) {
+	if m.OpCode != OpUpdate || len(m.Question) == 0 {
+		return "", false
+	}
+	return m.Question[0].Name, true
+}
+
+// UpdateOps splits an UPDATE's authority section into additions and
+// RRset deletions.
+func (m *Message) UpdateOps() (adds []RR, deletes []RR) {
+	for _, rr := range m.Authority {
+		if rr.Class == ClassANY {
+			deletes = append(deletes, rr)
+		} else {
+			adds = append(adds, rr)
+		}
+	}
+	return adds, deletes
+}

@@ -1,0 +1,133 @@
+// Package eventq implements the discrete-event scheduler that drives the
+// simulated Internet. All simulation time is virtual: a Queue holds a
+// monotonically non-decreasing clock that advances only when events run.
+//
+// Determinism is a design requirement. Events scheduled for the same
+// instant run in the order they were scheduled (FIFO among equal
+// timestamps), so a seeded simulation always produces identical results.
+package eventq
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual instant.
+type Event func(now time.Duration)
+
+type item struct {
+	at  time.Duration
+	seq uint64 // tie-break: schedule order
+	fn  Event
+}
+
+type itemHeap []*item
+
+func (h itemHeap) Len() int { return len(h) }
+
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *itemHeap) Push(x any) { *h = append(*h, x.(*item)) }
+
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Queue is a virtual-time event queue. The zero value is ready to use.
+// Queue is not safe for concurrent use; the simulator is single-threaded
+// by design (determinism over parallelism).
+type Queue struct {
+	now     time.Duration
+	seq     uint64
+	heap    itemHeap
+	stopped bool
+	ran     uint64
+}
+
+// New returns an empty queue with the clock at zero.
+func New() *Queue { return &Queue{} }
+
+// Now reports the current virtual time.
+func (q *Queue) Now() time.Duration { return q.now }
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Processed reports how many events have run so far.
+func (q *Queue) Processed() uint64 { return q.ran }
+
+// At schedules fn to run at virtual time at. Scheduling in the past is a
+// programming error; such events are clamped to run "now" so the clock
+// never moves backward.
+func (q *Queue) At(at time.Duration, fn Event) {
+	if at < q.now {
+		at = q.now
+	}
+	q.seq++
+	heap.Push(&q.heap, &item{at: at, seq: q.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (q *Queue) After(d time.Duration, fn Event) {
+	if d < 0 {
+		d = 0
+	}
+	q.At(q.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event, leaving any
+// remaining events queued.
+func (q *Queue) Stop() { q.stopped = true }
+
+// Step runs the single earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event ran.
+func (q *Queue) Step() bool {
+	if len(q.heap) == 0 {
+		return false
+	}
+	it := heap.Pop(&q.heap).(*item)
+	q.now = it.at
+	q.ran++
+	it.fn(q.now)
+	return true
+}
+
+// Run processes events until the queue drains or Stop is called. It
+// returns the final virtual time.
+func (q *Queue) Run() time.Duration {
+	q.stopped = false
+	for !q.stopped && q.Step() {
+	}
+	return q.now
+}
+
+// RunUntil processes events with timestamps <= deadline, then advances the
+// clock to deadline (if it is beyond the last event run). Events after the
+// deadline stay queued.
+func (q *Queue) RunUntil(deadline time.Duration) time.Duration {
+	q.stopped = false
+	for !q.stopped && len(q.heap) > 0 && q.heap[0].at <= deadline {
+		q.Step()
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+	return q.now
+}
+
+// RunFor processes events for d of virtual time from the current instant.
+func (q *Queue) RunFor(d time.Duration) time.Duration {
+	return q.RunUntil(q.now + d)
+}

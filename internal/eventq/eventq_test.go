@@ -1,0 +1,172 @@
+package eventq
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOrderingByTime(t *testing.T) {
+	q := New()
+	var got []int
+	q.At(30*time.Millisecond, func(time.Duration) { got = append(got, 3) })
+	q.At(10*time.Millisecond, func(time.Duration) { got = append(got, 1) })
+	q.At(20*time.Millisecond, func(time.Duration) { got = append(got, 2) })
+	end := q.Run()
+	if end != 30*time.Millisecond {
+		t.Fatalf("final time = %v, want 30ms", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	q := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		q.At(time.Second, func(time.Duration) { got = append(got, i) })
+	}
+	q.Run()
+	for i := 0; i < 100; i++ {
+		if got[i] != i {
+			t.Fatalf("got[%d] = %d; equal-timestamp events must run FIFO", i, got[i])
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	q := New()
+	var fired time.Duration
+	q.At(time.Second, func(now time.Duration) {
+		q.After(500*time.Millisecond, func(now time.Duration) { fired = now })
+	})
+	q.Run()
+	if fired != 1500*time.Millisecond {
+		t.Fatalf("nested After fired at %v, want 1.5s", fired)
+	}
+}
+
+func TestPastSchedulingClamped(t *testing.T) {
+	q := New()
+	var fired time.Duration
+	q.At(time.Second, func(now time.Duration) {
+		q.At(0, func(now time.Duration) { fired = now })
+	})
+	q.Run()
+	if fired != time.Second {
+		t.Fatalf("past event fired at %v, want clamped to 1s", fired)
+	}
+	if q.Now() != time.Second {
+		t.Fatalf("clock = %v, want 1s", q.Now())
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	q := New()
+	ran := 0
+	q.At(time.Second, func(time.Duration) { ran++ })
+	q.At(3*time.Second, func(time.Duration) { ran++ })
+	q.RunUntil(2 * time.Second)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if q.Now() != 2*time.Second {
+		t.Fatalf("clock = %v, want 2s (advanced to deadline)", q.Now())
+	}
+	if q.Len() != 1 {
+		t.Fatalf("pending = %d, want 1", q.Len())
+	}
+	q.Run()
+	if ran != 2 || q.Now() != 3*time.Second {
+		t.Fatalf("after Run: ran=%d now=%v", ran, q.Now())
+	}
+}
+
+func TestRunForIsRelative(t *testing.T) {
+	q := New()
+	q.At(time.Second, func(time.Duration) {})
+	q.Run()
+	q.At(1500*time.Millisecond, func(time.Duration) {})
+	q.RunFor(time.Second) // until t=2s
+	if q.Len() != 0 {
+		t.Fatalf("event at 1.5s should have run inside RunFor window")
+	}
+	if q.Now() != 2*time.Second {
+		t.Fatalf("clock = %v, want 2s", q.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	q := New()
+	ran := 0
+	q.At(time.Second, func(time.Duration) { ran++; q.Stop() })
+	q.At(2*time.Second, func(time.Duration) { ran++ })
+	q.Run()
+	if ran != 1 {
+		t.Fatalf("ran = %d after Stop, want 1", ran)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("pending = %d, want 1", q.Len())
+	}
+}
+
+func TestProcessedCounter(t *testing.T) {
+	q := New()
+	for i := 0; i < 17; i++ {
+		q.After(time.Duration(i)*time.Millisecond, func(time.Duration) {})
+	}
+	q.Run()
+	if q.Processed() != 17 {
+		t.Fatalf("Processed = %d, want 17", q.Processed())
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	q := New()
+	if q.Step() {
+		t.Fatal("Step on empty queue should report false")
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		q := New()
+		for j := 0; j < 1000; j++ {
+			q.At(time.Duration(j%97)*time.Millisecond, func(time.Duration) {})
+		}
+		q.Run()
+	}
+}
+
+func TestQuickTimeNeverRegresses(t *testing.T) {
+	// Property: no matter the scheduling pattern, observed event times
+	// are non-decreasing.
+	f := func(delays []uint16) bool {
+		q := New()
+		var times []time.Duration
+		for _, d := range delays {
+			d := time.Duration(d) * time.Microsecond
+			q.After(d, func(now time.Duration) {
+				times = append(times, now)
+				if len(times) < 50 { // nested re-scheduling
+					q.After(d/2, func(now time.Duration) { times = append(times, now) })
+				}
+			})
+		}
+		q.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

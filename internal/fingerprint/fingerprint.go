@@ -1,0 +1,128 @@
+// Package fingerprint implements a p0f-style passive TCP/IP
+// fingerprinter (§5.3.1). It inspects the SYN segment a resolver sends
+// when retrying a truncated answer over TCP and matches the packet's
+// characteristics — inferred initial TTL, window size, MSS, and option
+// layout — against a signature database derived from the lab OS
+// profiles.
+//
+// Like p0f in the paper, the matcher leaves most hosts unclassified:
+// middleboxes and load balancers normalize SYN options
+// (netsim.Host.ScrubFingerprint), producing signatures absent from the
+// database.
+package fingerprint
+
+import (
+	"repro/internal/oskernel"
+	"repro/internal/packet"
+)
+
+// Label is a fingerprint classification result.
+type Label string
+
+// Classification labels (the p0f outputs §5.3.1 discusses).
+const (
+	LabelUnknown Label = ""
+	LabelLinux   Label = "Linux"
+	LabelFreeBSD Label = "FreeBSD"
+	LabelWindows Label = "Windows"
+	LabelBaidu   Label = "BaiduSpider"
+)
+
+// Signature is the SYN-derived tuple the matcher keys on.
+type Signature struct {
+	InitialTTL  uint8
+	Window      uint16
+	MSS         uint16
+	WindowScale int8 // -1 when the option is absent
+	SACKPermit  bool
+	Timestamps  bool
+}
+
+// DB is a signature database.
+type DB struct {
+	sigs map[Signature]Label
+}
+
+// NewDB builds the default database from the lab OS profiles.
+func NewDB() *DB {
+	db := &DB{sigs: make(map[Signature]Label)}
+	add := func(p *oskernel.Profile, l Label) {
+		fp := p.Fingerprint
+		db.sigs[Signature{
+			InitialTTL:  fp.InitialTTL,
+			Window:      fp.WindowSize,
+			MSS:         fp.MSS,
+			WindowScale: fp.WindowScale,
+			SACKPermit:  fp.SACKPermit,
+			Timestamps:  fp.Timestamps,
+		}] = l
+	}
+	add(oskernel.UbuntuModern, LabelLinux)
+	add(oskernel.UbuntuLegacy, LabelLinux)
+	add(oskernel.FreeBSD12, LabelFreeBSD)
+	add(oskernel.WindowsModern, LabelWindows)
+	add(oskernel.WindowsLegacy, LabelWindows)
+	add(oskernel.BaiduSpiderLike, LabelBaidu)
+	return db
+}
+
+// Add registers a custom signature.
+func (db *DB) Add(sig Signature, label Label) { db.sigs[sig] = label }
+
+// Len reports the number of signatures.
+func (db *DB) Len() int { return len(db.sigs) }
+
+// InferInitialTTL rounds an observed (hop-decremented) TTL up to the
+// nearest conventional initial value, as p0f does.
+func InferInitialTTL(observed uint8) uint8 {
+	for _, v := range []uint8{32, 64, 128} {
+		if observed <= v {
+			return v
+		}
+	}
+	return 255
+}
+
+// Extract derives a signature from a captured SYN packet, or reports
+// false if the packet is not a usable SYN.
+func Extract(pkt *packet.Packet) (Signature, bool) {
+	if pkt == nil || pkt.TCP == nil || !pkt.TCP.SYN || pkt.TCP.ACK {
+		return Signature{}, false
+	}
+	var observedTTL uint8
+	switch {
+	case pkt.V4 != nil:
+		observedTTL = pkt.V4.TTL
+	case pkt.V6 != nil:
+		observedTTL = pkt.V6.HopLimit
+	default:
+		return Signature{}, false
+	}
+	sig := Signature{
+		InitialTTL:  InferInitialTTL(observedTTL),
+		Window:      pkt.TCP.Window,
+		WindowScale: -1,
+	}
+	if mss, ok := pkt.TCP.MSS(); ok {
+		sig.MSS = mss
+	}
+	if ws, ok := pkt.TCP.WindowScale(); ok {
+		sig.WindowScale = int8(ws)
+	}
+	if _, ok := pkt.TCP.Option(packet.TCPOptSACKPermit); ok {
+		sig.SACKPermit = true
+	}
+	if _, ok := pkt.TCP.Option(packet.TCPOptTimestamps); ok {
+		sig.Timestamps = true
+	}
+	return sig, true
+}
+
+// Classify matches a captured SYN against the database.
+func (db *DB) Classify(pkt *packet.Packet) Label {
+	sig, ok := Extract(pkt)
+	if !ok {
+		return LabelUnknown
+	}
+	return db.sigs[sig]
+}

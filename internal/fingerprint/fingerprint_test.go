@@ -1,0 +1,119 @@
+package fingerprint
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"testing"
+
+	"repro/internal/oskernel"
+	"repro/internal/packet"
+)
+
+// synFor builds a SYN packet as a host with the given profile would emit
+// it, after transit decremented the TTL by hops.
+func synFor(t *testing.T, p *oskernel.Profile, hops uint8, v6 bool) *packet.Packet {
+	t.Helper()
+	fp := p.Fingerprint
+	mss := make([]byte, 2)
+	binary.BigEndian.PutUint16(mss, fp.MSS)
+	opts := []packet.TCPOption{{Kind: packet.TCPOptMSS, Data: mss}}
+	if fp.SACKPermit {
+		opts = append(opts, packet.TCPOption{Kind: packet.TCPOptSACKPermit})
+	}
+	if fp.Timestamps {
+		opts = append(opts, packet.TCPOption{Kind: packet.TCPOptTimestamps, Data: make([]byte, 8)})
+	}
+	if fp.WindowScale >= 0 {
+		opts = append(opts, packet.TCPOption{Kind: packet.TCPOptWindowScale, Data: []byte{byte(fp.WindowScale)}})
+	}
+	tcp := &packet.TCP{SrcPort: 50000, DstPort: 53, SYN: true, Window: fp.WindowSize, Options: opts}
+	src, dst := netip.MustParseAddr("192.0.2.1"), netip.MustParseAddr("198.51.100.1")
+	if v6 {
+		src, dst = netip.MustParseAddr("2001:db8::1"), netip.MustParseAddr("2001:db8::2")
+	}
+	raw, err := packet.BuildTCP(src, dst, tcp, fp.InitialTTL-hops, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := packet.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+func TestClassifyLabOSes(t *testing.T) {
+	db := NewDB()
+	cases := []struct {
+		p    *oskernel.Profile
+		want Label
+	}{
+		{oskernel.UbuntuModern, LabelLinux},
+		{oskernel.UbuntuLegacy, LabelLinux},
+		{oskernel.FreeBSD12, LabelFreeBSD},
+		{oskernel.WindowsModern, LabelWindows},
+		{oskernel.WindowsLegacy, LabelWindows},
+		{oskernel.BaiduSpiderLike, LabelBaidu},
+	}
+	for _, c := range cases {
+		for _, hops := range []uint8{5, 12, 20} {
+			if got := db.Classify(synFor(t, c.p, hops, false)); got != c.want {
+				t.Errorf("Classify(%s, hops=%d) = %q, want %q", c.p, hops, got, c.want)
+			}
+		}
+		if got := db.Classify(synFor(t, c.p, 9, true)); got != c.want {
+			t.Errorf("Classify(%s, v6) = %q, want %q", c.p, got, c.want)
+		}
+	}
+}
+
+func TestScrubbedSYNUnclassified(t *testing.T) {
+	// A normalized SYN (as netsim emits for ScrubFingerprint hosts) must
+	// not match any database entry — reproducing p0f's ~90% unknown rate.
+	db := NewDB()
+	mss := make([]byte, 2)
+	binary.BigEndian.PutUint16(mss, 1400)
+	tcp := &packet.TCP{SrcPort: 1, DstPort: 53, SYN: true, Window: 16384,
+		Options: []packet.TCPOption{{Kind: packet.TCPOptMSS, Data: mss}}}
+	raw, err := packet.BuildTCP(netip.MustParseAddr("192.0.2.1"), netip.MustParseAddr("198.51.100.1"), tcp, 55, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, _ := packet.Decode(raw)
+	if got := db.Classify(pkt); got != LabelUnknown {
+		t.Fatalf("scrubbed SYN classified as %q", got)
+	}
+}
+
+func TestInferInitialTTL(t *testing.T) {
+	cases := []struct{ in, want uint8 }{
+		{64, 64}, {50, 64}, {33, 64}, {32, 32}, {20, 32},
+		{128, 128}, {110, 128}, {200, 255}, {255, 255},
+	}
+	for _, c := range cases {
+		if got := InferInitialTTL(c.in); got != c.want {
+			t.Errorf("InferInitialTTL(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestExtractRejectsNonSYN(t *testing.T) {
+	if _, ok := Extract(nil); ok {
+		t.Fatal("nil packet extracted")
+	}
+	tcp := &packet.TCP{SrcPort: 1, DstPort: 2, SYN: true, ACK: true, Window: 1}
+	raw, _ := packet.BuildTCP(netip.MustParseAddr("192.0.2.1"), netip.MustParseAddr("192.0.2.2"), tcp, 64, nil)
+	pkt, _ := packet.Decode(raw)
+	if _, ok := Extract(pkt); ok {
+		t.Fatal("SYN-ACK extracted as client SYN")
+	}
+}
+
+func TestCustomSignature(t *testing.T) {
+	db := NewDB()
+	n := db.Len()
+	db.Add(Signature{InitialTTL: 255, Window: 4128, MSS: 536, WindowScale: -1}, "Cisco")
+	if db.Len() != n+1 {
+		t.Fatal("Add did not grow the DB")
+	}
+}

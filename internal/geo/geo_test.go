@@ -1,0 +1,69 @@
+package geo
+
+import (
+	"testing"
+
+	"repro/internal/routing"
+)
+
+func TestAggregateMultiCountry(t *testing.T) {
+	db := New()
+	db.Assign(1, "US")
+	db.Assign(2, "US", "CA") // spans two countries: counted in both
+	db.Assign(3, "BR")
+	rows := db.Aggregate(map[routing.ASN]ASStat{
+		1: {Targets: 100, ReachableAddrs: 10, Reachable: true},
+		2: {Targets: 50, ReachableAddrs: 0, Reachable: false},
+		3: {Targets: 200, ReachableAddrs: 40, Reachable: true},
+	})
+	byCountry := make(map[string]CountryRow)
+	for _, r := range rows {
+		byCountry[r.Country] = r
+	}
+	us := byCountry["US"]
+	if us.ASes != 2 || us.ReachableASes != 1 || us.Targets != 150 || us.ReachableAddrs != 10 {
+		t.Fatalf("US row = %+v", us)
+	}
+	ca := byCountry["CA"]
+	if ca.ASes != 1 || ca.Targets != 50 {
+		t.Fatalf("CA row = %+v", ca)
+	}
+	br := byCountry["BR"]
+	if br.ASFraction() != 1.0 || br.AddrFraction() != 0.2 {
+		t.Fatalf("BR fractions = %v / %v", br.ASFraction(), br.AddrFraction())
+	}
+}
+
+func TestTopByASCount(t *testing.T) {
+	rows := []CountryRow{
+		{Country: "US", ASes: 100},
+		{Country: "BR", ASes: 60},
+		{Country: "RU", ASes: 50},
+	}
+	top := TopByASCount(rows, 2)
+	if len(top) != 2 || top[0].Country != "US" || top[1].Country != "BR" {
+		t.Fatalf("top = %+v", top)
+	}
+	if len(TopByASCount(rows, 10)) != 3 {
+		t.Fatal("n clamp failed")
+	}
+}
+
+func TestTopByAddrFraction(t *testing.T) {
+	rows := []CountryRow{
+		{Country: "US", Targets: 1000, ReachableAddrs: 32}, // 3.2%
+		{Country: "DZ", Targets: 100, ReachableAddrs: 73},  // 73%
+		{Country: "MA", Targets: 100, ReachableAddrs: 53},  // 53%
+	}
+	top := TopByAddrFraction(rows, 3)
+	if top[0].Country != "DZ" || top[1].Country != "MA" || top[2].Country != "US" {
+		t.Fatalf("top = %+v", top)
+	}
+}
+
+func TestFractionsOnEmptyRows(t *testing.T) {
+	var r CountryRow
+	if r.ASFraction() != 0 || r.AddrFraction() != 0 {
+		t.Fatal("zero rows must have zero fractions")
+	}
+}

@@ -1,0 +1,198 @@
+package labexp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/oskernel"
+	"repro/internal/resolver"
+	"repro/internal/stats"
+)
+
+func TestRunPortPoolLinuxDefaults(t *testing.T) {
+	r, err := RunPortPool(resolver.SoftwareBIND9Modern, oskernel.UbuntuModern, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Ports) < 500 {
+		t.Fatalf("observed %d recursive queries, want >= 500", len(r.Ports))
+	}
+	for _, p := range r.Ports {
+		if !oskernel.PoolLinux.Contains(p) {
+			t.Fatalf("port %d outside the Linux pool", p)
+		}
+	}
+	if r.Pool != "OS defaults" {
+		t.Fatalf("pool classified as %q, want OS defaults", r.Pool)
+	}
+	if len(r.SampleRanges) < 50 {
+		t.Fatalf("sample ranges = %d", len(r.SampleRanges))
+	}
+}
+
+func TestRunPortPoolFixed53(t *testing.T) {
+	r, err := RunPortPool(resolver.SoftwareBINDPre81, oskernel.UbuntuLegacy, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Distinct != 1 || r.Min != 53 {
+		t.Fatalf("fixed-53 observed distinct=%d min=%d", r.Distinct, r.Min)
+	}
+	if r.Pool != "port 53 exclusively" {
+		t.Fatalf("pool = %q", r.Pool)
+	}
+	for _, rg := range r.SampleRanges {
+		if rg != 0 {
+			t.Fatal("fixed-port resolver produced non-zero sample range")
+		}
+	}
+}
+
+func TestRunPortPoolBIND950EightPorts(t *testing.T) {
+	r, err := RunPortPool(resolver.SoftwareBIND950, oskernel.UbuntuModern, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Distinct != 8 {
+		t.Fatalf("BIND 9.5.0 used %d distinct ports, want 8", r.Distinct)
+	}
+	if !strings.Contains(r.Pool, "8 ports") {
+		t.Fatalf("pool = %q", r.Pool)
+	}
+}
+
+func TestRunPortPoolWindowsDNS(t *testing.T) {
+	r, err := RunPortPool(resolver.SoftwareWindowsDNS, oskernel.WindowsModern, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Distinct > oskernel.WindowsDNSPoolSize {
+		t.Fatalf("Windows DNS used %d distinct ports", r.Distinct)
+	}
+	if !strings.Contains(r.Pool, "2,500 contiguous") {
+		t.Fatalf("pool = %q", r.Pool)
+	}
+	// Adjusted sample ranges must stay under the pool size.
+	for _, rg := range r.SampleRanges {
+		if rg >= oskernel.WindowsDNSPoolSize {
+			t.Fatalf("adjusted Windows sample range %d >= 2500", rg)
+		}
+	}
+}
+
+func TestRunPortPoolFullRange(t *testing.T) {
+	r, err := RunPortPool(resolver.SoftwareUnbound, oskernel.UbuntuModern, 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pool != "1024-65535" {
+		t.Fatalf("pool = %q", r.Pool)
+	}
+}
+
+func TestRunTable5(t *testing.T) {
+	rows, err := RunTable5(400, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"BIND 9.5.0":                      "8 ports",
+		"BIND 9.5.2-9.8.8":                "1024-65535",
+		"BIND 9.9.13-9.16.0":              "OS defaults",
+		"Knot Resolver 3.2.1":             "OS defaults",
+		"Unbound 1.9.0":                   "1024-65535",
+		"PowerDNS Rec. 4.2.0":             "1024-65535",
+		"Windows DNS 2003, 2003 R2, 2008": "1 port",
+		"Windows DNS 2008 R2-2019":        "2,500 contiguous",
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		frag, ok := want[row.Config]
+		if !ok {
+			t.Fatalf("unexpected config %q", row.Config)
+		}
+		if !strings.Contains(row.Pool, frag) {
+			t.Errorf("Table 5 row %q = %q, want containing %q", row.Config, row.Pool, frag)
+		}
+	}
+}
+
+func TestRunFigure3aPeaksMatchPools(t *testing.T) {
+	series, err := RunFigure3a(1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Ranges) < 90 {
+			t.Fatalf("%s: only %d samples", s.Label, len(s.Ranges))
+		}
+		// The sample-range distribution peaks near the Beta(9,2) mode:
+		// mode = (a-1)/(a+b-2) = 8/9 of the pool size.
+		med := s.HistFull.Quantile(0.5)
+		model := stats.RangeQuantile(0.5, s.PoolSize, stats.SampleSize)
+		lo, hi := int(model)-s.PoolSize/6-600, int(model)+s.PoolSize/6+600
+		if med < lo || med > hi {
+			t.Errorf("%s: median range %d, model predicts ≈%.0f", s.Label, med, model)
+		}
+	}
+	// The four peaks must be ordered by pool size.
+	for i := 1; i < len(series); i++ {
+		if series[i].HistFull.Quantile(0.5) <= series[i-1].HistFull.Quantile(0.5) {
+			t.Errorf("series %s median not above %s's", series[i].Label, series[i-1].Label)
+		}
+	}
+}
+
+func TestRunSpoofMatrixMatchesTable6(t *testing.T) {
+	rows, err := RunSpoofMatrix(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		p := r.OS
+		if r.DSv4 != p.AcceptDstAsSrcV4 || r.DSv6 != p.AcceptDstAsSrcV6 ||
+			r.LBv4 != p.AcceptLoopbackV4 || r.LBv6 != p.AcceptLoopbackV6 {
+			t.Errorf("%s: observed DS(%v,%v) LB(%v,%v), profile says DS(%v,%v) LB(%v,%v)",
+				p, r.DSv4, r.DSv6, r.LBv4, r.LBv6,
+				p.AcceptDstAsSrcV4, p.AcceptDstAsSrcV6, p.AcceptLoopbackV4, p.AcceptLoopbackV6)
+		}
+		// §6: every OS accepts IPv6 destination-as-source.
+		if !r.DSv6 {
+			t.Errorf("%s rejected IPv6 dst-as-src end to end", p)
+		}
+	}
+}
+
+func TestFigure3aBetaFit(t *testing.T) {
+	// The paper: "The tight fit between the histogram and the
+	// theoretical Beta curves indicates a strong alignment between the
+	// empirical data and the model." Quantified with chi-square per
+	// degree of freedom against the matching pool — and a decisive
+	// rejection of a mismatched pool.
+	series, err := RunFigure3a(2000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		good, dof := stats.ChiSquareRangeFit(s.Ranges, s.PoolSize, stats.SampleSize, 10)
+		if dof == 0 {
+			t.Fatalf("%s: too few samples (%d)", s.Label, len(s.Ranges))
+		}
+		if good > 4 {
+			t.Errorf("%s: chi2/dof vs own pool = %.2f, want ~1", s.Label, good)
+		}
+		wrong := s.PoolSize / 3
+		bad, _ := stats.ChiSquareRangeFit(s.Ranges, wrong, stats.SampleSize, 10)
+		if bad < 5*good {
+			t.Errorf("%s: wrong pool fit %.2f vs own %.2f — model not discriminating", s.Label, bad, good)
+		}
+	}
+}

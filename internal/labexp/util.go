@@ -1,0 +1,13 @@
+package labexp
+
+import (
+	"net/netip"
+
+	"repro/internal/packet"
+)
+
+// packetBuildUDP builds a raw spoofed UDP datagram for the Table 6
+// probes.
+func packetBuildUDP(src, dst netip.Addr, sport, dport uint16, payload []byte) ([]byte, error) {
+	return packet.BuildUDP(src, dst, sport, dport, 64, payload)
+}

@@ -1,0 +1,138 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/routing"
+)
+
+func TestLossInjectionDropsSomePackets(t *testing.T) {
+	reg := routing.NewRegistry()
+	as1 := &routing.AS{ASN: 1, Prefixes: []netip.Prefix{prefix("192.0.2.0/24")}}
+	as2 := &routing.AS{ASN: 2, Prefixes: []netip.Prefix{prefix("198.51.100.0/24")}}
+	reg.Add(as1)
+	reg.Add(as2)
+	n := New(reg, Config{Seed: 5, LossRate: 0.3})
+	src, _ := n.Attach("src", as1, addr("192.0.2.1"))
+	dst, _ := n.Attach("dst", as2, addr("198.51.100.1"))
+	got := 0
+	dst.BindUDP(53, func(time.Duration, netip.Addr, uint16, netip.Addr, uint16, []byte) { got++ })
+	const sent = 1000
+	for i := 0; i < sent; i++ {
+		src.SendUDP(addr("192.0.2.1"), uint16(1000+i), addr("198.51.100.1"), 53, []byte{1})
+	}
+	n.Run()
+	lost := int(n.Drops()[DropLoss])
+	if got+lost != sent {
+		t.Fatalf("got %d + lost %d != sent %d", got, lost, sent)
+	}
+	frac := float64(lost) / sent
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("loss fraction = %.2f, want ≈0.3", frac)
+	}
+}
+
+func TestTTLExceededInTransit(t *testing.T) {
+	w := newWorld(t, nil)
+	listen53(t, w.target)
+	// A packet entering transit with a tiny TTL must die (hops >= 5).
+	raw, err := packet.BuildUDP(addr("192.0.2.10"), addr("198.51.100.53"), 1, 53, 3, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.scanner.SendRaw(raw)
+	w.net.Run()
+	if w.net.Drops()[DropTTLExceeded] != 1 {
+		t.Fatalf("drops = %v, want one ttl-exceeded", w.net.Drops())
+	}
+}
+
+func TestIntraASSkipsTTLDecrement(t *testing.T) {
+	w := newWorld(t, nil)
+	inside, err := w.net.Attach("inside", w.as2, addr("203.0.113.9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotTTL uint8
+	w.target.BindUDP(53, func(now time.Duration, src netip.Addr, sp uint16, dst netip.Addr, dp uint16, payload []byte) {})
+	w.net.SetInterceptor(200, func(now time.Duration, pkt *packet.Packet) bool {
+		gotTTL = pkt.V4.TTL
+		return true
+	})
+	raw, _ := packet.BuildUDP(addr("203.0.113.9"), addr("198.51.100.53"), 1, 53, 64, nil)
+	inside.SendRaw(raw)
+	w.net.Run()
+	if gotTTL != 64 {
+		t.Fatalf("intra-AS TTL = %d, want undecremented 64", gotTTL)
+	}
+}
+
+func TestHopCountStablePerASPair(t *testing.T) {
+	// TTL decrement must be deterministic per (srcAS, dstAS) so p0f's
+	// initial-TTL inference is stable.
+	h1 := pathHops(100, 200)
+	for i := 0; i < 10; i++ {
+		if pathHops(100, 200) != h1 {
+			t.Fatal("pathHops not stable")
+		}
+	}
+	if pathHops(200, 100) == h1 && pathHops(100, 300) == h1 && pathHops(300, 100) == h1 {
+		t.Fatal("pathHops suspiciously constant across AS pairs")
+	}
+}
+
+func TestMalformedRawPacketCounted(t *testing.T) {
+	w := newWorld(t, nil)
+	w.scanner.SendRaw([]byte{0xde, 0xad})
+	w.net.Run()
+	if w.net.Drops()[DropMalformed] != 1 {
+		t.Fatalf("drops = %v", w.net.Drops())
+	}
+}
+
+// packetBuildUDPNat builds raw UDP for the NAT tests.
+func packetBuildUDPNat(src, dst netip.Addr, sport, dport uint16, payload []byte) ([]byte, error) {
+	return packet.BuildUDP(src, dst, sport, dport, 64, payload)
+}
+
+func TestTCPClosedPortSendsRST(t *testing.T) {
+	w := newWorld(t, nil)
+	reset := false
+	c, err := w.target.DialTCP(addr("198.51.100.53"), 50020, addr("192.0.3.53"), 99, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.OnClose = func(time.Duration) { reset = true }
+	w.net.Run()
+	if !reset {
+		t.Fatal("dialer to closed port never saw the RST")
+	}
+	if c.Established() {
+		t.Fatal("connection claims established after RST")
+	}
+}
+
+func TestHostDownDropsInbound(t *testing.T) {
+	w := newWorld(t, nil)
+	l := listen53(t, w.target)
+	w.scanner.SendUDP(addr("192.0.2.10"), 1, addr("198.51.100.53"), 53, []byte("a"))
+	w.net.Run()
+	w.target.SetDown(true)
+	w.scanner.SendUDP(addr("192.0.2.10"), 2, addr("198.51.100.53"), 53, []byte("b"))
+	w.net.Run()
+	if l.count != 1 {
+		t.Fatalf("delivered %d, want 1 (host down for the second)", l.count)
+	}
+	if w.net.Drops()[DropNoHost] != 1 {
+		t.Fatalf("drops = %v", w.net.Drops())
+	}
+	w.target.SetDown(false)
+	w.scanner.SendUDP(addr("192.0.2.10"), 3, addr("198.51.100.53"), 53, []byte("c"))
+	w.net.Run()
+	if l.count != 2 {
+		t.Fatal("host did not come back up")
+	}
+}

@@ -1,0 +1,129 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/oskernel"
+	"repro/internal/packet"
+	"repro/internal/routing"
+)
+
+// UDPHandler receives a delivered UDP datagram.
+type UDPHandler func(now time.Duration, src netip.Addr, srcPort uint16, dst netip.Addr, dstPort uint16, payload []byte)
+
+// Host is a simulated end system: one machine with one or more addresses
+// in a single AS.
+type Host struct {
+	net   *Network
+	Name  string
+	AS    *routing.AS
+	Addrs []netip.Addr
+	// OS selects kernel behaviour (spoof acceptance, default TTL,
+	// fingerprint). A nil OS accepts everything and uses TTL 64.
+	OS *oskernel.Profile
+	// ScrubFingerprint normalizes outgoing SYN options (as a middlebox
+	// or load balancer would), defeating p0f classification.
+	ScrubFingerprint bool
+	// down marks a host that went offline (churn, §3.6.2): inbound
+	// packets are dropped as if the address were unbound.
+	down bool
+
+	udp     map[uint16]UDPHandler
+	tcpLst  map[uint16]TCPAccept
+	tcpConn map[tcpKey]*TCPConn
+}
+
+// Network returns the network the host is attached to.
+func (h *Host) Network() *Network { return h.net }
+
+// Addr returns the host's first address of the requested family, or the
+// zero Addr if it has none.
+func (h *Host) Addr(v6 bool) netip.Addr {
+	for _, a := range h.Addrs {
+		if a.Is6() == v6 {
+			return a
+		}
+	}
+	return netip.Addr{}
+}
+
+// HasAddr reports whether a is bound to this host.
+func (h *Host) HasAddr(a netip.Addr) bool {
+	for _, x := range h.Addrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *Host) ttl() uint8 {
+	if h.OS != nil {
+		return h.OS.Fingerprint.InitialTTL
+	}
+	return 64
+}
+
+// BindUDP registers a handler for datagrams to the given port on any of
+// the host's addresses. Binding port 0 or double-binding is an error.
+func (h *Host) BindUDP(port uint16, fn UDPHandler) error {
+	if port == 0 {
+		return fmt.Errorf("netsim: %s: cannot bind UDP port 0", h.Name)
+	}
+	if _, dup := h.udp[port]; dup {
+		return fmt.Errorf("netsim: %s: UDP port %d already bound", h.Name, port)
+	}
+	h.udp[port] = fn
+	return nil
+}
+
+// UnbindUDP removes a UDP binding.
+func (h *Host) UnbindUDP(port uint16) { delete(h.udp, port) }
+
+// SendUDP transmits a datagram from src (which should be one of the
+// host's addresses for honest traffic) to dst.
+func (h *Host) SendUDP(src netip.Addr, srcPort uint16, dst netip.Addr, dstPort uint16, payload []byte) error {
+	raw, err := packet.BuildUDP(src, dst, srcPort, dstPort, h.ttl(), payload)
+	if err != nil {
+		return err
+	}
+	h.net.inject(h, raw)
+	return nil
+}
+
+// SendRaw injects pre-serialized bytes — the "raw socket" used by the
+// scanner to emit spoofed-source packets.
+func (h *Host) SendRaw(raw []byte) { h.net.inject(h, raw) }
+
+// SetDown takes the host offline (or back online): while down, inbound
+// packets are dropped as if no host owned the address — the churn the
+// paper discusses in §3.6.2.
+func (h *Host) SetDown(down bool) { h.down = down }
+
+// Down reports whether the host is offline.
+func (h *Host) Down() bool { return h.down }
+
+// deliver dispatches an accepted packet to the matching socket.
+func (h *Host) deliver(pkt *packet.Packet) {
+	if h.down {
+		h.net.drop(DropNoHost, pkt, h.AS)
+		return
+	}
+	switch {
+	case pkt.UDP != nil:
+		fn := h.udp[pkt.UDP.DstPort]
+		if fn == nil {
+			h.net.drop(DropNoListener, pkt, h.AS)
+			return
+		}
+		h.net.delivered++
+		h.net.traceDelivery(pkt, h.AS)
+		fn(h.net.Q.Now(), pkt.Src(), pkt.UDP.SrcPort, pkt.Dst(), pkt.UDP.DstPort, pkt.Data)
+	case pkt.TCP != nil:
+		h.deliverTCP(pkt)
+	default:
+		h.net.drop(DropNoListener, pkt, h.AS)
+	}
+}

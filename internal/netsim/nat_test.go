@@ -1,0 +1,153 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func natWorld(t *testing.T) (*world, *NATGateway, *InsideHost) {
+	t.Helper()
+	w := newWorld(t, nil)
+	gwHost, err := w.net.Attach("cpe", w.as2, addr("203.0.113.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := NewNATGateway(gwHost, addr("203.0.113.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside, err := gw.Attach(addr("192.168.1.10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, gw, inside
+}
+
+func TestNATOutboundRewritesSource(t *testing.T) {
+	w, gw, inside := natWorld(t)
+	l := listen53(t, w.auth)
+	if err := inside.SendUDP(5000, addr("192.0.3.53"), 53, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	w.net.Run()
+	if l.count != 1 {
+		t.Fatalf("datagram not delivered (drops %v)", w.net.Drops())
+	}
+	if l.src != gw.Public() {
+		t.Fatalf("source = %v, want the NAT public address %v", l.src, gw.Public())
+	}
+	if l.srcPort == 5000 {
+		t.Fatal("source port not translated")
+	}
+}
+
+func TestNATReturnTrafficReachesInside(t *testing.T) {
+	w, _, inside := natWorld(t)
+	// Auth echoes back to whatever (addr, port) it saw.
+	w.auth.BindUDP(53, func(now time.Duration, src netip.Addr, sp uint16, dst netip.Addr, dp uint16, payload []byte) {
+		w.auth.SendUDP(dst, dp, src, sp, []byte("echo:"+string(payload)))
+	})
+	var got string
+	if err := inside.BindUDP(5001, func(now time.Duration, src netip.Addr, sp uint16, dst netip.Addr, dp uint16, payload []byte) {
+		got = string(payload)
+		if dst != addr("192.168.1.10") || dp != 5001 {
+			t.Errorf("inside delivery to %v:%d", dst, dp)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inside.SendUDP(5001, addr("192.0.3.53"), 53, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	w.net.Run()
+	if got != "echo:ping" {
+		t.Fatalf("inside host got %q", got)
+	}
+}
+
+func TestNATMappingStableAcrossFlows(t *testing.T) {
+	w, gw, inside := natWorld(t)
+	ports := map[uint16]bool{}
+	w.auth.BindUDP(53, func(now time.Duration, src netip.Addr, sp uint16, dst netip.Addr, dp uint16, payload []byte) {
+		ports[sp] = true
+	})
+	for i := 0; i < 3; i++ {
+		inside.SendUDP(6000, addr("192.0.3.53"), 53, []byte{byte(i)})
+	}
+	inside.SendUDP(6001, addr("192.0.3.53"), 53, nil)
+	w.net.Run()
+	if len(ports) != 2 {
+		t.Fatalf("public ports = %v, want one per inside flow", ports)
+	}
+	_ = gw
+}
+
+func TestNATRewritesSpoofedSources(t *testing.T) {
+	// The NAT un-spoofs outbound packets — why Spoofer's OSAV test is
+	// also degraded behind NAT (§2).
+	w, gw, inside := natWorld(t)
+	l := listen53(t, w.auth)
+	raw, err := buildRawUDPFor(addr("8.8.8.8"), addr("192.0.3.53"), 7000, 53, []byte("spoof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside.SendRaw(raw)
+	w.net.Run()
+	if l.count != 1 {
+		t.Fatalf("rewritten packet not delivered (drops %v)", w.net.Drops())
+	}
+	if l.src != gw.Public() {
+		t.Fatalf("spoofed source survived the NAT: %v", l.src)
+	}
+	if gw.RewrittenSpoofs != 1 {
+		t.Fatalf("RewrittenSpoofs = %d", gw.RewrittenSpoofs)
+	}
+}
+
+func TestNATUnsolicitedInboundDropped(t *testing.T) {
+	w, gw, inside := natWorld(t)
+	heard := false
+	inside.BindUDP(5002, func(time.Duration, netip.Addr, uint16, netip.Addr, uint16, []byte) { heard = true })
+	// No mapping exists: a packet to the public address finds no
+	// listener.
+	w.scanner.SendUDP(addr("192.0.2.10"), 1, gw.Public(), 5002, []byte("knock"))
+	w.net.Run()
+	if heard {
+		t.Fatal("unsolicited inbound reached the inside host")
+	}
+	if w.net.Drops()[DropNoListener] == 0 {
+		t.Fatalf("drops = %v", w.net.Drops())
+	}
+}
+
+func TestNATValidation(t *testing.T) {
+	w := newWorld(t, nil)
+	gwHost, _ := w.net.Attach("cpe2", w.as2, addr("203.0.113.2"))
+	if _, err := NewNATGateway(gwHost, addr("203.0.113.99")); err == nil {
+		t.Fatal("NAT accepted an unbound public address")
+	}
+	gw, err := NewNATGateway(gwHost, addr("203.0.113.2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Attach(addr("8.8.8.8")); err == nil {
+		t.Fatal("NAT accepted a public inside address")
+	}
+	if _, err := gw.Attach(addr("192.168.0.5")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Attach(addr("192.168.0.5")); err == nil {
+		t.Fatal("duplicate inside address accepted")
+	}
+}
+
+// buildRawUDPFor builds a raw datagram for NAT tests.
+func buildRawUDPFor(src, dst netip.Addr, sport, dport uint16, payload []byte) ([]byte, error) {
+	return spoofedRaw(src, dst, sport, dport, payload)
+}
+
+// spoofedRaw builds a raw datagram with explicit ports.
+func spoofedRaw(src, dst netip.Addr, sport, dport uint16, payload []byte) ([]byte, error) {
+	return packetBuildUDPNat(src, dst, sport, dport, payload)
+}

@@ -1,0 +1,339 @@
+// Package netsim simulates the slice of the Internet the experiment
+// exercises: hosts attached to autonomous systems, AS border filtering
+// (egress OSAV, ingress DSAV and bogon filtering), transit with latency
+// and TTL decrement, kernel-level acceptance of spoofed sources, UDP
+// endpoint demux, a minimal TCP implementation sufficient for
+// DNS-over-TCP (with fingerprintable SYNs), and transparent DNS
+// middleboxes.
+//
+// Packets on simulated links are real serialized IPv4/IPv6 datagrams
+// (internal/packet); every filter and endpoint parses the same bytes a
+// raw socket would produce.
+//
+// The simulator is single-threaded and driven by a virtual-time event
+// queue, so a seeded run is fully deterministic.
+package netsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/eventq"
+	"repro/internal/packet"
+	"repro/internal/routing"
+)
+
+// DropReason classifies why the simulator discarded a packet.
+type DropReason int
+
+// Drop reasons, in pipeline order.
+const (
+	DropNone        DropReason = iota
+	DropMalformed              // undecodable bytes
+	DropOSAV                   // egress: source not in origin AS (BCP 38)
+	DropNoRoute                // no announced route to destination
+	DropLoss                   // random transit loss
+	DropTTLExceeded            // TTL reached zero in transit
+	DropBogonSource            // ingress: special-purpose source filtered
+	DropDSAV                   // ingress: internal source on external interface
+	DropNoHost                 // destination address not bound to a host
+	DropKernelSpoof            // kernel refused dst-as-src/loopback source
+	DropNoListener             // no socket bound to the destination port
+)
+
+// String names the drop reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropNone:
+		return "none"
+	case DropMalformed:
+		return "malformed"
+	case DropOSAV:
+		return "osav"
+	case DropNoRoute:
+		return "no-route"
+	case DropLoss:
+		return "loss"
+	case DropTTLExceeded:
+		return "ttl-exceeded"
+	case DropBogonSource:
+		return "bogon-source"
+	case DropDSAV:
+		return "dsav"
+	case DropNoHost:
+		return "no-host"
+	case DropKernelSpoof:
+		return "kernel-spoof"
+	case DropNoListener:
+		return "no-listener"
+	default:
+		return fmt.Sprintf("drop(%d)", int(r))
+	}
+}
+
+// Interceptor is a transparent middlebox hook applied inside an AS after
+// border filtering and before host delivery. Returning true consumes the
+// packet.
+type Interceptor func(now time.Duration, pkt *packet.Packet) bool
+
+// DropHook observes discarded packets (used to model IDS logging and the
+// resulting delayed "human analyst" queries of §3.6.3).
+type DropHook func(now time.Duration, reason DropReason, pkt *packet.Packet, dstAS *routing.AS)
+
+// Config tunes the simulated transit characteristics.
+type Config struct {
+	// BaseLatency is the one-way delivery latency floor. Default 10ms.
+	BaseLatency time.Duration
+	// JitterMax is the maximum extra random latency. Default 20ms.
+	JitterMax time.Duration
+	// LossRate is the probability a transit packet is lost. Default 0.
+	LossRate float64
+	// Seed seeds the simulator's internal RNG.
+	Seed int64
+}
+
+// Network is the simulated Internet.
+type Network struct {
+	Q        *eventq.Queue
+	Registry *routing.Registry
+
+	cfg          Config
+	rng          *rand.Rand
+	hosts        map[netip.Addr]*Host
+	interceptors map[routing.ASN]Interceptor
+	dropHook     DropHook
+	drops        map[DropReason]uint64
+	delivered    uint64
+	tracer       *Tracer
+}
+
+// New creates a network over the given routing registry.
+func New(reg *routing.Registry, cfg Config) *Network {
+	if cfg.BaseLatency == 0 {
+		cfg.BaseLatency = 10 * time.Millisecond
+	}
+	if cfg.JitterMax == 0 {
+		cfg.JitterMax = 20 * time.Millisecond
+	}
+	return &Network{
+		Q:            eventq.New(),
+		Registry:     reg,
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		hosts:        make(map[netip.Addr]*Host),
+		interceptors: make(map[routing.ASN]Interceptor),
+		drops:        make(map[DropReason]uint64),
+	}
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.Q.Now() }
+
+// Run drains the event queue.
+func (n *Network) Run() time.Duration { return n.Q.Run() }
+
+// RunFor advances virtual time by d.
+func (n *Network) RunFor(d time.Duration) time.Duration { return n.Q.RunFor(d) }
+
+// Drops returns the per-reason drop counters.
+func (n *Network) Drops() map[DropReason]uint64 {
+	out := make(map[DropReason]uint64, len(n.drops))
+	for k, v := range n.drops {
+		out[k] = v
+	}
+	return out
+}
+
+// Delivered reports how many packets reached a socket.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// SetInterceptor installs a transparent middlebox for an AS.
+func (n *Network) SetInterceptor(asn routing.ASN, f Interceptor) { n.interceptors[asn] = f }
+
+// SetDropHook installs an observer for dropped packets.
+func (n *Network) SetDropHook(h DropHook) { n.dropHook = h }
+
+// HostAt returns the host bound to addr, or nil.
+func (n *Network) HostAt(addr netip.Addr) *Host { return n.hosts[addr] }
+
+// Attach creates a host in the given AS bound to the given addresses.
+func (n *Network) Attach(name string, as *routing.AS, addrs ...netip.Addr) (*Host, error) {
+	if as == nil {
+		return nil, fmt.Errorf("netsim: host %q has no AS", name)
+	}
+	h := &Host{
+		net: n, Name: name, AS: as,
+		udp:     make(map[uint16]UDPHandler),
+		tcpLst:  make(map[uint16]TCPAccept),
+		tcpConn: make(map[tcpKey]*TCPConn),
+	}
+	for _, a := range addrs {
+		if other, taken := n.hosts[a]; taken {
+			return nil, fmt.Errorf("netsim: address %v already bound to %q", a, other.Name)
+		}
+		n.hosts[a] = h
+		h.Addrs = append(h.Addrs, a)
+	}
+	return h, nil
+}
+
+func (n *Network) drop(reason DropReason, pkt *packet.Packet, dstAS *routing.AS) {
+	n.drops[reason]++
+	if n.tracer != nil {
+		n.tracer.record(traceEventFor(n.Q.Now(), pkt, false, reason, dstAS))
+	}
+	if n.dropHook != nil {
+		n.dropHook(n.Q.Now(), reason, pkt, dstAS)
+	}
+}
+
+// traceDelivery records a successful socket delivery.
+func (n *Network) traceDelivery(pkt *packet.Packet, dstAS *routing.AS) {
+	if n.tracer != nil {
+		n.tracer.record(traceEventFor(n.Q.Now(), pkt, true, DropNone, dstAS))
+	}
+}
+
+// pathHops returns a stable per-(srcAS,dstAS) hop count in [5, 20], so
+// TTL observations are deterministic for a given topology.
+func pathHops(src, dst routing.ASN) uint8 {
+	h := fnv.New32a()
+	var b [8]byte
+	b[0], b[1], b[2], b[3] = byte(src>>24), byte(src>>16), byte(src>>8), byte(src)
+	b[4], b[5], b[6], b[7] = byte(dst>>24), byte(dst>>16), byte(dst>>8), byte(dst)
+	h.Write(b[:])
+	return uint8(5 + h.Sum32()%16)
+}
+
+// inject sends raw bytes from origin into the network. This is the
+// "raw socket": the source address inside raw may be anything.
+func (n *Network) inject(origin *Host, raw []byte) {
+	pkt, err := packet.Decode(raw)
+	if err != nil {
+		n.drop(DropMalformed, nil, nil)
+		return
+	}
+	src, dst := pkt.Src(), pkt.Dst()
+
+	// Loopback destinations never leave the host.
+	if dst.IsLoopback() {
+		n.drop(DropNoRoute, pkt, nil)
+		return
+	}
+
+	// Egress: origin AS applies OSAV (BCP 38) if configured.
+	if origin.AS.OSAV && !origin.AS.Originates(src) {
+		n.drop(DropOSAV, pkt, nil)
+		return
+	}
+
+	dstAS := n.Registry.OriginOf(dst)
+	if dstAS == nil {
+		n.drop(DropNoRoute, pkt, nil)
+		return
+	}
+
+	crossesBorder := dstAS != origin.AS
+	latency := n.cfg.BaseLatency
+	if n.cfg.JitterMax > 0 {
+		latency += time.Duration(n.rng.Int63n(int64(n.cfg.JitterMax)))
+	}
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		n.drop(DropLoss, pkt, dstAS)
+		return
+	}
+
+	// Transit TTL decrement, applied to the serialized packet so the
+	// receiver observes a hop-decremented TTL (what p0f sees).
+	if crossesBorder {
+		hops := pathHops(origin.AS.ASN, dstAS.ASN)
+		var ok bool
+		raw, ok = decrementTTL(raw, hops)
+		if !ok {
+			n.drop(DropTTLExceeded, pkt, dstAS)
+			return
+		}
+	}
+
+	n.Q.After(latency, func(now time.Duration) {
+		n.arrive(raw, dstAS, crossesBorder)
+	})
+}
+
+// arrive runs the destination-side pipeline: border filters, middlebox
+// interception, host lookup, kernel checks, socket demux.
+func (n *Network) arrive(raw []byte, dstAS *routing.AS, crossedBorder bool) {
+	pkt, err := packet.Decode(raw)
+	if err != nil {
+		n.drop(DropMalformed, nil, dstAS)
+		return
+	}
+	src, dst := pkt.Src(), pkt.Dst()
+
+	if crossedBorder {
+		// Ingress bogon filtering: special-purpose sources dropped.
+		if dstAS.FilterBogons && routing.IsSpecialPurpose(src) {
+			n.drop(DropBogonSource, pkt, dstAS)
+			return
+		}
+		// Ingress DSAV: a source address the AS itself originates must
+		// not arrive on an external interface.
+		if dstAS.DSAV && dstAS.Originates(src) {
+			n.drop(DropDSAV, pkt, dstAS)
+			return
+		}
+	}
+
+	if ic := n.interceptors[dstAS.ASN]; ic != nil && ic(n.Q.Now(), pkt) {
+		n.delivered++
+		return
+	}
+
+	host := n.hosts[dst]
+	if host == nil {
+		n.drop(DropNoHost, pkt, dstAS)
+		return
+	}
+
+	// Kernel acceptance of spoofed sources (Table 6).
+	if host.OS != nil {
+		dstAsSrc := src == dst
+		loopback := src.IsLoopback()
+		if (dstAsSrc || loopback) && !host.OS.AcceptsSpoof(dstAsSrc, loopback && !dstAsSrc, src.Is6()) {
+			n.drop(DropKernelSpoof, pkt, dstAS)
+			return
+		}
+	}
+
+	host.deliver(pkt)
+}
+
+// decrementTTL rewrites the TTL/hop-limit field in place, fixing the
+// IPv4 header checksum, and reports whether the packet survives.
+func decrementTTL(raw []byte, hops uint8) ([]byte, bool) {
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	switch out[0] >> 4 {
+	case 4:
+		ttl := out[8]
+		if ttl <= hops {
+			return nil, false
+		}
+		out[8] = ttl - hops
+		// Recompute header checksum.
+		ihl := int(out[0]&0x0f) * 4
+		out[10], out[11] = 0, 0
+		sum := packet.Checksum(out[:ihl])
+		out[10], out[11] = byte(sum>>8), byte(sum)
+	case 6:
+		hl := out[7]
+		if hl <= hops {
+			return nil, false
+		}
+		out[7] = hl - hops
+	}
+	return out, true
+}

@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"net/netip"
+
+	"repro/internal/routing"
+)
+
+func TestTracerCapturesDeliveriesAndDrops(t *testing.T) {
+	w := newWorld(t, func(_, as2, _ *routing.AS) { as2.DSAV = true })
+	tr := NewTracer(100)
+	w.net.SetTracer(tr)
+	listen53(t, w.target)
+
+	// One legitimate delivery, one DSAV drop, one no-listener drop.
+	w.scanner.SendUDP(addr("192.0.2.10"), 1000, addr("198.51.100.53"), 53, []byte("ok"))
+	w.scanner.SendRaw(spoofedUDP(t, addr("203.0.113.7"), addr("198.51.100.53"), "spoofed"))
+	w.scanner.SendUDP(addr("192.0.2.10"), 1001, addr("198.51.100.53"), 99, nil)
+	w.net.Run()
+
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("events = %d: %v", len(events), events)
+	}
+	var delivered, dsav, noListener int
+	for _, e := range events {
+		switch {
+		case e.Delivered:
+			delivered++
+			if e.Proto != "udp" || e.DstPort != 53 {
+				t.Fatalf("delivery event = %+v", e)
+			}
+		case e.Drop == DropDSAV:
+			dsav++
+			if e.DstASN != 200 {
+				t.Fatalf("dsav event ASN = %v", e.DstASN)
+			}
+		case e.Drop == DropNoListener:
+			noListener++
+		}
+	}
+	if delivered != 1 || dsav != 1 || noListener != 1 {
+		t.Fatalf("delivered=%d dsav=%d nolistener=%d", delivered, dsav, noListener)
+	}
+}
+
+func TestTracerRingBufferKeepsNewest(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 10; i++ {
+		tr.record(TraceEvent{Time: time.Duration(i), Proto: "udp"})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained = %d", len(events))
+	}
+	for i, e := range events {
+		if e.Time != time.Duration(7+i) {
+			t.Fatalf("events = %v, want times 7,8,9 oldest-first", events)
+		}
+	}
+}
+
+func TestTracerFilter(t *testing.T) {
+	tr := NewTracer(10)
+	tr.Filter = func(e TraceEvent) bool { return !e.Delivered }
+	tr.record(TraceEvent{Delivered: true})
+	tr.record(TraceEvent{Delivered: false, Drop: DropOSAV})
+	if tr.Total() != 1 || len(tr.Events()) != 1 {
+		t.Fatalf("filter ignored: %v", tr.Events())
+	}
+}
+
+func TestTracerTCPFlagsAndDump(t *testing.T) {
+	w := newWorld(t, nil)
+	tr := NewTracer(50)
+	tr.Filter = func(e TraceEvent) bool { return e.Proto == "tcp" }
+	w.net.SetTracer(tr)
+	w.auth.BindTCP(53, func(c *TCPConn) {})
+	w.target.DialTCP(addr("198.51.100.53"), 50010, addr("192.0.3.53"), 53, func(c *TCPConn) { c.Close() })
+	w.net.Run()
+
+	var sb strings.Builder
+	if err := tr.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "[S]") {
+		t.Fatalf("dump missing SYN flags:\n%s", out)
+	}
+	if !strings.Contains(out, "tcp") || !strings.Contains(out, "(ok)") {
+		t.Fatalf("dump format:\n%s", out)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	// The network must work with no tracer attached (the default).
+	w := newWorld(t, nil)
+	listen53(t, w.target)
+	w.scanner.SendUDP(addr("192.0.2.10"), 1, addr("198.51.100.53"), 53, nil)
+	w.net.Run()
+	_ = netip.Addr{}
+}

@@ -1,0 +1,202 @@
+// Package oskernel defines operating-system profiles: the externally
+// observable kernel behaviours the paper measures and exploits. A
+// profile captures three things:
+//
+//  1. whether the kernel delivers spoofed destination-as-source and
+//     loopback-source packets to user space (the paper's Table 6);
+//  2. the default ephemeral source-port pool (§5.3.2: Linux
+//     32768-61000, FreeBSD/IANA 49152-65535, Windows DNS's 2,500-port
+//     startup-chosen pool);
+//  3. the TCP SYN parameters (initial TTL, window, MSS, option layout)
+//     that p0f-style fingerprinting keys on (§5.3.1).
+package oskernel
+
+import "fmt"
+
+// Family is a coarse OS family.
+type Family int
+
+// OS families observed in the paper's lab.
+const (
+	FamilyUnknown Family = iota
+	FamilyLinux
+	FamilyFreeBSD
+	FamilyWindows
+)
+
+// String returns the family name.
+func (f Family) String() string {
+	switch f {
+	case FamilyLinux:
+		return "Linux"
+	case FamilyFreeBSD:
+		return "FreeBSD"
+	case FamilyWindows:
+		return "Windows"
+	default:
+		return "Unknown"
+	}
+}
+
+// PortPool describes an ephemeral port pool as a half-open interval
+// [Lo, Hi). The paper's pool sizes (28,232 for Linux; 16,383 for
+// FreeBSD/IANA; 64,511 for the full unprivileged range) correspond
+// exactly to half-open intervals, which this package uses throughout.
+type PortPool struct {
+	Lo, Hi uint16
+}
+
+// Size reports the number of ports in the pool.
+func (p PortPool) Size() int { return int(p.Hi) - int(p.Lo) }
+
+// Contains reports whether port falls in the pool.
+func (p PortPool) Contains(port uint16) bool { return port >= p.Lo && port < p.Hi }
+
+// Standard pools from §5.3.2 / Table 5.
+var (
+	// PoolLinux is the classic Linux net.ipv4.ip_local_port_range.
+	PoolLinux = PortPool{Lo: 32768, Hi: 61000} // size 28,232
+	// PoolIANA is the IANA dynamic/ephemeral range used by FreeBSD.
+	PoolIANA = PortPool{Lo: 49152, Hi: 65535} // size 16,383
+	// PoolFull is the full unprivileged range used by BIND 9.5.2-9.8.8,
+	// Unbound 1.9.0, and PowerDNS Recursor 4.2.0.
+	PoolFull = PortPool{Lo: 1024, Hi: 65535} // size 64,511
+)
+
+// WindowsDNSPoolSize is the size of the contiguous (wrapping) pool a
+// Windows DNS (2008 R2+) server instance appropriates at startup.
+const WindowsDNSPoolSize = 2500
+
+// TCPFingerprint is the SYN-visible parameter set a p0f-style tool keys
+// on.
+type TCPFingerprint struct {
+	InitialTTL  uint8
+	WindowSize  uint16
+	MSS         uint16
+	WindowScale int8 // -1: option absent
+	SACKPermit  bool
+	Timestamps  bool
+}
+
+// Profile is one operating system's externally observable behaviour.
+type Profile struct {
+	Name    string
+	Family  Family
+	Kernel  string // Linux kernel version, when applicable
+	Windows string // Windows Server version, when applicable
+
+	// Spoofed-source acceptance (Table 6): does the kernel deliver the
+	// packet to a listening socket?
+	AcceptDstAsSrcV4 bool
+	AcceptDstAsSrcV6 bool
+	AcceptLoopbackV4 bool
+	AcceptLoopbackV6 bool
+
+	// Ephemeral is the OS-default ephemeral port pool handed to software
+	// that asks the OS for a source port.
+	Ephemeral PortPool
+
+	// Fingerprint is the TCP SYN signature.
+	Fingerprint TCPFingerprint
+}
+
+// String returns the profile name.
+func (p *Profile) String() string { return p.Name }
+
+// AcceptsSpoof reports whether the kernel delivers a packet whose source
+// is the destination itself (dstAsSrc) or loopback, for the given IP
+// version.
+func (p *Profile) AcceptsSpoof(dstAsSrc, loopback, ipv6 bool) bool {
+	switch {
+	case dstAsSrc && loopback:
+		return false // cannot be both
+	case dstAsSrc && ipv6:
+		return p.AcceptDstAsSrcV6
+	case dstAsSrc:
+		return p.AcceptDstAsSrcV4
+	case loopback && ipv6:
+		return p.AcceptLoopbackV6
+	case loopback:
+		return p.AcceptLoopbackV4
+	default:
+		return true
+	}
+}
+
+// The lab OS inventory (§5.3.2, §5.5, Table 6). Modern Linux drops IPv4
+// destination-as-source in the kernel but delivers the IPv6 variant;
+// pre-4.15-ish kernels also deliver IPv6 loopback; FreeBSD and Windows
+// deliver destination-as-source for both families; only Windows Server
+// 2003/2003 R2 deliver IPv4 loopback.
+var (
+	UbuntuModern = &Profile{ // Ubuntu 16.04 / 18.04 / 19.04+
+		Name: "Ubuntu 18.04", Family: FamilyLinux, Kernel: "5.3",
+		AcceptDstAsSrcV6: true,
+		Ephemeral:        PoolLinux,
+		Fingerprint: TCPFingerprint{
+			InitialTTL: 64, WindowSize: 29200, MSS: 1460,
+			WindowScale: 7, SACKPermit: true, Timestamps: true,
+		},
+	}
+	UbuntuLegacy = &Profile{ // Ubuntu 10.04 / 12.04 / 14.04
+		Name: "Ubuntu 12.04", Family: FamilyLinux, Kernel: "3.13",
+		AcceptDstAsSrcV6: true, AcceptLoopbackV6: true,
+		Ephemeral: PoolLinux,
+		Fingerprint: TCPFingerprint{
+			InitialTTL: 64, WindowSize: 14600, MSS: 1460,
+			WindowScale: 4, SACKPermit: true, Timestamps: true,
+		},
+	}
+	FreeBSD12 = &Profile{
+		Name: "FreeBSD 12.1", Family: FamilyFreeBSD,
+		AcceptDstAsSrcV4: true, AcceptDstAsSrcV6: true,
+		Ephemeral: PoolIANA,
+		Fingerprint: TCPFingerprint{
+			InitialTTL: 64, WindowSize: 65535, MSS: 1460,
+			WindowScale: 6, SACKPermit: true, Timestamps: true,
+		},
+	}
+	WindowsModern = &Profile{ // Windows Server 2008 R2 - 2019
+		Name: "Windows Server 2016", Family: FamilyWindows, Windows: "2016",
+		AcceptDstAsSrcV4: true, AcceptDstAsSrcV6: true,
+		Ephemeral: PoolIANA,
+		Fingerprint: TCPFingerprint{
+			InitialTTL: 128, WindowSize: 8192, MSS: 1460,
+			WindowScale: 8, SACKPermit: true, Timestamps: false,
+		},
+	}
+	WindowsLegacy = &Profile{ // Windows Server 2003 / 2003 R2 / 2008
+		Name: "Windows Server 2003", Family: FamilyWindows, Windows: "2003",
+		AcceptDstAsSrcV4: true, AcceptDstAsSrcV6: true,
+		AcceptLoopbackV4: true,
+		Ephemeral:        PortPool{Lo: 1025, Hi: 5000},
+		Fingerprint: TCPFingerprint{
+			InitialTTL: 128, WindowSize: 65535, MSS: 1460,
+			WindowScale: -1, SACKPermit: true, Timestamps: false,
+		},
+	}
+	// BaiduSpiderLike reproduces the curious population p0f labeled as
+	// "BaiduSpider" (§5.3.1): an old-Linux-like signature.
+	BaiduSpiderLike = &Profile{
+		Name: "BaiduSpider-like", Family: FamilyLinux, Kernel: "2.6",
+		AcceptDstAsSrcV6: true, AcceptLoopbackV6: true,
+		Ephemeral: PoolLinux,
+		Fingerprint: TCPFingerprint{
+			InitialTTL: 64, WindowSize: 5840, MSS: 1440,
+			WindowScale: -1, SACKPermit: false, Timestamps: false,
+		},
+	}
+)
+
+// All lists every lab profile.
+var All = []*Profile{UbuntuModern, UbuntuLegacy, FreeBSD12, WindowsModern, WindowsLegacy, BaiduSpiderLike}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (*Profile, error) {
+	for _, p := range All {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("oskernel: unknown profile %q", name)
+}

@@ -1,0 +1,112 @@
+package oskernel
+
+import "testing"
+
+func TestPoolSizesMatchPaper(t *testing.T) {
+	// §5.3.2 gives exact pool sizes; our half-open pools must match.
+	if got := PoolLinux.Size(); got != 28232 {
+		t.Errorf("Linux pool size = %d, want 28232", got)
+	}
+	if got := PoolIANA.Size(); got != 16383 {
+		t.Errorf("IANA pool size = %d, want 16383", got)
+	}
+	if got := PoolFull.Size(); got != 64511 {
+		t.Errorf("full pool size = %d, want 64511", got)
+	}
+}
+
+func TestPoolContains(t *testing.T) {
+	if !PoolLinux.Contains(32768) || PoolLinux.Contains(61000) || !PoolLinux.Contains(60999) {
+		t.Error("half-open interval semantics violated for Linux pool")
+	}
+	if PoolFull.Contains(1023) || !PoolFull.Contains(1024) {
+		t.Error("full pool must start at 1024")
+	}
+}
+
+func TestTable6AcceptanceMatrix(t *testing.T) {
+	// Each row mirrors a row of the paper's Table 6.
+	cases := []struct {
+		p          *Profile
+		dsV4, dsV6 bool
+		lbV4, lbV6 bool
+	}{
+		{UbuntuModern, false, true, false, false},
+		{UbuntuLegacy, false, true, false, true},
+		{FreeBSD12, true, true, false, false},
+		{WindowsModern, true, true, false, false},
+		{WindowsLegacy, true, true, true, false},
+	}
+	for _, c := range cases {
+		if got := c.p.AcceptsSpoof(true, false, false); got != c.dsV4 {
+			t.Errorf("%s dst-as-src v4 = %v, want %v", c.p, got, c.dsV4)
+		}
+		if got := c.p.AcceptsSpoof(true, false, true); got != c.dsV6 {
+			t.Errorf("%s dst-as-src v6 = %v, want %v", c.p, got, c.dsV6)
+		}
+		if got := c.p.AcceptsSpoof(false, true, false); got != c.lbV4 {
+			t.Errorf("%s loopback v4 = %v, want %v", c.p, got, c.lbV4)
+		}
+		if got := c.p.AcceptsSpoof(false, true, true); got != c.lbV6 {
+			t.Errorf("%s loopback v6 = %v, want %v", c.p, got, c.lbV6)
+		}
+	}
+}
+
+func TestEveryOSAcceptsDstAsSrcV6(t *testing.T) {
+	// §6: "every OS that we analyzed allowed IPv6 destination-as-source
+	// packets to be received".
+	for _, p := range All {
+		if !p.AcceptsSpoof(true, false, true) {
+			t.Errorf("%s rejects IPv6 dst-as-src; paper found all OSes accept it", p)
+		}
+	}
+}
+
+func TestOrdinaryPacketsAlwaysAccepted(t *testing.T) {
+	for _, p := range All {
+		if !p.AcceptsSpoof(false, false, false) || !p.AcceptsSpoof(false, false, true) {
+			t.Errorf("%s rejects ordinary traffic", p)
+		}
+	}
+}
+
+func TestDstAsSrcAndLoopbackMutuallyExclusive(t *testing.T) {
+	for _, p := range All {
+		if p.AcceptsSpoof(true, true, false) || p.AcceptsSpoof(true, true, true) {
+			t.Errorf("%s accepted contradictory dst-as-src+loopback classification", p)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("FreeBSD 12.1")
+	if err != nil || p != FreeBSD12 {
+		t.Fatalf("ByName = %v, %v", p, err)
+	}
+	if _, err := ByName("Plan 9"); err == nil {
+		t.Fatal("unknown profile resolved")
+	}
+}
+
+func TestFingerprintTTLFamilies(t *testing.T) {
+	// p0f relies on initial TTL separating Unix (64) from Windows (128).
+	for _, p := range All {
+		switch p.Family {
+		case FamilyWindows:
+			if p.Fingerprint.InitialTTL != 128 {
+				t.Errorf("%s TTL = %d, want 128", p, p.Fingerprint.InitialTTL)
+			}
+		case FamilyLinux, FamilyFreeBSD:
+			if p.Fingerprint.InitialTTL != 64 {
+				t.Errorf("%s TTL = %d, want 64", p, p.Fingerprint.InitialTTL)
+			}
+		}
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if FamilyLinux.String() != "Linux" || FamilyUnknown.String() != "Unknown" {
+		t.Fatal("Family.String broken")
+	}
+}

@@ -1,0 +1,56 @@
+package packet
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// onesSum accumulates data into a ones'-complement running sum.
+func onesSum(sum uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+// foldSum folds a ones'-complement running sum into a 16-bit checksum.
+func foldSum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// Checksum computes the Internet checksum (RFC 1071) of data.
+func Checksum(data []byte) uint16 { return foldSum(onesSum(0, data)) }
+
+// pseudoHeaderSum computes the ones'-complement sum of the IPv4 or IPv6
+// pseudo-header used by UDP and TCP checksums.
+func pseudoHeaderSum(src, dst netip.Addr, proto uint8, length int) uint32 {
+	var sum uint32
+	if addrIs4(src) && addrIs4(dst) {
+		s4, d4 := src.As4(), dst.As4()
+		sum = onesSum(sum, s4[:])
+		sum = onesSum(sum, d4[:])
+		sum += uint32(proto)
+		sum += uint32(length)
+		return sum
+	}
+	s16, d16 := src.As16(), dst.As16()
+	sum = onesSum(sum, s16[:])
+	sum = onesSum(sum, d16[:])
+	sum += uint32(length)
+	sum += uint32(proto)
+	return sum
+}
+
+// TransportChecksum computes the UDP/TCP checksum over the pseudo-header
+// and segment. segment must already have its checksum field zeroed.
+func TransportChecksum(src, dst netip.Addr, proto uint8, segment []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, len(segment))
+	return foldSum(onesSum(sum, segment))
+}

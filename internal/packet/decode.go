@@ -1,0 +1,140 @@
+package packet
+
+import "net/netip"
+
+// Packet is a fully decoded IP datagram as seen on a simulated link.
+type Packet struct {
+	// Exactly one of V4/V6 is non-nil.
+	V4 *IPv4
+	V6 *IPv6
+	// Exactly one of UDP/TCP is non-nil for transport datagrams the
+	// simulator understands; both nil means an unknown protocol.
+	UDP *UDP
+	TCP *TCP
+	// Data is the transport payload.
+	Data []byte
+	// Raw is the original wire representation.
+	Raw []byte
+}
+
+// Src returns the network-layer source address.
+func (p *Packet) Src() netip.Addr {
+	if p.V4 != nil {
+		return p.V4.Src
+	}
+	return p.V6.Src
+}
+
+// Dst returns the network-layer destination address.
+func (p *Packet) Dst() netip.Addr {
+	if p.V4 != nil {
+		return p.V4.Dst
+	}
+	return p.V6.Dst
+}
+
+// IsIPv6 reports whether the packet is IPv6.
+func (p *Packet) IsIPv6() bool { return p.V6 != nil }
+
+// SrcPort returns the transport source port (0 if no transport layer).
+func (p *Packet) SrcPort() uint16 {
+	switch {
+	case p.UDP != nil:
+		return p.UDP.SrcPort
+	case p.TCP != nil:
+		return p.TCP.SrcPort
+	}
+	return 0
+}
+
+// DstPort returns the transport destination port (0 if no transport layer).
+func (p *Packet) DstPort() uint16 {
+	switch {
+	case p.UDP != nil:
+		return p.UDP.DstPort
+	case p.TCP != nil:
+		return p.TCP.DstPort
+	}
+	return 0
+}
+
+// Decode parses a wire-format datagram, sniffing the IP version from the
+// first nibble. Transport checksums are verified against the IP
+// pseudo-header.
+func Decode(raw []byte) (*Packet, error) {
+	if len(raw) == 0 {
+		return nil, decodeErr(LayerTypeNone, "empty packet")
+	}
+	p := &Packet{Raw: raw}
+	var (
+		next    LayerType
+		payload []byte
+		src     netip.Addr
+		dst     netip.Addr
+	)
+	switch raw[0] >> 4 {
+	case 4:
+		p.V4 = new(IPv4)
+		if err := p.V4.DecodeFromBytes(raw); err != nil {
+			return nil, err
+		}
+		next, payload = p.V4.NextLayerType(), p.V4.LayerPayload()
+		src, dst = p.V4.Src, p.V4.Dst
+	case 6:
+		p.V6 = new(IPv6)
+		if err := p.V6.DecodeFromBytes(raw); err != nil {
+			return nil, err
+		}
+		next, payload = p.V6.NextLayerType(), p.V6.LayerPayload()
+		src, dst = p.V6.Src, p.V6.Dst
+	default:
+		return nil, decodeErr(LayerTypeNone, "unknown IP version")
+	}
+	switch next {
+	case LayerTypeUDP:
+		p.UDP = new(UDP)
+		p.UDP.SetNetwork(src, dst)
+		if err := p.UDP.DecodeFromBytes(payload); err != nil {
+			return nil, err
+		}
+		p.Data = p.UDP.LayerPayload()
+	case LayerTypeTCP:
+		p.TCP = new(TCP)
+		p.TCP.SetNetwork(src, dst)
+		if err := p.TCP.DecodeFromBytes(payload); err != nil {
+			return nil, err
+		}
+		p.Data = p.TCP.LayerPayload()
+	}
+	return p, nil
+}
+
+// BuildUDP serializes a UDP datagram inside the appropriate IP version for
+// the given addresses. ttl is used as the IPv4 TTL or IPv6 hop limit.
+func BuildUDP(src, dst netip.Addr, srcPort, dstPort uint16, ttl uint8, payload []byte) ([]byte, error) {
+	udp := &UDP{SrcPort: srcPort, DstPort: dstPort}
+	udp.SetNetwork(src, dst)
+	if addrIs4(src) && addrIs4(dst) {
+		ip := &IPv4{TTL: ttl, Protocol: IPProtoUDP, Src: src, Dst: dst, DontFrag: true}
+		return Serialize(payload, udp, ip)
+	}
+	if addrIs4(src) || addrIs4(dst) {
+		return nil, decodeErr(LayerTypeNone, "mixed address families")
+	}
+	ip := &IPv6{NextHeader: IPProtoUDP, HopLimit: ttl, Src: src, Dst: dst}
+	return Serialize(payload, udp, ip)
+}
+
+// BuildTCP serializes a TCP segment inside the appropriate IP version.
+func BuildTCP(src, dst netip.Addr, tcp *TCP, ttl uint8, payload []byte) ([]byte, error) {
+	tcp.SetNetwork(src, dst)
+	if addrIs4(src) && addrIs4(dst) {
+		ip := &IPv4{TTL: ttl, Protocol: IPProtoTCP, Src: src, Dst: dst, DontFrag: true}
+		return Serialize(payload, tcp, ip)
+	}
+	if addrIs4(src) || addrIs4(dst) {
+		return nil, decodeErr(LayerTypeNone, "mixed address families")
+	}
+	ip := &IPv6{NextHeader: IPProtoTCP, HopLimit: ttl, Src: src, Dst: dst}
+	return Serialize(payload, tcp, ip)
+}

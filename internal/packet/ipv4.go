@@ -1,0 +1,97 @@
+package packet
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// IPv4 is an IPv4 header (RFC 791). Options are not modeled; IHL is
+// always 5 on serialization and options are skipped on decode.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	DontFrag bool
+	TTL      uint8
+	Protocol uint8
+	Src, Dst netip.Addr
+
+	payload []byte
+}
+
+const ipv4MinLen = 20
+
+// LayerType implements Layer.
+func (ip *IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// NextLayerType implements Layer.
+func (ip *IPv4) NextLayerType() LayerType {
+	switch ip.Protocol {
+	case IPProtoUDP:
+		return LayerTypeUDP
+	case IPProtoTCP:
+		return LayerTypeTCP
+	default:
+		return LayerTypeNone
+	}
+}
+
+// LayerPayload implements Layer.
+func (ip *IPv4) LayerPayload() []byte { return ip.payload }
+
+// DecodeFromBytes implements Layer. The header checksum is verified.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < ipv4MinLen {
+		return decodeErr(LayerTypeIPv4, "truncated header")
+	}
+	if v := data[0] >> 4; v != 4 {
+		return decodeErr(LayerTypeIPv4, "version is not 4")
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < ipv4MinLen || ihl > len(data) {
+		return decodeErr(LayerTypeIPv4, "bad IHL")
+	}
+	total := int(binary.BigEndian.Uint16(data[2:4]))
+	if total < ihl || total > len(data) {
+		return decodeErr(LayerTypeIPv4, "bad total length")
+	}
+	if Checksum(data[:ihl]) != 0 {
+		return decodeErr(LayerTypeIPv4, "header checksum mismatch")
+	}
+	ip.TOS = data[1]
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	flags := binary.BigEndian.Uint16(data[6:8])
+	ip.DontFrag = flags&0x4000 != 0
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Src = netip.AddrFrom4([4]byte(data[12:16]))
+	ip.Dst = netip.AddrFrom4([4]byte(data[16:20]))
+	ip.payload = data[ihl:total]
+	return nil
+}
+
+// SerializeTo implements SerializableLayer, computing total length and
+// header checksum from the buffer contents.
+func (ip *IPv4) SerializeTo(b *SerializeBuffer) error {
+	if !addrIs4(ip.Src) || !addrIs4(ip.Dst) {
+		return decodeErr(LayerTypeIPv4, "src/dst are not IPv4 addresses")
+	}
+	payloadLen := b.Len()
+	hdr := b.PrependBytes(ipv4MinLen)
+	hdr[0] = 4<<4 | 5
+	hdr[1] = ip.TOS
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(ipv4MinLen+payloadLen))
+	binary.BigEndian.PutUint16(hdr[4:6], ip.ID)
+	var flags uint16
+	if ip.DontFrag {
+		flags |= 0x4000
+	}
+	binary.BigEndian.PutUint16(hdr[6:8], flags)
+	hdr[8] = ip.TTL
+	hdr[9] = ip.Protocol
+	hdr[10], hdr[11] = 0, 0
+	src4, dst4 := ip.Src.As4(), ip.Dst.As4()
+	copy(hdr[12:16], src4[:])
+	copy(hdr[16:20], dst4[:])
+	binary.BigEndian.PutUint16(hdr[10:12], Checksum(hdr))
+	return nil
+}

@@ -1,0 +1,82 @@
+package packet
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// IPv6 is an IPv6 fixed header (RFC 8200). Extension headers are not
+// modeled; NextHeader is the transport protocol directly.
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32 // 20 bits
+	NextHeader   uint8
+	HopLimit     uint8
+	Src, Dst     netip.Addr
+
+	payload []byte
+}
+
+const ipv6HeaderLen = 40
+
+// LayerType implements Layer.
+func (ip *IPv6) LayerType() LayerType { return LayerTypeIPv6 }
+
+// NextLayerType implements Layer.
+func (ip *IPv6) NextLayerType() LayerType {
+	switch ip.NextHeader {
+	case IPProtoUDP:
+		return LayerTypeUDP
+	case IPProtoTCP:
+		return LayerTypeTCP
+	default:
+		return LayerTypeNone
+	}
+}
+
+// LayerPayload implements Layer.
+func (ip *IPv6) LayerPayload() []byte { return ip.payload }
+
+// DecodeFromBytes implements Layer.
+func (ip *IPv6) DecodeFromBytes(data []byte) error {
+	if len(data) < ipv6HeaderLen {
+		return decodeErr(LayerTypeIPv6, "truncated header")
+	}
+	if v := data[0] >> 4; v != 6 {
+		return decodeErr(LayerTypeIPv6, "version is not 6")
+	}
+	vtf := binary.BigEndian.Uint32(data[0:4])
+	ip.TrafficClass = uint8(vtf >> 20)
+	ip.FlowLabel = vtf & 0xfffff
+	plen := int(binary.BigEndian.Uint16(data[4:6]))
+	ip.NextHeader = data[6]
+	ip.HopLimit = data[7]
+	ip.Src = netip.AddrFrom16([16]byte(data[8:24]))
+	ip.Dst = netip.AddrFrom16([16]byte(data[24:40]))
+	if ipv6HeaderLen+plen > len(data) {
+		return decodeErr(LayerTypeIPv6, "bad payload length")
+	}
+	ip.payload = data[ipv6HeaderLen : ipv6HeaderLen+plen]
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (ip *IPv6) SerializeTo(b *SerializeBuffer) error {
+	if addrIs4(ip.Src) || addrIs4(ip.Dst) {
+		return decodeErr(LayerTypeIPv6, "src/dst are not IPv6 addresses")
+	}
+	payloadLen := b.Len()
+	if payloadLen > 0xffff {
+		return decodeErr(LayerTypeIPv6, "payload too long")
+	}
+	hdr := b.PrependBytes(ipv6HeaderLen)
+	vtf := uint32(6)<<28 | uint32(ip.TrafficClass)<<20 | ip.FlowLabel&0xfffff
+	binary.BigEndian.PutUint32(hdr[0:4], vtf)
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(payloadLen))
+	hdr[6] = ip.NextHeader
+	hdr[7] = ip.HopLimit
+	src16, dst16 := ip.Src.As16(), ip.Dst.As16()
+	copy(hdr[8:24], src16[:])
+	copy(hdr[24:40], dst16[:])
+	return nil
+}

@@ -1,0 +1,205 @@
+// Package packet implements the wire formats carried on simulated links:
+// IPv4, IPv6, UDP, and TCP. The design follows the layered model used by
+// gopacket: each protocol is a Layer that can decode itself from bytes
+// and serialize itself into a prepend-oriented buffer, so a full packet
+// is built by serializing layers from the innermost payload outward.
+//
+// Packets inside the simulator are real bytes. Border filters, kernels,
+// and endpoints all parse the same serialized representation, so the
+// code paths exercised are the ones a raw-socket implementation would
+// use on a real network.
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// LayerType identifies a protocol layer.
+type LayerType uint8
+
+const (
+	LayerTypeNone LayerType = iota
+	LayerTypeIPv4
+	LayerTypeIPv6
+	LayerTypeUDP
+	LayerTypeTCP
+	LayerTypePayload
+)
+
+// String returns the conventional protocol name.
+func (t LayerType) String() string {
+	switch t {
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeIPv6:
+		return "IPv6"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypePayload:
+		return "Payload"
+	default:
+		return "None"
+	}
+}
+
+// Layer is a decoded protocol layer.
+type Layer interface {
+	// LayerType identifies the protocol.
+	LayerType() LayerType
+	// DecodeFromBytes parses data into the receiver, replacing any
+	// previous state.
+	DecodeFromBytes(data []byte) error
+	// NextLayerType reports the type of the layer carried in this
+	// layer's payload, or LayerTypeNone if unknown/none.
+	NextLayerType() LayerType
+	// LayerPayload returns the bytes carried by this layer, valid after
+	// DecodeFromBytes.
+	LayerPayload() []byte
+}
+
+// SerializableLayer is a Layer that can write itself into a SerializeBuffer.
+type SerializableLayer interface {
+	Layer
+	// SerializeTo prepends the layer onto b. The current contents of b
+	// are treated as this layer's payload (so lengths and checksums can
+	// be computed).
+	SerializeTo(b *SerializeBuffer) error
+}
+
+// IP protocol numbers used by the simulator.
+const (
+	IPProtoTCP = 6
+	IPProtoUDP = 17
+)
+
+// SerializeBuffer builds packets by prepending. It mirrors gopacket's
+// SerializeBuffer: serialize the payload first, then each header from the
+// innermost outward; each SerializeTo call prepends its header bytes.
+type SerializeBuffer struct {
+	data  []byte // window within backing
+	start int    // offset of data[0] within backing
+	back  []byte
+}
+
+// NewSerializeBuffer returns a buffer with room for typical headers.
+func NewSerializeBuffer() *SerializeBuffer {
+	const prepend = 128
+	b := &SerializeBuffer{back: make([]byte, prepend, prepend+512)}
+	b.start = prepend
+	b.data = b.back[prepend:prepend]
+	return b
+}
+
+// Bytes returns the current packet contents. The slice is invalidated by
+// further Prepend/Append calls.
+func (b *SerializeBuffer) Bytes() []byte { return b.data }
+
+// Len reports the current packet length.
+func (b *SerializeBuffer) Len() int { return len(b.data) }
+
+// Clear resets the buffer to empty, retaining backing storage.
+func (b *SerializeBuffer) Clear() {
+	b.start = len(b.back)
+	if b.start == 0 {
+		b.back = make([]byte, 128)
+		b.start = 128
+	}
+	b.data = b.back[b.start:b.start]
+}
+
+// PrependBytes returns a slice of n fresh bytes at the front of the packet.
+func (b *SerializeBuffer) PrependBytes(n int) []byte {
+	if n < 0 {
+		panic("packet: negative prepend")
+	}
+	if b.start < n {
+		// Grow headroom.
+		grow := n - b.start + 128
+		nb := make([]byte, len(b.back)+grow)
+		copy(nb[grow:], b.back)
+		b.back = nb
+		b.start += grow
+	}
+	b.start -= n
+	b.data = b.back[b.start : b.start+n+len(b.data)]
+	return b.data[:n]
+}
+
+// AppendBytes returns a slice of n fresh bytes at the end of the packet.
+func (b *SerializeBuffer) AppendBytes(n int) []byte {
+	if n < 0 {
+		panic("packet: negative append")
+	}
+	end := b.start + len(b.data)
+	if end+n > len(b.back) {
+		nb := make([]byte, end+n+256)
+		copy(nb, b.back)
+		b.back = nb
+	}
+	b.back = b.back[:cap(b.back)]
+	b.data = b.back[b.start : end+n]
+	return b.data[len(b.data)-n:]
+}
+
+// Serialize writes layers (outermost first) around the given payload and
+// returns the packet bytes. It is the convenience entry point used by
+// endpoints: Serialize(payload, udp, ip) produces ip(udp(payload)).
+func Serialize(payload []byte, layers ...SerializableLayer) ([]byte, error) {
+	b := NewSerializeBuffer()
+	if len(payload) > 0 {
+		copy(b.AppendBytes(len(payload)), payload)
+	}
+	for _, l := range layers {
+		if err := l.SerializeTo(b); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	return out, nil
+}
+
+// Payload is a raw application payload layer.
+type Payload []byte
+
+// LayerType implements Layer.
+func (p *Payload) LayerType() LayerType { return LayerTypePayload }
+
+// DecodeFromBytes implements Layer.
+func (p *Payload) DecodeFromBytes(data []byte) error {
+	*p = append((*p)[:0], data...)
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (p *Payload) NextLayerType() LayerType { return LayerTypeNone }
+
+// LayerPayload implements Layer.
+func (p *Payload) LayerPayload() []byte { return nil }
+
+// SerializeTo implements SerializableLayer.
+func (p *Payload) SerializeTo(b *SerializeBuffer) error {
+	copy(b.PrependBytes(len(*p)), *p)
+	return nil
+}
+
+// addrIs4 reports whether a is a plain IPv4 address (not 4-in-6).
+func addrIs4(a netip.Addr) bool { return a.Is4() }
+
+// DecodeError reports a malformed packet.
+type DecodeError struct {
+	Layer  LayerType
+	Reason string
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("packet: bad %s: %s", e.Layer, e.Reason)
+}
+
+func decodeErr(t LayerType, reason string) error {
+	return &DecodeError{Layer: t, Reason: reason}
+}

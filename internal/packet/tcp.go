@@ -1,0 +1,216 @@
+package packet
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// TCPOptionKind identifies a TCP option.
+type TCPOptionKind uint8
+
+// TCP option kinds used by the OS fingerprinting models.
+const (
+	TCPOptEndOfOptions TCPOptionKind = 0
+	TCPOptNop          TCPOptionKind = 1
+	TCPOptMSS          TCPOptionKind = 2
+	TCPOptWindowScale  TCPOptionKind = 3
+	TCPOptSACKPermit   TCPOptionKind = 4
+	TCPOptTimestamps   TCPOptionKind = 8
+)
+
+// TCPOption is a single TCP option as it appears on the wire.
+type TCPOption struct {
+	Kind TCPOptionKind
+	Data []byte // option data, excluding kind and length bytes
+}
+
+// TCP is a TCP header (RFC 793) with options. Like UDP, SetNetwork must
+// be called before serializing or verifying checksums.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	SYN, ACK, FIN    bool
+	RST, PSH, URG    bool
+	Window           uint16
+	Options          []TCPOption
+
+	src, dst netip.Addr
+	payload  []byte
+}
+
+const tcpMinLen = 20
+
+// SetNetwork records the pseudo-header addresses used for checksums.
+func (t *TCP) SetNetwork(src, dst netip.Addr) { t.src, t.dst = src, dst }
+
+// LayerType implements Layer.
+func (t *TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// NextLayerType implements Layer.
+func (t *TCP) NextLayerType() LayerType { return LayerTypePayload }
+
+// LayerPayload implements Layer.
+func (t *TCP) LayerPayload() []byte { return t.payload }
+
+// Option returns the first option of the given kind and whether it exists.
+func (t *TCP) Option(kind TCPOptionKind) (TCPOption, bool) {
+	for _, o := range t.Options {
+		if o.Kind == kind {
+			return o, true
+		}
+	}
+	return TCPOption{}, false
+}
+
+// MSS returns the maximum-segment-size option value, if present.
+func (t *TCP) MSS() (uint16, bool) {
+	o, ok := t.Option(TCPOptMSS)
+	if !ok || len(o.Data) != 2 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint16(o.Data), true
+}
+
+// WindowScale returns the window-scale option value, if present.
+func (t *TCP) WindowScale() (uint8, bool) {
+	o, ok := t.Option(TCPOptWindowScale)
+	if !ok || len(o.Data) != 1 {
+		return 0, false
+	}
+	return o.Data[0], true
+}
+
+func (t *TCP) flags() uint8 {
+	var f uint8
+	if t.FIN {
+		f |= 0x01
+	}
+	if t.SYN {
+		f |= 0x02
+	}
+	if t.RST {
+		f |= 0x04
+	}
+	if t.PSH {
+		f |= 0x08
+	}
+	if t.ACK {
+		f |= 0x10
+	}
+	if t.URG {
+		f |= 0x20
+	}
+	return f
+}
+
+func (t *TCP) setFlags(f uint8) {
+	t.FIN = f&0x01 != 0
+	t.SYN = f&0x02 != 0
+	t.RST = f&0x04 != 0
+	t.PSH = f&0x08 != 0
+	t.ACK = f&0x10 != 0
+	t.URG = f&0x20 != 0
+}
+
+// DecodeFromBytes implements Layer. If SetNetwork was called beforehand,
+// the checksum is verified.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < tcpMinLen {
+		return decodeErr(LayerTypeTCP, "truncated header")
+	}
+	dataOff := int(data[12]>>4) * 4
+	if dataOff < tcpMinLen || dataOff > len(data) {
+		return decodeErr(LayerTypeTCP, "bad data offset")
+	}
+	if t.src.IsValid() && t.dst.IsValid() {
+		seg := make([]byte, len(data))
+		copy(seg, data)
+		seg[16], seg[17] = 0, 0
+		want := binary.BigEndian.Uint16(data[16:18])
+		if got := TransportChecksum(t.src, t.dst, IPProtoTCP, seg); got != want {
+			return decodeErr(LayerTypeTCP, "checksum mismatch")
+		}
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.setFlags(data[13])
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Options = t.Options[:0]
+	opts := data[tcpMinLen:dataOff]
+	for len(opts) > 0 {
+		kind := TCPOptionKind(opts[0])
+		switch kind {
+		case TCPOptEndOfOptions:
+			opts = nil
+		case TCPOptNop:
+			t.Options = append(t.Options, TCPOption{Kind: kind})
+			opts = opts[1:]
+		default:
+			if len(opts) < 2 {
+				return decodeErr(LayerTypeTCP, "truncated option")
+			}
+			olen := int(opts[1])
+			if olen < 2 || olen > len(opts) {
+				return decodeErr(LayerTypeTCP, "bad option length")
+			}
+			t.Options = append(t.Options, TCPOption{
+				Kind: kind,
+				Data: append([]byte(nil), opts[2:olen]...),
+			})
+			opts = opts[olen:]
+		}
+	}
+	t.payload = data[dataOff:]
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (t *TCP) SerializeTo(b *SerializeBuffer) error {
+	if !t.src.IsValid() || !t.dst.IsValid() {
+		return decodeErr(LayerTypeTCP, "SetNetwork not called before serialize")
+	}
+	optLen := 0
+	for _, o := range t.Options {
+		if o.Kind == TCPOptNop || o.Kind == TCPOptEndOfOptions {
+			optLen++
+		} else {
+			optLen += 2 + len(o.Data)
+		}
+	}
+	pad := (4 - optLen%4) % 4
+	hdrLen := tcpMinLen + optLen + pad
+	if hdrLen > 60 {
+		return decodeErr(LayerTypeTCP, "options too long")
+	}
+	hdr := b.PrependBytes(hdrLen)
+	binary.BigEndian.PutUint16(hdr[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(hdr[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(hdr[4:8], t.Seq)
+	binary.BigEndian.PutUint32(hdr[8:12], t.Ack)
+	hdr[12] = uint8(hdrLen/4) << 4
+	hdr[13] = t.flags()
+	binary.BigEndian.PutUint16(hdr[14:16], t.Window)
+	hdr[16], hdr[17] = 0, 0
+	hdr[18], hdr[19] = 0, 0 // urgent pointer unused
+	p := hdr[tcpMinLen:]
+	for _, o := range t.Options {
+		switch o.Kind {
+		case TCPOptNop, TCPOptEndOfOptions:
+			p[0] = byte(o.Kind)
+			p = p[1:]
+		default:
+			p[0] = byte(o.Kind)
+			p[1] = byte(2 + len(o.Data))
+			copy(p[2:], o.Data)
+			p = p[2+len(o.Data):]
+		}
+	}
+	for i := range p {
+		p[i] = 0 // pad with end-of-options
+	}
+	sum := TransportChecksum(t.src, t.dst, IPProtoTCP, b.Bytes())
+	binary.BigEndian.PutUint16(hdr[16:18], sum)
+	return nil
+}

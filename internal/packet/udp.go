@@ -1,0 +1,79 @@
+package packet
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// UDP is a UDP header (RFC 768). For checksum computation on serialize
+// and verification on decode, the network-layer addresses must be
+// supplied via SetNetwork (mirroring gopacket's
+// SetNetworkLayerForChecksum).
+type UDP struct {
+	SrcPort, DstPort uint16
+
+	src, dst netip.Addr
+	payload  []byte
+}
+
+const udpHeaderLen = 8
+
+// SetNetwork records the pseudo-header addresses used for checksums.
+func (u *UDP) SetNetwork(src, dst netip.Addr) { u.src, u.dst = src, dst }
+
+// LayerType implements Layer.
+func (u *UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// NextLayerType implements Layer.
+func (u *UDP) NextLayerType() LayerType { return LayerTypePayload }
+
+// LayerPayload implements Layer.
+func (u *UDP) LayerPayload() []byte { return u.payload }
+
+// DecodeFromBytes implements Layer. If SetNetwork was called beforehand,
+// the checksum is verified.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < udpHeaderLen {
+		return decodeErr(LayerTypeUDP, "truncated header")
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	length := int(binary.BigEndian.Uint16(data[4:6]))
+	if length < udpHeaderLen || length > len(data) {
+		return decodeErr(LayerTypeUDP, "bad length")
+	}
+	sum := binary.BigEndian.Uint16(data[6:8])
+	if sum != 0 && u.src.IsValid() && u.dst.IsValid() {
+		seg := make([]byte, length)
+		copy(seg, data[:length])
+		seg[6], seg[7] = 0, 0
+		if got := TransportChecksum(u.src, u.dst, IPProtoUDP, seg); got != sum {
+			return decodeErr(LayerTypeUDP, "checksum mismatch")
+		}
+	}
+	u.payload = data[udpHeaderLen:length]
+	return nil
+}
+
+// SerializeTo implements SerializableLayer. SetNetwork must have been
+// called so the checksum can be computed.
+func (u *UDP) SerializeTo(b *SerializeBuffer) error {
+	if !u.src.IsValid() || !u.dst.IsValid() {
+		return decodeErr(LayerTypeUDP, "SetNetwork not called before serialize")
+	}
+	length := udpHeaderLen + b.Len()
+	if length > 0xffff {
+		return decodeErr(LayerTypeUDP, "datagram too long")
+	}
+	hdr := b.PrependBytes(udpHeaderLen)
+	binary.BigEndian.PutUint16(hdr[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(hdr[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(length))
+	hdr[6], hdr[7] = 0, 0
+	sum := TransportChecksum(u.src, u.dst, IPProtoUDP, b.Bytes())
+	if sum == 0 {
+		sum = 0xffff // RFC 768: transmitted as all ones
+	}
+	binary.BigEndian.PutUint16(hdr[6:8], sum)
+	return nil
+}

@@ -1,0 +1,254 @@
+// Package report renders analysis results as the paper's tables and
+// figures (text form): the headline paragraph of §4, Tables 1-6, the
+// category table, and ASCII histograms with Beta-model overlays for
+// Figures 2 and 3.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/geo"
+	"repro/internal/labexp"
+	"repro/internal/stats"
+)
+
+// pct formats a ratio as a percentage.
+func pct(num, den int) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+// Headline renders the §4 summary paragraph.
+func Headline(r *analysis.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Of the %d IPv4 addresses targeted, %d (%s) received and handled one or more queries.\n",
+		r.V4.Targets, r.V4.ReachableAddrs, pct(r.V4.ReachableAddrs, r.V4.Targets))
+	fmt.Fprintf(&b, "Of the %d IPv6 addresses targeted, %d (%s) received and handled one or more queries.\n",
+		r.V6.Targets, r.V6.ReachableAddrs, pct(r.V6.ReachableAddrs, r.V6.Targets))
+	fmt.Fprintf(&b, "%d (%s) of %d IPv4 ASes and %d (%s) of %d IPv6 ASes were vulnerable to infiltration.\n",
+		r.V4.ReachableASes, pct(r.V4.ReachableASes, r.V4.ASes), r.V4.ASes,
+		r.V6.ReachableASes, pct(r.V6.ReachableASes, r.V6.ASes), r.V6.ASes)
+	fmt.Fprintf(&b, "Median spoofed sources reaching a target: %.0f (IPv4), %.0f (IPv6).\n",
+		r.MedianSourcesV4, r.MedianSourcesV6)
+	fmt.Fprintf(&b, "Targets reached by at most two sources: %s (IPv4), %s (IPv6); by more than 50: %s (IPv4), %s (IPv6).\n",
+		pct(r.OneOrTwoSourcesV4, r.V4.ReachableAddrs), pct(r.OneOrTwoSourcesV6, r.V6.ReachableAddrs),
+		pct(r.Over50SourcesV4, r.V4.ReachableAddrs), pct(r.Over50SourcesV6, r.V6.ReachableAddrs))
+	return b.String()
+}
+
+// countryTable renders rows in the layout of Tables 1-2.
+func countryTable(rows []geo.CountryRow, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s %9s %16s %10s %18s\n", "Country", "ASes", "Reachable", "IP targets", "Reachable")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-8s %9d %9d (%s) %10d %11d (%s)\n",
+			row.Country, row.ASes, row.ReachableASes, pct(row.ReachableASes, row.ASes),
+			row.Targets, row.ReachableAddrs, pct(row.ReachableAddrs, row.Targets))
+	}
+	return b.String()
+}
+
+// Table1 renders the top-10 countries by AS count.
+func Table1(r *analysis.Report) string {
+	return countryTable(r.Table1, "Table 1: DSAV results, 10 countries with most ASes")
+}
+
+// Table2 renders the top-10 countries by reachable-IP share.
+func Table2(r *analysis.Report) string {
+	return countryTable(r.Table2, "Table 2: DSAV results, 10 countries by reachable-IP share")
+}
+
+// Table3 renders the source-category table.
+func Table3(r *analysis.Report) string {
+	var b strings.Builder
+	b.WriteString("Table 3: spoofed-source categories (inclusive / exclusive)\n")
+	fmt.Fprintf(&b, "%-13s | %21s | %21s | %21s | %21s\n",
+		"Category", "v4 addrs", "v4 ASNs", "v6 addrs", "v6 ASNs")
+	for i := range r.Table3.V4 {
+		v4, v6 := r.Table3.V4[i], r.Table3.V6[i]
+		fmt.Fprintf(&b, "%-13s | %8d (%s) %6d | %8d (%s) %6d | %8d (%s) %6d | %8d (%s) %6d\n",
+			v4.Category,
+			v4.InclusiveAddrs, pct(v4.InclusiveAddrs, r.V4.ReachableAddrs), v4.ExclusiveAddrs,
+			v4.InclusiveASNs, pct(v4.InclusiveASNs, r.V4.ReachableASes), v4.ExclusiveASNs,
+			v6.InclusiveAddrs, pct(v6.InclusiveAddrs, max(r.V6.ReachableAddrs, 1)), v6.ExclusiveAddrs,
+			v6.InclusiveASNs, pct(v6.InclusiveASNs, max(r.V6.ReachableASes, 1)), v6.ExclusiveASNs)
+	}
+	return b.String()
+}
+
+// Table4 renders the port-range band table.
+func Table4(r *analysis.Report) string {
+	var b strings.Builder
+	b.WriteString("Table 4: reachable IP targets by source-port range, status, and p0f\n")
+	fmt.Fprintf(&b, "%-36s %8s %8s %8s %8s %8s\n", "Source Port Range (OS)", "Total", "Open", "Closed", "p0f Win", "p0f Lin")
+	for _, row := range r.Ports.Table4 {
+		fmt.Fprintf(&b, "%-36s %8d %8d %8d %8d %8d\n",
+			row.Band.String(), row.Total, row.Open, row.Closed, row.P0fWindows, row.P0fLinux)
+	}
+	return b.String()
+}
+
+// Table5 renders the lab software table.
+func Table5(rows []labexp.Table5Row) string {
+	var b strings.Builder
+	b.WriteString("Table 5: default source-port allocation by DNS software\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-34s %s\n", row.Config, row.Pool)
+	}
+	return b.String()
+}
+
+// Table6 renders the spoof-acceptance matrix.
+func Table6(rows []labexp.AcceptanceRow) string {
+	var b strings.Builder
+	b.WriteString("Table 6: OS acceptance of spoofed-source packets\n")
+	fmt.Fprintf(&b, "%-24s %6s %6s %6s %6s\n", "OS", "DS v4", "LB v4", "DS v6", "LB v6")
+	mark := func(v bool) string {
+		if v {
+			return "*"
+		}
+		return ""
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-24s %6s %6s %6s %6s\n", row.OS.Name,
+			mark(row.DSv4), mark(row.LBv4), mark(row.DSv6), mark(row.LBv6))
+	}
+	return b.String()
+}
+
+// Histogram renders an ASCII histogram with an optional Beta-model
+// overlay column (Figures 2, 3a, 3b). Only non-empty bins are printed.
+func Histogram(title string, open, closed *stats.Histogram, overlays []OverlaySpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxCount := 1
+	for i := range closed.Counts {
+		c := closed.Counts[i]
+		if open != nil {
+			c += open.Counts[i]
+		}
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	const width = 50
+	for i := range closed.Counts {
+		oc := 0
+		if open != nil {
+			oc = open.Counts[i]
+		}
+		cc := closed.Counts[i]
+		if oc+cc == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", cc*width/maxCount) + strings.Repeat("o", oc*width/maxCount)
+		label := modelLabel(closed.BinStart(i), closed.BinWidth, overlays)
+		fmt.Fprintf(&b, "%7d |%-*s| %5d closed %5d open%s\n", closed.BinStart(i), width, bar, cc, oc, label)
+	}
+	return b.String()
+}
+
+// OverlaySpec marks a pool's Beta-model peak region on a histogram.
+type OverlaySpec struct {
+	Label    string
+	PoolSize int
+}
+
+// DefaultOverlays are the §5.3.2 pools.
+func DefaultOverlays() []OverlaySpec {
+	return []OverlaySpec{
+		{"Windows DNS", 2500},
+		{"FreeBSD", 16383},
+		{"Linux", 28232},
+		{"Full Port Range", 64511},
+	}
+}
+
+// modelLabel annotates a bin that contains a pool's modal range.
+func modelLabel(binStart, binWidth int, overlays []OverlaySpec) string {
+	for _, o := range overlays {
+		mode := stats.RangeQuantile(0.5, o.PoolSize, stats.SampleSize)
+		if int(mode) >= binStart && int(mode) < binStart+binWidth {
+			return "  <- Beta(9,2) median for " + o.Label
+		}
+	}
+	return ""
+}
+
+// Sections renders the remaining §3.6/§5 findings as a summary block.
+func Sections(r *analysis.Report) string {
+	var b strings.Builder
+	oc := r.OpenClosed
+	fmt.Fprintf(&b, "Open/closed (§5.1): %d open (%s), %d closed (%s); closed resolver present in %s of reachable ASes\n",
+		oc.Open, pct(oc.Open, oc.Open+oc.Closed), oc.Closed, pct(oc.Closed, oc.Open+oc.Closed),
+		pct(oc.ASesWithClosed, oc.ReachableASes))
+	p := r.Ports
+	fmt.Fprintf(&b, "Zero port randomization (§5.2.1): %d resolvers in %d ASes; %d (%s) closed; port 53 used by %d (%s)\n",
+		len(p.ZeroRange), p.ZeroRangeASNs, p.ZeroRangeClosed, pct(p.ZeroRangeClosed, max(len(p.ZeroRange), 1)),
+		p.ZeroRangePort53, pct(p.ZeroRangePort53, max(len(p.ZeroRange), 1)))
+	fmt.Fprintf(&b, "Ineffective allocation (§5.2.3): %d resolvers in range 1-200 (%d ASNs); %d strictly increasing (%d wrapped); %d with <=7 unique ports\n",
+		len(p.LowRange), p.LowRangeASNs, p.LowRangeIncreasing, p.LowRangeWrapped, p.LowRangeFewUnique)
+	f := r.Forwarding
+	fmt.Fprintf(&b, "Forwarding (§5.4): v4 %d resolved, %d (%s) direct, %d (%s) forwarded, %d both; v6 %d resolved, %d (%s) direct, %d (%s) forwarded, %d both\n",
+		f.V4Resolved, f.V4Direct, pct(f.V4Direct, max(f.V4Resolved, 1)), f.V4Forwarded, pct(f.V4Forwarded, max(f.V4Resolved, 1)), f.V4Both,
+		f.V6Resolved, f.V6Direct, pct(f.V6Direct, max(f.V6Resolved, 1)), f.V6Forwarded, pct(f.V6Forwarded, max(f.V6Resolved, 1)), f.V6Both)
+	m := r.Middlebox
+	fmt.Fprintf(&b, "Middlebox accounting (§3.6.1): %d reachable ASes; %s direct-from-AS, %s via public DNS, %s unexplained\n",
+		m.ReachableASes, pct(m.DirectFromAS, max(m.ReachableASes, 1)),
+		pct(m.ViaPublicDNS, max(m.ReachableASes, 1)), pct(m.Unexplained, max(m.ReachableASes, 1)))
+	q := r.Qmin
+	fmt.Fprintf(&b, "QNAME minimization (§3.6.4): %d targeted clients minimized; %d (%s) never sent the full name; %d ASNs seen, %d (%s) detected anyway\n",
+		q.ClientAddrs, q.NeverFull, pct(q.NeverFull, max(q.ClientAddrs, 1)),
+		q.ASNs, q.DetectedAnyway, pct(q.DetectedAnyway, max(q.ASNs, 1)))
+	l := r.Lifetime
+	fmt.Fprintf(&b, "Human intervention (§3.6.3): %d addrs only seen past the threshold (%d ASes, %d recovered via other resolvers)\n",
+		l.OverThresholdAddrs, l.OverThresholdASes, l.RecoveredASes)
+	fmt.Fprintf(&b, "Local-system infiltration (§5.5): %d targets reached dst-as-src, %d via loopback\n",
+		r.Infiltration.DstAsSrcAddrs, r.Infiltration.LoopbackAddrs)
+	return b.String()
+}
+
+// ZeroTopPorts lists the most common fixed ports (§5.2.1's "port 53 was
+// observed more than any other").
+func ZeroTopPorts(r *analysis.Report, n int) string {
+	type kv struct {
+		port  uint16
+		count int
+	}
+	var list []kv
+	for p, c := range r.Ports.ZeroTopPorts {
+		list = append(list, kv{p, c})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].count != list[j].count {
+			return list[i].count > list[j].count
+		}
+		return list[i].port < list[j].port
+	})
+	if n > len(list) {
+		n = len(list)
+	}
+	var b strings.Builder
+	b.WriteString("Most common fixed source ports: ")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d (x%d)", list[i].port, list[i].count)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

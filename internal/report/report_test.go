@@ -1,0 +1,148 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/geo"
+	"repro/internal/labexp"
+	"repro/internal/oskernel"
+	"repro/internal/scanner"
+	"repro/internal/stats"
+)
+
+func sampleReport() *analysis.Report {
+	r := &analysis.Report{}
+	r.V4 = analysis.FamilyStat{Targets: 1000, ReachableAddrs: 46, ASes: 100, ReachableASes: 49}
+	r.V6 = analysis.FamilyStat{Targets: 100, ReachableAddrs: 6, ASes: 20, ReachableASes: 10}
+	r.MedianSourcesV4, r.MedianSourcesV6 = 3, 2
+	r.Table1 = []geo.CountryRow{{Country: "US", ASes: 50, ReachableASes: 14, Targets: 500, ReachableAddrs: 16}}
+	r.Table2 = []geo.CountryRow{{Country: "DZ", ASes: 2, ReachableASes: 1, Targets: 30, ReachableAddrs: 22}}
+	for _, c := range []scanner.SourceCategory{scanner.CatOtherPrefix, scanner.CatSamePrefix,
+		scanner.CatPrivate, scanner.CatDstAsSrc, scanner.CatLoopback} {
+		r.Table3.V4 = append(r.Table3.V4, analysis.CategoryRow{Category: c, InclusiveAddrs: 10})
+		r.Table3.V6 = append(r.Table3.V6, analysis.CategoryRow{Category: c, InclusiveAddrs: 2})
+	}
+	r.OpenClosed = analysis.OpenClosed{Open: 20, Closed: 32, ReachableASes: 49, ASesWithClosed: 43}
+	bands := analysis.DefaultBands()
+	r.Ports.Table4 = make([]analysis.BandRow, len(bands))
+	for i, b := range bands {
+		r.Ports.Table4[i] = analysis.BandRow{Band: b, Total: i + 1, Open: 1, Closed: i}
+	}
+	r.Ports.HistFullOpen = stats.NewHistogram(500, 65535)
+	r.Ports.HistFullClosed = stats.NewHistogram(500, 65535)
+	r.Ports.HistZoomOpen = stats.NewHistogram(50, 3000)
+	r.Ports.HistZoomClosed = stats.NewHistogram(50, 3000)
+	r.Ports.HistFullClosed.Add(25000)
+	r.Ports.HistFullOpen.Add(2000)
+	r.Ports.ZeroTopPorts = map[uint16]int{53: 12, 32768: 4}
+	r.Ports.ZeroRange = make([]analysis.PortSample, 16)
+	r.Ports.ZeroRangeClosed = 9
+	r.Ports.ZeroRangePort53 = 12
+	return r
+}
+
+func TestHeadlineMentionsKeyNumbers(t *testing.T) {
+	out := Headline(sampleReport())
+	for _, want := range []string{"46 (4.6%)", "49 (49.0%)", "IPv6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("headline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCountryTables(t *testing.T) {
+	r := sampleReport()
+	if out := Table1(r); !strings.Contains(out, "US") || !strings.Contains(out, "28.0%") {
+		t.Errorf("table 1:\n%s", out)
+	}
+	if out := Table2(r); !strings.Contains(out, "DZ") || !strings.Contains(out, "73.3%") {
+		t.Errorf("table 2:\n%s", out)
+	}
+}
+
+func TestTable3ContainsAllCategories(t *testing.T) {
+	out := Table3(sampleReport())
+	for _, want := range []string{"Other Prefix", "Same Prefix", "Private", "Dst-as-Src", "Loopback"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 3 missing %q", want)
+		}
+	}
+}
+
+func TestTable4ContainsBands(t *testing.T) {
+	out := Table4(sampleReport())
+	for _, want := range []string{"Windows DNS", "FreeBSD", "Linux", "Full Port Range", "0-0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable5And6Render(t *testing.T) {
+	out := Table5([]labexp.Table5Row{{Config: "BIND 9.5.0", Pool: "8 ports"}})
+	if !strings.Contains(out, "BIND 9.5.0") || !strings.Contains(out, "8 ports") {
+		t.Errorf("table 5:\n%s", out)
+	}
+	out = Table6([]labexp.AcceptanceRow{{OS: oskernel.FreeBSD12, DSv4: true, DSv6: true}})
+	if !strings.Contains(out, "FreeBSD 12.1") {
+		t.Errorf("table 6:\n%s", out)
+	}
+	// Exactly two acceptance marks for the FreeBSD row.
+	if got := strings.Count(out, "*"); got != 2 {
+		t.Errorf("table 6 marks = %d, want 2:\n%s", got, out)
+	}
+}
+
+func TestHistogramRendersBinsAndOverlay(t *testing.T) {
+	r := sampleReport()
+	out := Histogram("title", r.Ports.HistFullOpen, r.Ports.HistFullClosed, DefaultOverlays())
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "25000") || !strings.Contains(out, "2000") {
+		t.Errorf("missing populated bins:\n%s", out)
+	}
+	// The 25000 bin should not carry an overlay label; the Linux model
+	// median (≈23650) falls in the 23500 bin which is empty here, so no
+	// overlay should print at all for this sparse histogram.
+	if strings.Count(out, "\n") > 4 {
+		t.Errorf("too many lines for 2 bins:\n%s", out)
+	}
+}
+
+func TestHistogramOverlayLabelAppears(t *testing.T) {
+	closed := stats.NewHistogram(500, 65535)
+	med := stats.RangeQuantile(0.5, 28232, stats.SampleSize)
+	closed.Add(int(med))
+	out := Histogram("t", nil, closed, DefaultOverlays())
+	if !strings.Contains(out, "Beta(9,2) median for Linux") {
+		t.Errorf("missing overlay label:\n%s", out)
+	}
+}
+
+func TestSectionsMentionEverySubsection(t *testing.T) {
+	r := sampleReport()
+	out := Sections(r)
+	for _, want := range []string{"§5.1", "§5.2.1", "§5.2.3", "§5.4", "§3.6.1", "§3.6.4", "§3.6.3", "§5.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sections missing %q", want)
+		}
+	}
+}
+
+func TestZeroTopPortsOrdering(t *testing.T) {
+	out := ZeroTopPorts(sampleReport(), 2)
+	i53 := strings.Index(out, "53 (x12)")
+	i32768 := strings.Index(out, "32768 (x4)")
+	if i53 < 0 || i32768 < 0 || i53 > i32768 {
+		t.Errorf("ordering wrong:\n%s", out)
+	}
+}
+
+func TestPctDivByZero(t *testing.T) {
+	if pct(1, 0) != "-" {
+		t.Fatal("pct must guard zero denominators")
+	}
+}

@@ -1,0 +1,104 @@
+package resolver
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// cacheKey indexes positive cache entries.
+type cacheKey struct {
+	name dnswire.Name
+	typ  dnswire.Type
+}
+
+// posEntry is a cached RRset.
+type posEntry struct {
+	rrs    []dnswire.RR
+	expiry time.Duration
+}
+
+// delegation is cached zone-cut knowledge: the nameserver addresses for
+// a zone apex.
+type delegation struct {
+	apex   dnswire.Name
+	addrs  []netip.Addr
+	expiry time.Duration
+}
+
+// cache holds positive answers, NXDOMAIN results, and delegations, all
+// expiring on the virtual clock.
+type cache struct {
+	now   func() time.Duration
+	pos   map[cacheKey]posEntry
+	neg   map[dnswire.Name]time.Duration // NXDOMAIN expiry
+	deleg map[dnswire.Name]delegation
+}
+
+func newCache(now func() time.Duration) *cache {
+	return &cache{
+		now:   now,
+		pos:   make(map[cacheKey]posEntry),
+		neg:   make(map[dnswire.Name]time.Duration),
+		deleg: make(map[dnswire.Name]delegation),
+	}
+}
+
+func (c *cache) putPositive(name dnswire.Name, typ dnswire.Type, rrs []dnswire.RR, ttl uint32) {
+	c.pos[cacheKey{name.Canonical(), typ}] = posEntry{
+		rrs:    rrs,
+		expiry: c.now() + time.Duration(ttl)*time.Second,
+	}
+}
+
+func (c *cache) getPositive(name dnswire.Name, typ dnswire.Type) ([]dnswire.RR, bool) {
+	e, ok := c.pos[cacheKey{name.Canonical(), typ}]
+	if !ok || e.expiry <= c.now() {
+		return nil, false
+	}
+	return e.rrs, true
+}
+
+func (c *cache) putNegative(name dnswire.Name, ttl uint32) {
+	c.neg[name.Canonical()] = c.now() + time.Duration(ttl)*time.Second
+}
+
+// getNegative reports a cached NXDOMAIN for name, including the RFC 8020
+// subtree cut: an NXDOMAIN cached for an ancestor implies NXDOMAIN for
+// the name.
+func (c *cache) getNegative(name dnswire.Name) bool {
+	n := name.Canonical()
+	for {
+		if exp, ok := c.neg[n]; ok && exp > c.now() {
+			return true
+		}
+		if n == dnswire.Root {
+			return false
+		}
+		n = n.Parent()
+	}
+}
+
+func (c *cache) putDelegation(apex dnswire.Name, addrs []netip.Addr, ttl uint32) {
+	c.deleg[apex.Canonical()] = delegation{
+		apex:   apex,
+		addrs:  addrs,
+		expiry: c.now() + time.Duration(ttl)*time.Second,
+	}
+}
+
+// closestDelegation returns the deepest cached, unexpired delegation at
+// or above name.
+func (c *cache) closestDelegation(name dnswire.Name) (delegation, bool) {
+	n := name.Canonical()
+	for {
+		if d, ok := c.deleg[n]; ok && d.expiry > c.now() {
+			return d, true
+		}
+		if n == dnswire.Root {
+			return delegation{}, false
+		}
+		n = n.Parent()
+	}
+}

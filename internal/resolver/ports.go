@@ -1,0 +1,255 @@
+// Package resolver implements the recursive DNS resolvers that populate
+// the simulated Internet: caching iterative resolution from root hints,
+// client ACLs (open vs. closed), forwarding, QNAME minimization, TCP
+// retry on truncation, retransmission, and — centrally for the paper —
+// pluggable source-port allocation strategies reproducing the behaviours
+// of Table 5.
+package resolver
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/oskernel"
+)
+
+// PortAllocator yields the source port for each outgoing
+// recursive-to-authoritative query. Implementations reproduce the
+// behaviours of the paper's Table 5 and §5.2.
+type PortAllocator interface {
+	// Next returns the port for the next outgoing query.
+	Next() uint16
+	// Strategy names the allocation behaviour (for reports).
+	Strategy() string
+}
+
+// FixedPort always returns the same port: BIND 8 (unprivileged), BIND
+// <8.1 (port 53), Windows DNS 2003-2008, and the "query-source port 53"
+// misconfiguration behind most of the paper's 3,810 zero-range resolvers
+// (§5.2.1).
+type FixedPort struct {
+	Port uint16
+}
+
+// Next implements PortAllocator.
+func (f *FixedPort) Next() uint16 { return f.Port }
+
+// Strategy implements PortAllocator.
+func (f *FixedPort) Strategy() string { return fmt.Sprintf("fixed:%d", f.Port) }
+
+// FixedSet selects randomly among a small startup-chosen set of ports
+// (BIND 9.5.0's 8-port behaviour, Table 5).
+type FixedSet struct {
+	Ports []uint16
+	rng   *rand.Rand
+}
+
+// NewFixedSet picks n distinct ports from pool at "startup".
+func NewFixedSet(n int, pool oskernel.PortPool, rng *rand.Rand) *FixedSet {
+	seen := make(map[uint16]bool, n)
+	ports := make([]uint16, 0, n)
+	for len(ports) < n {
+		p := pool.Lo + uint16(rng.Intn(pool.Size()))
+		if !seen[p] {
+			seen[p] = true
+			ports = append(ports, p)
+		}
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	return &FixedSet{Ports: ports, rng: rng}
+}
+
+// Next implements PortAllocator.
+func (f *FixedSet) Next() uint16 { return f.Ports[f.rng.Intn(len(f.Ports))] }
+
+// Strategy implements PortAllocator.
+func (f *FixedSet) Strategy() string { return fmt.Sprintf("fixed-set:%d", len(f.Ports)) }
+
+// Sequential increments through [Lo, Lo+Size), wrapping — the strictly
+// increasing pattern of §5.2.3 (159 of 244 low-range resolvers, 130 of
+// which wrapped).
+type Sequential struct {
+	Lo   uint16
+	Size int
+	next int
+}
+
+// NewSequential returns a sequential allocator starting at lo.
+func NewSequential(lo uint16, size int) *Sequential {
+	if size < 1 {
+		size = 1
+	}
+	return &Sequential{Lo: lo, Size: size}
+}
+
+// Next implements PortAllocator.
+func (s *Sequential) Next() uint16 {
+	p := s.Lo + uint16(s.next)
+	s.next = (s.next + 1) % s.Size
+	return p
+}
+
+// Strategy implements PortAllocator.
+func (s *Sequential) Strategy() string { return fmt.Sprintf("sequential:%d+%d", s.Lo, s.Size) }
+
+// Uniform selects uniformly at random from a pool — the RFC 5452
+// behaviour, parameterized by pool: OS defaults (Linux 32768-61000,
+// FreeBSD 49152-65535) or the full unprivileged range.
+type Uniform struct {
+	Pool oskernel.PortPool
+	rng  *rand.Rand
+}
+
+// NewUniform returns a uniform allocator over pool.
+func NewUniform(pool oskernel.PortPool, rng *rand.Rand) *Uniform {
+	return &Uniform{Pool: pool, rng: rng}
+}
+
+// Next implements PortAllocator.
+func (u *Uniform) Next() uint16 { return u.Pool.Lo + uint16(u.rng.Intn(u.Pool.Size())) }
+
+// Strategy implements PortAllocator.
+func (u *Uniform) Strategy() string {
+	return fmt.Sprintf("uniform:%d-%d", u.Pool.Lo, u.Pool.Hi)
+}
+
+// WindowsPool reproduces Windows DNS 2008 R2+ (§5.3.2): a contiguous
+// pool of 2,500 ports chosen at server startup within the IANA range
+// [49152, 65535]; a pool starting in the highest 2,499 ports wraps to
+// the bottom of the IANA range.
+type WindowsPool struct {
+	Start uint16
+	rng   *rand.Rand
+}
+
+// Windows DNS pool arithmetic (§5.3.2), using the paper's inclusive
+// IANA bounds.
+const (
+	ianaMin = 49152
+	ianaMax = 65535
+)
+
+// NewWindowsPool chooses the pool start at "startup".
+func NewWindowsPool(rng *rand.Rand) *WindowsPool {
+	start := uint16(ianaMin + rng.Intn(ianaMax-ianaMin+1))
+	return &WindowsPool{Start: start, rng: rng}
+}
+
+// Next implements PortAllocator.
+func (w *WindowsPool) Next() uint16 {
+	off := w.rng.Intn(oskernel.WindowsDNSPoolSize)
+	p := int(w.Start) + off
+	if p > ianaMax {
+		p = ianaMin + (p - ianaMax - 1) // wrap to the bottom of the IANA range
+	}
+	return uint16(p)
+}
+
+// Wraps reports whether the instance's pool spans the top of the IANA
+// range (the case needing the paper's range-adjustment algorithm).
+func (w *WindowsPool) Wraps() bool {
+	return int(w.Start)+oskernel.WindowsDNSPoolSize-1 > ianaMax
+}
+
+// Strategy implements PortAllocator.
+func (w *WindowsPool) Strategy() string { return fmt.Sprintf("windows:%d", w.Start) }
+
+// Software identifies a DNS implementation's default port behaviour
+// (Table 5).
+type Software int
+
+// The software inventory of Table 5 plus the legacy behaviours of
+// §5.2.1.
+const (
+	SoftwareBIND950       Software = iota // 8 ports, selected at startup
+	SoftwareBIND952                       // 1024-65535 (through 9.8.8)
+	SoftwareBIND9Modern                   // OS defaults (9.9.13-9.16.0)
+	SoftwareKnot                          // OS defaults
+	SoftwareUnbound                       // 1024-65535
+	SoftwarePowerDNS                      // 1024-65535
+	SoftwareWindowsDNSOld                 // 1 port >1023, selected at startup
+	SoftwareWindowsDNS                    // 2,500-port wrapping pool
+	SoftwareBIND8                         // 1 unprivileged port
+	SoftwareBINDPre81                     // port 53 exclusively
+	SoftwareFixed53Config                 // modern software, query-source port 53
+	SoftwareSequential                    // sequential small-range allocator
+	SoftwareSmallPool                     // random over a small pool
+)
+
+// String names the software.
+func (s Software) String() string {
+	switch s {
+	case SoftwareBIND950:
+		return "BIND 9.5.0"
+	case SoftwareBIND952:
+		return "BIND 9.5.2-9.8.8"
+	case SoftwareBIND9Modern:
+		return "BIND 9.9.13-9.16.0"
+	case SoftwareKnot:
+		return "Knot Resolver 3.2.1"
+	case SoftwareUnbound:
+		return "Unbound 1.9.0"
+	case SoftwarePowerDNS:
+		return "PowerDNS Recursor 4.2.0"
+	case SoftwareWindowsDNSOld:
+		return "Windows DNS 2003/2003 R2/2008"
+	case SoftwareWindowsDNS:
+		return "Windows DNS 2008 R2-2019"
+	case SoftwareBIND8:
+		return "BIND 8"
+	case SoftwareBINDPre81:
+		return "BIND <8.1"
+	case SoftwareFixed53Config:
+		return "fixed query-source config"
+	case SoftwareSequential:
+		return "sequential allocator"
+	case SoftwareSmallPool:
+		return "small-pool allocator"
+	default:
+		return fmt.Sprintf("software(%d)", int(s))
+	}
+}
+
+// AllSoftware lists every modeled implementation.
+var AllSoftware = []Software{
+	SoftwareBIND950, SoftwareBIND952, SoftwareBIND9Modern, SoftwareKnot,
+	SoftwareUnbound, SoftwarePowerDNS, SoftwareWindowsDNSOld, SoftwareWindowsDNS,
+	SoftwareBIND8, SoftwareBINDPre81, SoftwareFixed53Config, SoftwareSequential,
+	SoftwareSmallPool,
+}
+
+// NewAllocator builds the default allocator for software running on os
+// (Table 5's "Source Port Pool (default)" column). rng provides the
+// startup randomness.
+func NewAllocator(sw Software, os *oskernel.Profile, rng *rand.Rand) PortAllocator {
+	switch sw {
+	case SoftwareBIND950:
+		return NewFixedSet(8, oskernel.PoolFull, rng)
+	case SoftwareBIND952, SoftwareUnbound, SoftwarePowerDNS:
+		return NewUniform(oskernel.PoolFull, rng)
+	case SoftwareBIND9Modern, SoftwareKnot:
+		pool := oskernel.PoolLinux
+		if os != nil {
+			pool = os.Ephemeral
+		}
+		// BIND 9.11+ on Windows selects from the full unprivileged range
+		// (§5.3.2), not Windows DNS's 2,500-port pool.
+		if os != nil && os.Family == oskernel.FamilyWindows {
+			pool = oskernel.PoolFull
+		}
+		return NewUniform(pool, rng)
+	case SoftwareWindowsDNSOld, SoftwareBIND8:
+		return &FixedPort{Port: uint16(1024 + rng.Intn(4000))}
+	case SoftwareWindowsDNS:
+		return NewWindowsPool(rng)
+	case SoftwareBINDPre81, SoftwareFixed53Config:
+		return &FixedPort{Port: 53}
+	case SoftwareSequential:
+		return NewSequential(uint16(1024+rng.Intn(30000)), 50+rng.Intn(150))
+	case SoftwareSmallPool:
+		return NewUniform(oskernel.PortPool{Lo: 32768, Hi: 32768 + uint16(20+rng.Intn(180))}, rng)
+	default:
+		return NewUniform(oskernel.PoolFull, rng)
+	}
+}

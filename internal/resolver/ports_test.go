@@ -1,0 +1,262 @@
+package resolver
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/oskernel"
+	"repro/internal/packet"
+)
+
+// packetBuildUDP adapts packet.BuildUDP for the integration tests.
+func packetBuildUDP(src, dst netip.Addr, sport, dport uint16, payload []byte) ([]byte, error) {
+	return packet.BuildUDP(src, dst, sport, dport, 64, payload)
+}
+
+func portRange(ports []uint16) int {
+	lo, hi := ports[0], ports[0]
+	for _, p := range ports {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	return int(hi) - int(lo)
+}
+
+func draw(a PortAllocator, n int) []uint16 {
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = a.Next()
+	}
+	return out
+}
+
+func TestFixedPortZeroRange(t *testing.T) {
+	a := &FixedPort{Port: 53}
+	ports := draw(a, 10)
+	if portRange(ports) != 0 {
+		t.Fatalf("fixed port range = %d", portRange(ports))
+	}
+	if ports[0] != 53 {
+		t.Fatalf("port = %d", ports[0])
+	}
+}
+
+func TestFixedSetStaysWithinSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewFixedSet(8, oskernel.PoolFull, rng)
+	if len(a.Ports) != 8 {
+		t.Fatalf("set size = %d", len(a.Ports))
+	}
+	member := make(map[uint16]bool)
+	for _, p := range a.Ports {
+		if !oskernel.PoolFull.Contains(p) {
+			t.Fatalf("port %d outside pool", p)
+		}
+		if member[p] {
+			t.Fatal("duplicate port in startup set")
+		}
+		member[p] = true
+	}
+	for _, p := range draw(a, 1000) {
+		if !member[p] {
+			t.Fatalf("allocator yielded %d outside its startup set", p)
+		}
+	}
+}
+
+func TestSequentialStrictlyIncreasingThenWraps(t *testing.T) {
+	a := NewSequential(5000, 100)
+	ports := draw(a, 150)
+	for i := 1; i < 100; i++ {
+		if ports[i] != ports[i-1]+1 {
+			t.Fatalf("not strictly increasing at %d: %d -> %d", i, ports[i-1], ports[i])
+		}
+	}
+	if ports[100] != 5000 {
+		t.Fatalf("did not wrap to start: %d", ports[100])
+	}
+}
+
+func TestUniformStaysInPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewUniform(oskernel.PoolLinux, rng)
+	for _, p := range draw(a, 5000) {
+		if !oskernel.PoolLinux.Contains(p) {
+			t.Fatalf("port %d outside Linux pool", p)
+		}
+	}
+}
+
+func TestUniformCoversPoolWell(t *testing.T) {
+	// 10 draws from a 28,232-port pool should give a wide range nearly
+	// always (this is the Beta(9,2) signal §5.3.2 models).
+	rng := rand.New(rand.NewSource(3))
+	a := NewUniform(oskernel.PoolLinux, rng)
+	wide := 0
+	for trial := 0; trial < 100; trial++ {
+		if portRange(draw(a, 10)) > oskernel.PoolLinux.Size()/2 {
+			wide++
+		}
+	}
+	if wide < 90 {
+		t.Fatalf("only %d/100 trials had range > half the pool", wide)
+	}
+}
+
+func TestWindowsPoolStaysInIANARange(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewWindowsPool(rng)
+		for _, p := range draw(a, 500) {
+			if p < 49152 {
+				t.Fatalf("seed %d: port %d below IANA range", seed, p)
+			}
+		}
+	}
+}
+
+func TestWindowsPoolSpansExactly2500(t *testing.T) {
+	// Exhaust the pool: distinct ports must number <= 2500 and the
+	// adjusted span must be < 2500.
+	rng := rand.New(rand.NewSource(4))
+	a := NewWindowsPool(rng)
+	seen := make(map[uint16]bool)
+	for i := 0; i < 100000; i++ {
+		seen[a.Next()] = true
+	}
+	if len(seen) != oskernel.WindowsDNSPoolSize {
+		t.Fatalf("distinct ports = %d, want %d", len(seen), oskernel.WindowsDNSPoolSize)
+	}
+}
+
+func TestWindowsPoolWrapDetection(t *testing.T) {
+	wrapped, contiguous := 0, 0
+	for seed := int64(0); seed < 200; seed++ {
+		a := NewWindowsPool(rand.New(rand.NewSource(seed)))
+		if a.Wraps() {
+			wrapped++
+			// A wrapping pool must emit ports in both regions.
+			lowSeen, highSeen := false, false
+			for i := 0; i < 20000; i++ {
+				p := a.Next()
+				if p < a.Start {
+					lowSeen = true
+				} else {
+					highSeen = true
+				}
+			}
+			if !lowSeen || !highSeen {
+				t.Fatalf("seed %d: wrapping pool did not span both regions", seed)
+			}
+		} else {
+			contiguous++
+		}
+	}
+	if wrapped == 0 || contiguous == 0 {
+		t.Fatalf("wrap mix degenerate: %d wrapped, %d contiguous", wrapped, contiguous)
+	}
+}
+
+func TestNewAllocatorTable5(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct {
+		sw   Software
+		os   *oskernel.Profile
+		want string // allocator behaviour class
+	}{
+		{SoftwareBIND950, oskernel.UbuntuModern, "fixed-set"},
+		{SoftwareBIND952, oskernel.UbuntuModern, "uniform-full"},
+		{SoftwareUnbound, oskernel.UbuntuModern, "uniform-full"},
+		{SoftwarePowerDNS, oskernel.UbuntuModern, "uniform-full"},
+		{SoftwareBIND9Modern, oskernel.UbuntuModern, "uniform-linux"},
+		{SoftwareBIND9Modern, oskernel.FreeBSD12, "uniform-iana"},
+		{SoftwareBIND9Modern, oskernel.WindowsModern, "uniform-full"},
+		{SoftwareKnot, oskernel.UbuntuModern, "uniform-linux"},
+		{SoftwareWindowsDNS, oskernel.WindowsModern, "windows"},
+		{SoftwareWindowsDNSOld, oskernel.WindowsLegacy, "fixed"},
+		{SoftwareBINDPre81, oskernel.UbuntuLegacy, "fixed53"},
+		{SoftwareFixed53Config, oskernel.UbuntuModern, "fixed53"},
+	}
+	classify := func(a PortAllocator) string {
+		switch v := a.(type) {
+		case *FixedSet:
+			return "fixed-set"
+		case *WindowsPool:
+			return "windows"
+		case *FixedPort:
+			if v.Port == 53 {
+				return "fixed53"
+			}
+			return "fixed"
+		case *Uniform:
+			switch v.Pool {
+			case oskernel.PoolFull:
+				return "uniform-full"
+			case oskernel.PoolLinux:
+				return "uniform-linux"
+			case oskernel.PoolIANA:
+				return "uniform-iana"
+			}
+			return "uniform-other"
+		case *Sequential:
+			return "sequential"
+		}
+		return "?"
+	}
+	for _, c := range cases {
+		got := classify(NewAllocator(c.sw, c.os, rng))
+		if got != c.want {
+			t.Errorf("NewAllocator(%v on %v) = %s, want %s", c.sw, c.os, got, c.want)
+		}
+	}
+}
+
+func TestSoftwareStrings(t *testing.T) {
+	for _, sw := range AllSoftware {
+		if sw.String() == "" {
+			t.Fatalf("software %d has empty name", int(sw))
+		}
+	}
+}
+
+func TestQuickWindowsPoolOffsets(t *testing.T) {
+	// Property: every emitted port corresponds to an offset 0..2499 from
+	// Start under the wrap rule.
+	f := func(seed int64, n uint8) bool {
+		a := NewWindowsPool(rand.New(rand.NewSource(seed)))
+		for i := 0; i < int(n); i++ {
+			p := int(a.Next())
+			off := p - int(a.Start)
+			if off < 0 { // wrapped
+				off = p - 49152 + (65535 - int(a.Start)) + 1
+			}
+			if off < 0 || off >= 2500 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestACLAllows(t *testing.T) {
+	open := ACL{Open: true}
+	if !open.Allows(netip.MustParseAddr("8.8.8.8")) {
+		t.Fatal("open ACL refused a client")
+	}
+	closed := ACL{Allowed: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")}}
+	if !closed.Allows(netip.MustParseAddr("10.1.2.3")) {
+		t.Fatal("closed ACL refused an allowed client")
+	}
+	if closed.Allows(netip.MustParseAddr("11.1.2.3")) {
+		t.Fatal("closed ACL accepted an outside client")
+	}
+}

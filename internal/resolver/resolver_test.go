@@ -1,0 +1,490 @@
+package resolver
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/authserver"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/oskernel"
+	"repro/internal/routing"
+)
+
+func addr(s string) netip.Addr     { return netip.MustParseAddr(s) }
+func prefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+// hierarchy is a miniature DNS world: root, org TLD, and the dns-lab.org
+// experiment servers, plus a resolver and a stub client.
+type hierarchy struct {
+	net      *netsim.Network
+	auth     *authserver.Server
+	authZone *authserver.Zone
+	res      *Resolver
+	resHost  *netsim.Host
+	client   *netsim.Host
+	clientAS *routing.AS
+	resAS    *routing.AS
+}
+
+func soa() dnswire.SOAData {
+	return dnswire.SOAData{
+		MName: "ns1.dns-lab.org", RName: "research.dns-lab.org",
+		Serial: 2019110601, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 60,
+	}
+}
+
+func buildHierarchy(t testing.TB, cfg Config) *hierarchy {
+	t.Helper()
+	return buildHierarchyWithLoss(t, cfg, 0)
+}
+
+func buildHierarchyWithLoss(t testing.TB, cfg Config, loss float64) *hierarchy {
+	t.Helper()
+	reg := routing.NewRegistry()
+	infraAS := &routing.AS{ASN: 10, Prefixes: []netip.Prefix{prefix("192.0.9.0/24"), prefix("2001:db8:9::/48")}}
+	resAS := &routing.AS{ASN: 20, Prefixes: []netip.Prefix{prefix("198.51.100.0/24"), prefix("2001:db8:20::/48")}}
+	clientAS := &routing.AS{ASN: 30, Prefixes: []netip.Prefix{prefix("192.0.2.0/24"), prefix("2001:db8:30::/48")}}
+	for _, as := range []*routing.AS{infraAS, resAS, clientAS} {
+		if err := reg.Add(as); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := netsim.New(reg, netsim.Config{Seed: 7, LossRate: loss})
+
+	rootAddr4, rootAddr6 := addr("192.0.9.1"), addr("2001:db8:9::1")
+	orgAddr4, orgAddr6 := addr("192.0.9.2"), addr("2001:db8:9::2")
+	authAddr4, authAddr6 := addr("192.0.9.3"), addr("2001:db8:9::3")
+
+	rootHost, err := n.Attach("root", infraAS, rootAddr4, rootAddr6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orgHost, err := n.Attach("org", infraAS, orgAddr4, orgAddr6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	authHost, err := n.Attach("auth", infraAS, authAddr4, authAddr6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rootZone := authserver.NewZone(dnswire.Root, soa())
+	rootZone.TTL = 86400
+	rootZone.Delegate(&authserver.Delegation{
+		Apex: "org", NS: []dnswire.Name{"a0.org.afilias-nst.info"},
+		Glue: map[dnswire.Name][]netip.Addr{"a0.org.afilias-nst.info": {orgAddr4, orgAddr6}},
+	})
+	if _, err := authserver.New(rootHost, rootZone); err != nil {
+		t.Fatal(err)
+	}
+
+	orgZone := authserver.NewZone("org", soa())
+	orgZone.TTL = 86400
+	orgZone.Delegate(&authserver.Delegation{
+		Apex: "dns-lab.org", NS: []dnswire.Name{"ns1.dns-lab.org"},
+		Glue: map[dnswire.Name][]netip.Addr{"ns1.dns-lab.org": {authAddr4, authAddr6}},
+	})
+	if _, err := authserver.New(orgHost, orgZone); err != nil {
+		t.Fatal(err)
+	}
+
+	authZone := authserver.NewZone("dns-lab.org", soa())
+	tcZone := authserver.NewZone("tc.dns-lab.org", soa())
+	tcZone.AlwaysTruncate = true
+	auth, err := authserver.New(authHost, authZone, tcZone)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resHost, err := n.Attach("resolver", resAS, addr("198.51.100.53"), addr("2001:db8:20::53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resHost.OS = oskernel.UbuntuModern
+	if cfg.Ports == nil {
+		cfg.Ports = NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(1)))
+	}
+	res, err := New(resHost, []netip.Addr{rootAddr4, rootAddr6}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := n.Attach("client", clientAS, addr("192.0.2.10"), addr("2001:db8:30::10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &hierarchy{
+		net: n, auth: auth, authZone: authZone, res: res, resHost: resHost,
+		client: client, clientAS: clientAS, resAS: resAS,
+	}
+}
+
+// query sends a client query to the resolver and returns the response
+// received (nil if none) after the network settles.
+func (h *hierarchy) query(t testing.TB, name dnswire.Name, typ dnswire.Type) *dnswire.Message {
+	t.Helper()
+	var got *dnswire.Message
+	h.client.UnbindUDP(5353)
+	h.client.BindUDP(5353, func(now time.Duration, src netip.Addr, sp uint16, dst netip.Addr, dp uint16, payload []byte) {
+		if m, err := dnswire.Unpack(payload); err == nil && m.QR {
+			got = m
+		}
+	})
+	q := dnswire.NewQuery(uint16(len(name)+int(typ)), name, typ)
+	payload, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.client.SendUDP(addr("192.0.2.10"), 5353, addr("198.51.100.53"), 53, payload); err != nil {
+		t.Fatal(err)
+	}
+	h.net.Run()
+	return got
+}
+
+func TestOpenResolverResolvesNXDomain(t *testing.T) {
+	h := buildHierarchy(t, Config{ACL: ACL{Open: true}, Seed: 1})
+	resp := h.query(t, "1000.src.dst.asn.kw.dns-lab.org", dnswire.TypeA)
+	if resp == nil {
+		t.Fatal("no response from resolver")
+	}
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("rcode = %v, want NXDOMAIN", resp.RCode)
+	}
+	// The full chain root -> org -> dns-lab must appear in the auth log.
+	found := false
+	for _, e := range h.auth.Log {
+		if e.Name.Equal("1000.src.dst.asn.kw.dns-lab.org") {
+			found = true
+			if e.Client != addr("198.51.100.53") && e.Client != addr("2001:db8:20::53") {
+				t.Fatalf("auth saw client %v", e.Client)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("experiment query never reached the authoritative server; log=%v", h.auth.Log)
+	}
+}
+
+func TestClosedResolverRefusesOutsideACL(t *testing.T) {
+	h := buildHierarchy(t, Config{
+		ACL:  ACL{Allowed: []netip.Prefix{prefix("198.51.100.0/24")}},
+		Seed: 2,
+	})
+	resp := h.query(t, "1001.x.dns-lab.org", dnswire.TypeA)
+	if resp == nil {
+		t.Fatal("no response")
+	}
+	if resp.RCode != dnswire.RCodeRefused {
+		t.Fatalf("rcode = %v, want REFUSED (client outside ACL)", resp.RCode)
+	}
+	if len(h.auth.Log) != 0 {
+		t.Fatalf("refused query still reached auth: %v", h.auth.Log)
+	}
+	if h.res.Stats.Refused != 1 {
+		t.Fatalf("stats = %+v", h.res.Stats)
+	}
+}
+
+func TestClosedResolverAcceptsSpoofedInternal(t *testing.T) {
+	// The paper's core scenario: a closed resolver's ACL trusts its own
+	// prefix; a spoofed-internal source passes the ACL.
+	h := buildHierarchy(t, Config{
+		ACL:  ACL{Allowed: []netip.Prefix{prefix("198.51.100.0/24"), prefix("2001:db8:20::/48")}},
+		Seed: 3,
+	})
+	q := dnswire.NewQuery(42, "1002.spoof.dns-lab.org", dnswire.TypeA)
+	payload, _ := q.Pack()
+	// Spoof a same-prefix source via the client's raw socket.
+	raw, err := buildSpoofedUDP(addr("198.51.100.77"), addr("198.51.100.53"), 40000, 53, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.client.SendRaw(raw)
+	h.net.Run()
+	found := false
+	for _, e := range h.auth.Log {
+		if e.Name.Equal("1002.spoof.dns-lab.org") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("spoofed-internal query did not induce a recursive-to-authoritative query")
+	}
+}
+
+func TestCacheSuppressesRepeatUpstreamQueries(t *testing.T) {
+	h := buildHierarchy(t, Config{ACL: ACL{Open: true}, Seed: 4})
+	h.authZone.AddAddr("www.dns-lab.org", addr("192.0.9.100"), 300)
+	r1 := h.query(t, "www.dns-lab.org", dnswire.TypeA)
+	if r1 == nil || r1.RCode != dnswire.RCodeNoError || len(r1.Answer) != 1 {
+		t.Fatalf("first answer = %+v", r1)
+	}
+	upstreamAfterFirst := h.res.Stats.UpstreamQueries
+	r2 := h.query(t, "www.dns-lab.org", dnswire.TypeA)
+	if r2 == nil || len(r2.Answer) != 1 {
+		t.Fatalf("second answer = %+v", r2)
+	}
+	if h.res.Stats.UpstreamQueries != upstreamAfterFirst {
+		t.Fatalf("cache miss: upstream queries grew from %d to %d",
+			upstreamAfterFirst, h.res.Stats.UpstreamQueries)
+	}
+}
+
+func TestDelegationCacheSkipsRootOnSecondQuery(t *testing.T) {
+	h := buildHierarchy(t, Config{ACL: ACL{Open: true}, Seed: 5})
+	h.query(t, "2000.a.dns-lab.org", dnswire.TypeA)
+	logLen := len(h.auth.Log)
+	h.query(t, "2001.b.dns-lab.org", dnswire.TypeA)
+	// Second query must go straight to the dns-lab server: exactly one
+	// more auth log entry.
+	if len(h.auth.Log) != logLen+1 {
+		t.Fatalf("auth log grew by %d entries, want 1 (delegations not cached?)", len(h.auth.Log)-logLen)
+	}
+}
+
+func TestNegativeCacheRFC8020SubtreeCut(t *testing.T) {
+	h := buildHierarchy(t, Config{ACL: ACL{Open: true}, Seed: 6})
+	h.query(t, "gone.dns-lab.org", dnswire.TypeA)
+	before := h.res.Stats.UpstreamQueries
+	resp := h.query(t, "sub.gone.dns-lab.org", dnswire.TypeA)
+	if resp == nil || resp.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if h.res.Stats.UpstreamQueries != before {
+		t.Fatal("NXDOMAIN subtree cut not applied: upstream query issued for subdomain")
+	}
+}
+
+func TestQnameMinimizationStrictHaltsOnNXDomain(t *testing.T) {
+	h := buildHierarchy(t, Config{ACL: ACL{Open: true}, QnameMin: true, Seed: 7})
+	resp := h.query(t, "3000.src.dst.asn.kw.dns-lab.org", dnswire.TypeA)
+	if resp == nil || resp.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("resp = %+v", resp)
+	}
+	// The full query name must never appear at the auth server (§3.6.4:
+	// for 55% of QNAME-minimizing IPs the full QNAME never arrived).
+	sawFull, sawMin := false, false
+	for _, e := range h.auth.Log {
+		if e.Name.Equal("3000.src.dst.asn.kw.dns-lab.org") {
+			sawFull = true
+		}
+		if e.Name.Equal("kw.dns-lab.org") {
+			sawMin = true
+		}
+	}
+	if sawFull {
+		t.Fatal("strict QNAME-minimizing resolver leaked the full query name")
+	}
+	if !sawMin {
+		t.Fatalf("expected minimized query kw.dns-lab.org at auth; log: %+v", h.auth.Log)
+	}
+}
+
+func TestQnameMinimizationLenientFallsBackToFull(t *testing.T) {
+	h := buildHierarchy(t, Config{ACL: ACL{Open: true}, QnameMin: true, QnameMinLenient: true, Seed: 8})
+	resp := h.query(t, "3001.src.dst.asn.kw.dns-lab.org", dnswire.TypeA)
+	if resp == nil || resp.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("resp = %+v", resp)
+	}
+	sawFull := false
+	for _, e := range h.auth.Log {
+		if e.Name.Equal("3001.src.dst.asn.kw.dns-lab.org") {
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Fatal("lenient QNAME-minimizing resolver never sent the full name")
+	}
+}
+
+func TestQnameMinimizationWithWildcardDescends(t *testing.T) {
+	// §3.6.4's proposed fix: wildcard answers let minimizing resolvers
+	// reach the full name.
+	h := buildHierarchy(t, Config{ACL: ACL{Open: true}, QnameMin: true, Seed: 9})
+	h.authZone.Wildcard = true
+	resp := h.query(t, "3002.src.dst.asn.kw.dns-lab.org", dnswire.TypeA)
+	if resp == nil || resp.RCode != dnswire.RCodeNoError || len(resp.Answer) == 0 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	sawFull := false
+	for _, e := range h.auth.Log {
+		if e.Name.Equal("3002.src.dst.asn.kw.dns-lab.org") {
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Fatal("wildcard zone did not recover full-QNAME visibility")
+	}
+}
+
+func TestTruncationTriggersTCPRetry(t *testing.T) {
+	h := buildHierarchy(t, Config{ACL: ACL{Open: true}, Seed: 10})
+	resp := h.query(t, "4000.probe.tc.dns-lab.org", dnswire.TypeA)
+	if resp == nil || resp.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("resp = %+v", resp)
+	}
+	var tcpEntry *authserver.LogEntry
+	for i := range h.auth.Log {
+		e := &h.auth.Log[i]
+		if e.Transport == authserver.TransportTCP && e.Name.Equal("4000.probe.tc.dns-lab.org") {
+			tcpEntry = e
+		}
+	}
+	if tcpEntry == nil {
+		t.Fatalf("no TCP query at auth after truncation; log: %+v", h.auth.Log)
+	}
+	if tcpEntry.SYN == nil || tcpEntry.SYN.TCP == nil || !tcpEntry.SYN.TCP.SYN {
+		t.Fatal("TCP log entry has no captured SYN for fingerprinting")
+	}
+	if h.res.Stats.UpstreamTCP != 1 {
+		t.Fatalf("stats = %+v", h.res.Stats)
+	}
+}
+
+func TestFixedPortResolverAlwaysUsesSamePort(t *testing.T) {
+	h := buildHierarchy(t, Config{
+		ACL: ACL{Open: true}, Ports: &FixedPort{Port: 53}, Seed: 11,
+	})
+	for i := 0; i < 10; i++ {
+		h.query(t, dnswire.Name(string(rune('a'+i))+".q.dns-lab.org"), dnswire.TypeA)
+	}
+	ports := make(map[uint16]bool)
+	for _, e := range h.auth.Log {
+		if e.Transport == authserver.TransportUDP {
+			ports[e.ClientPort] = true
+		}
+	}
+	if len(ports) != 1 || !ports[53] {
+		t.Fatalf("observed source ports %v, want only 53", ports)
+	}
+}
+
+func TestUniformPortResolverVariesPorts(t *testing.T) {
+	h := buildHierarchy(t, Config{ACL: ACL{Open: true}, Seed: 12})
+	for i := 0; i < 10; i++ {
+		h.query(t, dnswire.Name(string(rune('a'+i))+".r.dns-lab.org"), dnswire.TypeA)
+	}
+	ports := make(map[uint16]bool)
+	for _, e := range h.auth.Log {
+		ports[e.ClientPort] = true
+		if e.ClientPort < 32768 || e.ClientPort >= 61000 {
+			t.Fatalf("port %d outside the Linux pool", e.ClientPort)
+		}
+	}
+	if len(ports) < 5 {
+		t.Fatalf("only %d distinct ports over 10+ queries", len(ports))
+	}
+}
+
+func TestForwarderRelaysThroughUpstream(t *testing.T) {
+	h := buildHierarchy(t, Config{ACL: ACL{Open: true}, Seed: 13})
+	// Attach an upstream open resolver in the infra AS.
+	upHost, err := h.net.Attach("upstream", h.net.Registry.AS(10), addr("192.0.9.8"), addr("2001:db8:9::8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(upHost, h.res.Roots, Config{
+		ACL:   ACL{Open: true},
+		Ports: NewUniform(oskernel.PoolIANA, rand.New(rand.NewSource(2))),
+		Seed:  14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the resolver with a forwarder on a fresh host.
+	fwdHost, err := h.net.Attach("forwarder", h.resAS, addr("198.51.100.54"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(fwdHost, nil, Config{
+		ACL:     ACL{Open: true},
+		Ports:   NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(3))),
+		Forward: []netip.Addr{addr("192.0.9.8")},
+		Seed:    15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got *dnswire.Message
+	h.client.BindUDP(7000, func(now time.Duration, src netip.Addr, sp uint16, dst netip.Addr, dp uint16, payload []byte) {
+		if m, err := dnswire.Unpack(payload); err == nil && m.QR {
+			got = m
+		}
+	})
+	q := dnswire.NewQuery(9, "5000.fw.dns-lab.org", dnswire.TypeA)
+	payload, _ := q.Pack()
+	h.client.SendUDP(addr("192.0.2.10"), 7000, addr("198.51.100.54"), 53, payload)
+	h.net.Run()
+
+	if got == nil || got.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("forwarded response = %+v", got)
+	}
+	// The auth server must have seen the UPSTREAM's address, not the
+	// forwarder's — the §5.4 signal.
+	for _, e := range h.auth.Log {
+		if !e.Name.Equal("5000.fw.dns-lab.org") {
+			continue
+		}
+		if e.Client == addr("198.51.100.54") {
+			t.Fatal("auth saw the forwarder directly; forwarding not in effect")
+		}
+		if e.Client != addr("192.0.9.8") && e.Client != addr("2001:db8:9::8") {
+			t.Fatalf("auth saw unexpected client %v", e.Client)
+		}
+	}
+}
+
+func TestServFailWhenUpstreamUnreachable(t *testing.T) {
+	h := buildHierarchy(t, Config{
+		ACL: ACL{Open: true}, Seed: 16,
+		Timeout: 500 * time.Millisecond, Retries: 1,
+	})
+	// Point the resolver at a root that doesn't exist.
+	h.res.Roots = []netip.Addr{addr("192.0.9.99")}
+	resp := h.query(t, "6000.dead.dns-lab.org", dnswire.TypeA)
+	if resp == nil || resp.RCode != dnswire.RCodeServFail {
+		t.Fatalf("resp = %+v, want SERVFAIL", resp)
+	}
+	if h.res.Stats.Timeouts < 2 {
+		t.Fatalf("stats = %+v: expected initial attempt + retry to time out", h.res.Stats)
+	}
+}
+
+func TestResolverRespondsFromQueriedAddress(t *testing.T) {
+	h := buildHierarchy(t, Config{ACL: ACL{Open: true}, Seed: 17})
+	var respSrc netip.Addr
+	h.client.BindUDP(7100, func(now time.Duration, src netip.Addr, sp uint16, dst netip.Addr, dp uint16, payload []byte) {
+		respSrc = src
+	})
+	q := dnswire.NewQuery(9, "7000.addr.dns-lab.org", dnswire.TypeA)
+	payload, _ := q.Pack()
+	h.client.SendUDP(addr("2001:db8:30::10"), 7100, addr("2001:db8:20::53"), 53, payload)
+	h.net.Run()
+	if respSrc != addr("2001:db8:20::53") {
+		t.Fatalf("response came from %v, want the queried v6 address", respSrc)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	h := buildHierarchy(t, Config{ACL: ACL{Open: true}, Seed: 18})
+	host, err := h.net.Attach("bad", h.resAS, addr("198.51.100.99"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(host, nil, Config{ACL: ACL{Open: true}, Ports: &FixedPort{Port: 53}}); err == nil {
+		t.Fatal("resolver with neither roots nor forwarders accepted")
+	}
+	if _, err := New(host, h.res.Roots, Config{ACL: ACL{Open: true}}); err == nil {
+		t.Fatal("resolver with nil port allocator accepted")
+	}
+}
+
+// buildSpoofedUDP builds a raw UDP datagram with an arbitrary source.
+func buildSpoofedUDP(src, dst netip.Addr, sport, dport uint16, payload []byte) ([]byte, error) {
+	return packetBuildUDP(src, dst, sport, dport, payload)
+}

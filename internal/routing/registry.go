@@ -1,0 +1,114 @@
+package routing
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// AS is an autonomous system: an origin ASN with its announced prefixes
+// and the border-filtering posture the experiment measures.
+type AS struct {
+	ASN      ASN
+	Prefixes []netip.Prefix // announced (v4 and v6 mixed)
+
+	// DSAV reports whether the AS filters inbound packets whose source
+	// address belongs to one of its own announced prefixes
+	// (destination-side source address validation).
+	DSAV bool
+	// OSAV reports whether the AS filters outbound packets whose source
+	// address does not belong to one of its announced prefixes (BCP 38).
+	OSAV bool
+	// FilterBogons reports whether the AS border drops inbound packets
+	// with special-purpose (private, loopback, ...) source addresses.
+	FilterBogons bool
+
+	// Countries lists the ISO country codes the AS's address space maps
+	// to (an AS may span several, as in the paper's Tables 1-2).
+	Countries []string
+}
+
+// V4Prefixes returns the announced IPv4 prefixes.
+func (a *AS) V4Prefixes() []netip.Prefix { return a.family(true) }
+
+// V6Prefixes returns the announced IPv6 prefixes.
+func (a *AS) V6Prefixes() []netip.Prefix { return a.family(false) }
+
+func (a *AS) family(v4 bool) []netip.Prefix {
+	var out []netip.Prefix
+	for _, p := range a.Prefixes {
+		if p.Addr().Is4() == v4 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Originates reports whether addr falls within one of the AS's announced
+// prefixes.
+func (a *AS) Originates(addr netip.Addr) bool {
+	for _, p := range a.Prefixes {
+		if p.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Registry is the simulated global routing table: the set of ASes, their
+// announced prefixes, and a longest-prefix-match index.
+type Registry struct {
+	byASN map[ASN]*AS
+	trie  Trie
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byASN: make(map[ASN]*AS)}
+}
+
+// Add registers an AS and indexes its prefixes. Adding the same ASN twice
+// is a programming error.
+func (r *Registry) Add(as *AS) error {
+	if _, dup := r.byASN[as.ASN]; dup {
+		return fmt.Errorf("routing: duplicate %v", as.ASN)
+	}
+	r.byASN[as.ASN] = as
+	for _, p := range as.Prefixes {
+		r.trie.Insert(p, as.ASN)
+	}
+	return nil
+}
+
+// AS returns the AS for asn, or nil.
+func (r *Registry) AS(asn ASN) *AS { return r.byASN[asn] }
+
+// Count reports the number of registered ASes.
+func (r *Registry) Count() int { return len(r.byASN) }
+
+// ASNs returns all registered ASNs in ascending order (deterministic
+// iteration for the simulator).
+func (r *Registry) ASNs() []ASN {
+	out := make([]ASN, 0, len(r.byASN))
+	for a := range r.byASN {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OriginOf returns the AS originating addr's longest-matching announced
+// prefix, or nil if the address is unrouted.
+func (r *Registry) OriginOf(addr netip.Addr) *AS {
+	asn, ok := r.trie.Lookup(addr)
+	if !ok {
+		return nil
+	}
+	return r.byASN[asn]
+}
+
+// Routed reports whether addr is covered by any announced prefix.
+func (r *Registry) Routed(addr netip.Addr) bool {
+	_, ok := r.trie.Lookup(addr)
+	return ok
+}

@@ -1,0 +1,292 @@
+package routing
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func mustAddr(s string) netip.Addr     { return netip.MustParseAddr(s) }
+
+func TestTrieLongestMatch(t *testing.T) {
+	var tr Trie
+	tr.Insert(mustPrefix("10.0.0.0/8"), 100)
+	tr.Insert(mustPrefix("10.1.0.0/16"), 200)
+	tr.Insert(mustPrefix("10.1.2.0/24"), 300)
+
+	cases := []struct {
+		addr string
+		want ASN
+	}{
+		{"10.9.9.9", 100},
+		{"10.1.9.9", 200},
+		{"10.1.2.9", 300},
+	}
+	for _, c := range cases {
+		got, ok := tr.Lookup(mustAddr(c.addr))
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = %v,%v want %v", c.addr, got, ok, c.want)
+		}
+	}
+	if _, ok := tr.Lookup(mustAddr("11.0.0.1")); ok {
+		t.Error("unrouted v4 address matched")
+	}
+}
+
+func TestTrieV6(t *testing.T) {
+	var tr Trie
+	tr.Insert(mustPrefix("2001:db8::/32"), 64500)
+	tr.Insert(mustPrefix("2001:db8:1::/48"), 64501)
+	if got, ok := tr.Lookup(mustAddr("2001:db8:1::5")); !ok || got != 64501 {
+		t.Fatalf("v6 longest match = %v,%v", got, ok)
+	}
+	if got, ok := tr.Lookup(mustAddr("2001:db8:2::5")); !ok || got != 64500 {
+		t.Fatalf("v6 covering match = %v,%v", got, ok)
+	}
+	if _, ok := tr.Lookup(mustAddr("2001:db9::1")); ok {
+		t.Fatal("unrouted v6 address matched")
+	}
+}
+
+func TestTrieFamiliesAreSeparate(t *testing.T) {
+	var tr Trie
+	tr.Insert(mustPrefix("0.0.0.0/0"), 1)
+	if _, ok := tr.Lookup(mustAddr("2001:db8::1")); ok {
+		t.Fatal("v4 default route matched a v6 address")
+	}
+	tr.Insert(mustPrefix("::/0"), 2)
+	if got, _ := tr.Lookup(mustAddr("1.2.3.4")); got != 1 {
+		t.Fatal("v6 default route shadowed v4")
+	}
+}
+
+func TestTrieExactReplacement(t *testing.T) {
+	var tr Trie
+	tr.Insert(mustPrefix("192.0.2.0/24"), 7)
+	tr.Insert(mustPrefix("192.0.2.0/24"), 8)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	if got, _ := tr.Lookup(mustAddr("192.0.2.1")); got != 8 {
+		t.Fatalf("Lookup = %v, want replacement 8", got)
+	}
+}
+
+func TestRegistryOrigin(t *testing.T) {
+	r := NewRegistry()
+	as1 := &AS{ASN: 64500, Prefixes: []netip.Prefix{mustPrefix("198.51.100.0/24"), mustPrefix("2001:db8:100::/48")}}
+	as2 := &AS{ASN: 64501, Prefixes: []netip.Prefix{mustPrefix("203.0.113.0/24")}}
+	if err := r.Add(as1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(as2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(&AS{ASN: 64500}); err == nil {
+		t.Fatal("duplicate ASN accepted")
+	}
+	if got := r.OriginOf(mustAddr("198.51.100.50")); got != as1 {
+		t.Fatalf("OriginOf v4 = %v", got)
+	}
+	if got := r.OriginOf(mustAddr("2001:db8:100::9")); got != as1 {
+		t.Fatalf("OriginOf v6 = %v", got)
+	}
+	if r.OriginOf(mustAddr("8.8.8.8")) != nil {
+		t.Fatal("unrouted address has origin")
+	}
+	if !r.Routed(mustAddr("203.0.113.1")) || r.Routed(mustAddr("9.9.9.9")) {
+		t.Fatal("Routed misreports")
+	}
+	asns := r.ASNs()
+	if len(asns) != 2 || asns[0] != 64500 || asns[1] != 64501 {
+		t.Fatalf("ASNs = %v", asns)
+	}
+}
+
+func TestASOriginatesAndFamilies(t *testing.T) {
+	as := &AS{ASN: 1, Prefixes: []netip.Prefix{
+		mustPrefix("198.51.100.0/24"), mustPrefix("192.0.2.0/25"), mustPrefix("2001:db8::/40"),
+	}}
+	if !as.Originates(mustAddr("192.0.2.5")) {
+		t.Fatal("Originates false negative")
+	}
+	if as.Originates(mustAddr("192.0.2.200")) {
+		t.Fatal("Originates false positive outside /25")
+	}
+	if len(as.V4Prefixes()) != 2 || len(as.V6Prefixes()) != 1 {
+		t.Fatalf("family split: %d v4, %d v6", len(as.V4Prefixes()), len(as.V6Prefixes()))
+	}
+}
+
+func TestSpecialPurpose(t *testing.T) {
+	special := []string{
+		"10.1.2.3", "192.168.0.10", "172.16.5.5", "127.0.0.1", "169.254.1.1",
+		"224.0.0.5", "255.255.255.255", "100.64.0.1", "198.18.0.1",
+		"::1", "fc00::10", "fe80::1", "ff02::1", "2001:db8::1", "2002::1",
+	}
+	for _, s := range special {
+		if !IsSpecialPurpose(mustAddr(s)) {
+			t.Errorf("IsSpecialPurpose(%s) = false", s)
+		}
+	}
+	public := []string{"8.8.8.8", "198.51.99.1", "2600::1", "2a00::1"}
+	for _, s := range public {
+		if IsSpecialPurpose(mustAddr(s)) {
+			t.Errorf("IsSpecialPurpose(%s) = true", s)
+		}
+	}
+}
+
+func TestIsPrivateAndLoopback(t *testing.T) {
+	if !IsPrivate(mustAddr("192.168.0.10")) || !IsPrivate(mustAddr("fc00::10")) {
+		t.Fatal("paper's private spoof sources must be private")
+	}
+	if IsPrivate(mustAddr("8.8.8.8")) || IsPrivate(mustAddr("2600::1")) {
+		t.Fatal("public address classified private")
+	}
+	if !IsLoopback(mustAddr("127.0.0.1")) || !IsLoopback(mustAddr("::1")) {
+		t.Fatal("loopback misclassified")
+	}
+}
+
+func TestEnumerateSubnetsV4(t *testing.T) {
+	subs := EnumerateSubnets(mustPrefix("198.51.0.0/22"), 0)
+	if len(subs) != 4 {
+		t.Fatalf("a /22 splits into %d /24s, want 4", len(subs))
+	}
+	if subs[0] != mustPrefix("198.51.0.0/24") || subs[3] != mustPrefix("198.51.3.0/24") {
+		t.Fatalf("subnets = %v", subs)
+	}
+	// A /24 or smaller yields its enclosing /24.
+	subs = EnumerateSubnets(mustPrefix("198.51.100.128/25"), 0)
+	if len(subs) != 1 || subs[0] != mustPrefix("198.51.100.0/24") {
+		t.Fatalf("small prefix subnets = %v", subs)
+	}
+}
+
+func TestEnumerateSubnetsCap(t *testing.T) {
+	subs := EnumerateSubnets(mustPrefix("10.0.0.0/8"), 97)
+	if len(subs) != 97 {
+		t.Fatalf("cap: got %d subnets, want 97 (the paper's other-prefix cap)", len(subs))
+	}
+}
+
+func TestEnumerateSubnetsV6(t *testing.T) {
+	subs := EnumerateSubnets(mustPrefix("2001:db8:0:4::/62"), 0)
+	if len(subs) != 4 {
+		t.Fatalf("a /62 splits into %d /64s, want 4", len(subs))
+	}
+	if subs[1] != mustPrefix("2001:db8:0:5::/64") {
+		t.Fatalf("subnets = %v", subs)
+	}
+}
+
+func TestSubnetOf(t *testing.T) {
+	if SubnetOf(mustAddr("198.51.100.77")) != mustPrefix("198.51.100.0/24") {
+		t.Fatal("v4 SubnetOf wrong")
+	}
+	if SubnetOf(mustAddr("2001:db8:1:2::77")) != mustPrefix("2001:db8:1:2::/64") {
+		t.Fatal("v6 SubnetOf wrong")
+	}
+}
+
+func TestRandomHostAddrRespectsReservedV4(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sub := mustPrefix("198.51.100.0/24")
+	for i := 0; i < 2000; i++ {
+		a := RandomHostAddr(sub, rng)
+		if !sub.Contains(a) {
+			t.Fatalf("address %v outside subnet", a)
+		}
+		off := Offset(a)
+		if off == 0 || off == 255 {
+			t.Fatalf("reserved offset %d selected (network/broadcast)", off)
+		}
+	}
+}
+
+func TestRandomHostAddrV6Window(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sub := mustPrefix("2001:db8:9::/64")
+	for i := 0; i < 2000; i++ {
+		a := RandomHostAddr(sub, rng)
+		off := Offset(a)
+		if off < 2 || off > 99 {
+			t.Fatalf("v6 offset %d outside the paper's 2..99 window", off)
+		}
+	}
+}
+
+func TestAddrAt(t *testing.T) {
+	if AddrAt(mustPrefix("198.51.100.0/24"), 10) != mustAddr("198.51.100.10") {
+		t.Fatal("v4 AddrAt wrong")
+	}
+	if AddrAt(mustPrefix("2001:db8::/64"), 10) != mustAddr("2001:db8::a") {
+		t.Fatal("v6 AddrAt wrong")
+	}
+}
+
+func TestQuickTrieMatchesLinearScan(t *testing.T) {
+	// Property: trie lookup == brute-force longest-prefix scan.
+	prefixes := []netip.Prefix{
+		mustPrefix("10.0.0.0/8"), mustPrefix("10.64.0.0/10"), mustPrefix("10.64.1.0/24"),
+		mustPrefix("172.16.0.0/12"), mustPrefix("192.0.2.0/24"), mustPrefix("0.0.0.0/2"),
+	}
+	var tr Trie
+	for i, p := range prefixes {
+		tr.Insert(p, ASN(i+1))
+	}
+	linear := func(a netip.Addr) (ASN, bool) {
+		best, bestBits, ok := ASN(0), -1, false
+		for i, p := range prefixes {
+			if p.Contains(a) && p.Bits() > bestBits {
+				best, bestBits, ok = ASN(i+1), p.Bits(), true
+			}
+		}
+		return best, ok
+	}
+	f := func(raw uint32) bool {
+		var b [4]byte
+		b[0] = byte(raw >> 24)
+		b[1] = byte(raw >> 16)
+		b[2] = byte(raw >> 8)
+		b[3] = byte(raw)
+		a := netip.AddrFrom4(b)
+		g1, ok1 := tr.Lookup(a)
+		g2, ok2 := linear(a)
+		return ok1 == ok2 && (!ok1 || g1 == g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubnetContainsItsAddrs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(hi uint16, lo uint16) bool {
+		base := netip.AddrFrom4([4]byte{byte(hi >> 8), byte(hi), byte(lo >> 8), 0})
+		sub, _ := base.Prefix(24)
+		a := RandomHostAddr(sub, rng)
+		return sub.Contains(a) && SubnetOf(a) == sub
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	var tr Trie
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		a := netip.AddrFrom4([4]byte{byte(rng.Intn(223) + 1), byte(rng.Intn(256)), byte(rng.Intn(256)), 0})
+		p, _ := a.Prefix(8 + rng.Intn(17))
+		tr.Insert(p, ASN(i))
+	}
+	b.ReportAllocs()
+	addr := mustAddr("100.20.30.40")
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addr)
+	}
+}

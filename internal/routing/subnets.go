@@ -1,0 +1,113 @@
+package routing
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"net/netip"
+)
+
+// SubnetBits are the subdivision sizes the paper uses when generating
+// spoofed sources: /24 for IPv4 and /64 for IPv6 (§3.2).
+const (
+	V4SubnetBits = 24
+	V6SubnetBits = 64
+)
+
+// SubnetOf returns the enclosing /24 (IPv4) or /64 (IPv6) of addr.
+func SubnetOf(addr netip.Addr) netip.Prefix {
+	bits := V6SubnetBits
+	if addr.Is4() {
+		bits = V4SubnetBits
+	}
+	p, _ := addr.Prefix(bits)
+	return p
+}
+
+// EnumerateSubnets splits prefix into its /24s (IPv4) or /64s (IPv6) and
+// returns up to max of them, in address order. A prefix smaller than the
+// subnet size yields its single enclosing subnet.
+func EnumerateSubnets(prefix netip.Prefix, max int) []netip.Prefix {
+	subnetBits := V6SubnetBits
+	if prefix.Addr().Is4() {
+		subnetBits = V4SubnetBits
+	}
+	if prefix.Bits() >= subnetBits {
+		p, _ := prefix.Addr().Prefix(subnetBits)
+		return []netip.Prefix{p}
+	}
+	count := 1 << (subnetBits - prefix.Bits())
+	if max > 0 && count > max {
+		count = max
+	}
+	out := make([]netip.Prefix, 0, count)
+	cur := prefix.Masked().Addr()
+	for i := 0; i < count; i++ {
+		p, _ := cur.Prefix(subnetBits)
+		out = append(out, p)
+		cur = nextSubnet(cur, subnetBits)
+		if !cur.IsValid() {
+			break
+		}
+	}
+	return out
+}
+
+// nextSubnet advances addr by one subnet of the given prefix length.
+func nextSubnet(addr netip.Addr, bits int) netip.Addr {
+	if addr.Is4() {
+		a := addr.As4()
+		v := binary.BigEndian.Uint32(a[:])
+		v += 1 << (32 - bits)
+		binary.BigEndian.PutUint32(a[:], v)
+		return netip.AddrFrom4(a)
+	}
+	a := addr.As16()
+	hi := binary.BigEndian.Uint64(a[0:8])
+	hi += 1 << (64 - bits) // bits <= 64 for our /64 subdivision
+	binary.BigEndian.PutUint64(a[0:8], hi)
+	return netip.AddrFrom16(a)
+}
+
+// AddrAt returns the host address at the given offset within subnet.
+func AddrAt(subnet netip.Prefix, offset uint64) netip.Addr {
+	base := subnet.Masked().Addr()
+	if base.Is4() {
+		a := base.As4()
+		v := binary.BigEndian.Uint32(a[:]) + uint32(offset)
+		binary.BigEndian.PutUint32(a[:], v)
+		return netip.AddrFrom4(a)
+	}
+	a := base.As16()
+	lo := binary.BigEndian.Uint64(a[8:16]) + offset
+	binary.BigEndian.PutUint64(a[8:16], lo)
+	return netip.AddrFrom16(a)
+}
+
+// RandomHostAddr picks a usable host address within subnet using rng,
+// following the paper's selection rules (§3.2): in an IPv4 /24 the first
+// and last addresses are excluded (reserved network/broadcast); in an
+// IPv6 /64 selection is limited to offsets 2..99 (the first two are often
+// router addresses).
+func RandomHostAddr(subnet netip.Prefix, rng *rand.Rand) netip.Addr {
+	if subnet.Addr().Is4() {
+		hostBits := 32 - subnet.Bits()
+		size := uint64(1) << hostBits
+		if size <= 2 {
+			return subnet.Addr()
+		}
+		off := 1 + uint64(rng.Int63n(int64(size-2)))
+		return AddrAt(subnet, off)
+	}
+	off := 2 + uint64(rng.Intn(98))
+	return AddrAt(subnet, off)
+}
+
+// Offset reports addr's offset within its enclosing subnet.
+func Offset(addr netip.Addr) uint64 {
+	if addr.Is4() {
+		a := addr.As4()
+		return uint64(binary.BigEndian.Uint32(a[:]) & ((1 << (32 - V4SubnetBits)) - 1))
+	}
+	a := addr.As16()
+	return binary.BigEndian.Uint64(a[8:16])
+}

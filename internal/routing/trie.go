@@ -1,0 +1,94 @@
+// Package routing models the control-plane state the experiment depends
+// on: which AS originates which prefixes, longest-prefix-match lookup
+// from an address to its origin AS, the IANA special-purpose ("bogon")
+// address registry used for target admission, and the /24 and /64
+// prefix arithmetic the spoofed-source generator needs.
+package routing
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// String formats the ASN in the conventional "ASxxxx" form.
+func (a ASN) String() string { return fmt.Sprintf("AS%d", uint32(a)) }
+
+// trieNode is a binary (unibit) trie node.
+type trieNode struct {
+	child [2]*trieNode
+	set   bool
+	val   ASN
+}
+
+// Trie is a longest-prefix-match table from IP prefixes to origin ASNs.
+// It handles IPv4 and IPv6 prefixes in separate roots. The zero value is
+// an empty table.
+type Trie struct {
+	v4, v6 trieNode
+	n      int
+}
+
+// Len reports the number of inserted prefixes.
+func (t *Trie) Len() int { return t.n }
+
+func addrBit(a netip.Addr, i int) int {
+	b := a.As16()
+	if a.Is4() {
+		b = netip.AddrFrom16(a.As16()).As16()
+		// For IPv4, index from the start of the 4-byte form.
+		b4 := a.As4()
+		return int(b4[i/8]>>(7-i%8)) & 1
+	}
+	return int(b[i/8]>>(7-i%8)) & 1
+}
+
+// Insert maps prefix to asn, replacing any previous mapping for the exact
+// prefix.
+func (t *Trie) Insert(prefix netip.Prefix, asn ASN) {
+	prefix = prefix.Masked()
+	root := &t.v6
+	if prefix.Addr().Is4() {
+		root = &t.v4
+	}
+	node := root
+	a := prefix.Addr()
+	for i := 0; i < prefix.Bits(); i++ {
+		bit := addrBit(a, i)
+		if node.child[bit] == nil {
+			node.child[bit] = &trieNode{}
+		}
+		node = node.child[bit]
+	}
+	if !node.set {
+		t.n++
+	}
+	node.set = true
+	node.val = asn
+}
+
+// Lookup returns the origin ASN for the longest matching prefix and
+// whether any prefix matched.
+func (t *Trie) Lookup(addr netip.Addr) (ASN, bool) {
+	root := &t.v6
+	bits := 128
+	if addr.Is4() {
+		root = &t.v4
+		bits = 32
+	}
+	node := root
+	var best ASN
+	found := false
+	if node.set {
+		best, found = node.val, true
+	}
+	for i := 0; i < bits && node != nil; i++ {
+		node = node.child[addrBit(addr, i)]
+		if node != nil && node.set {
+			best, found = node.val, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,436 @@
+package scanner
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/authserver"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/routing"
+)
+
+// SourceCategory classifies a spoofed source relative to its target
+// (§3.2, Table 3).
+type SourceCategory int
+
+// The paper's five spoofed-source categories.
+const (
+	CatOtherPrefix SourceCategory = iota
+	CatSamePrefix
+	CatPrivate
+	CatDstAsSrc
+	CatLoopback
+	CatNotSpoofed // the open-resolver probe's real source
+)
+
+// String names the category as in Table 3.
+func (c SourceCategory) String() string {
+	switch c {
+	case CatOtherPrefix:
+		return "Other Prefix"
+	case CatSamePrefix:
+		return "Same Prefix"
+	case CatPrivate:
+		return "Private"
+	case CatDstAsSrc:
+		return "Dst-as-Src"
+	case CatLoopback:
+		return "Loopback"
+	case CatNotSpoofed:
+		return "Not Spoofed"
+	default:
+		return "?"
+	}
+}
+
+// Categorize recovers the category of a spoofed source for a target.
+// scannerAddrs are the experiment's real client addresses (identifying
+// the non-spoofed open-resolver probe).
+func Categorize(src, dst netip.Addr, scannerAddrs []netip.Addr) SourceCategory {
+	for _, a := range scannerAddrs {
+		if src == a {
+			return CatNotSpoofed
+		}
+	}
+	switch {
+	case src == dst:
+		return CatDstAsSrc
+	case routing.IsLoopback(src):
+		return CatLoopback
+	case routing.IsPrivate(src):
+		return CatPrivate
+	case routing.SubnetOf(src) == routing.SubnetOf(dst):
+		return CatSamePrefix
+	default:
+		return CatOtherPrefix
+	}
+}
+
+// Target is one candidate resolver address.
+type Target struct {
+	Addr netip.Addr
+	ASN  routing.ASN
+}
+
+// Hit is one fully-decoded experiment query observed at an
+// authoritative server.
+type Hit struct {
+	// Recv is the arrival time at the authoritative server.
+	Recv time.Duration
+	// TS is the probe send time embedded in the query name.
+	TS time.Duration
+	// Lifetime is Recv - TS (§3.6.3's human-intervention filter input).
+	Lifetime time.Duration
+	// Src is the spoofed source of the inducing probe.
+	Src netip.Addr
+	// Dst is the probed target.
+	Dst netip.Addr
+	// ASN is the target's AS.
+	ASN routing.ASN
+	// Kind is the probe kind (main / v4 / v6 / tc).
+	Kind ProbeKind
+	// Client and ClientPort identify the querying resolver as seen at
+	// the authoritative server.
+	Client     netip.Addr
+	ClientPort uint16
+	// Transport is UDP or TCP.
+	Transport authserver.Transport
+	// SYN is the captured TCP SYN (TCP only).
+	SYN *packet.Packet
+}
+
+// PartialHit is a QNAME-minimized (or otherwise partial) experiment
+// query: attributable to a client but not to a target (§3.6.4).
+type PartialHit struct {
+	Recv   time.Duration
+	Client netip.Addr
+	Name   dnswire.Name
+}
+
+// Config tunes the scanner.
+type Config struct {
+	// Keyword tags this experiment's query names. Default "x1".
+	Keyword string
+	// MaxOtherPrefix caps other-prefix sources per target (97, §3.2).
+	MaxOtherPrefix int
+	// FollowUpCount is the number of v4-only and v6-only follow-up
+	// queries (10, §3.5).
+	FollowUpCount int
+	// Rate is the probe rate in queries/second of virtual time (700,
+	// §3.4).
+	Rate float64
+	// FollowUpSpacing separates consecutive follow-up queries.
+	FollowUpSpacing time.Duration
+	// V6HitList marks /64 prefixes with observed activity (the IPv6
+	// "hit list" of §3.2, [21]): when selecting other-prefix IPv6
+	// sources, hit-listed /64s are preferred over blind probing of the
+	// sparsely populated space.
+	V6HitList map[netip.Prefix]bool
+	// Seed drives source selection and transaction IDs.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Keyword == "" {
+		c.Keyword = "x1"
+	}
+	if c.MaxOtherPrefix == 0 {
+		c.MaxOtherPrefix = 97
+	}
+	if c.FollowUpCount == 0 {
+		c.FollowUpCount = 10
+	}
+	if c.Rate == 0 {
+		c.Rate = 700
+	}
+	if c.FollowUpSpacing == 0 {
+		c.FollowUpSpacing = time.Second
+	}
+	return c
+}
+
+// Stats counts scanner activity.
+type Stats struct {
+	TargetsAdmitted     int
+	ExcludedSpecial     int
+	ExcludedUnrouted    int
+	ExcludedOptOut      int
+	ProbesSent          uint64
+	FollowUpSetsSent    uint64
+	FollowUpQueries     uint64
+	HitsObserved        uint64
+	PartialHitsObserved uint64
+}
+
+// Scanner is the measurement client.
+type Scanner struct {
+	Host         *netsim.Host
+	Addr4, Addr6 netip.Addr
+	Reg          *routing.Registry
+	Cfg          Config
+	Stats        Stats
+
+	// Targets is the admitted target list.
+	Targets []Target
+	// Hits and Partials accumulate observations.
+	Hits     []Hit
+	Partials []PartialHit
+
+	rng      *rand.Rand
+	followed map[netip.Addr]bool
+	optOut   []netip.Prefix
+	seq      uint64
+}
+
+// New creates a scanner on host (whose AS must lack OSAV) monitoring
+// the given authoritative servers in real time.
+func New(host *netsim.Host, addr4, addr6 netip.Addr, reg *routing.Registry, auths []*authserver.Server, cfg Config) (*Scanner, error) {
+	if host.AS.OSAV {
+		return nil, fmt.Errorf("scanner: host AS %v applies OSAV; spoofed probes would not leave (§3.4)", host.AS.ASN)
+	}
+	s := &Scanner{
+		Host: host, Addr4: addr4, Addr6: addr6, Reg: reg,
+		Cfg:      cfg.withDefaults(),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		followed: make(map[netip.Addr]bool),
+	}
+	for _, a := range auths {
+		if a.OnQuery != nil {
+			return nil, fmt.Errorf("scanner: auth server already monitored")
+		}
+		a.OnQuery = s.monitor
+	}
+	return s, nil
+}
+
+// OptOut excludes a prefix from all future probing (§3.8).
+func (s *Scanner) OptOut(p netip.Prefix) { s.optOut = append(s.optOut, p) }
+
+func (s *Scanner) optedOut(a netip.Addr) bool {
+	for _, p := range s.optOut {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Admit filters candidate addresses per §3.1: special-purpose addresses
+// and addresses without an announced route are excluded.
+func (s *Scanner) Admit(candidates []netip.Addr) {
+	for _, a := range candidates {
+		switch {
+		case routing.IsSpecialPurpose(a):
+			s.Stats.ExcludedSpecial++
+		case !s.Reg.Routed(a):
+			s.Stats.ExcludedUnrouted++
+		case s.optedOut(a):
+			s.Stats.ExcludedOptOut++
+		default:
+			s.Targets = append(s.Targets, Target{Addr: a, ASN: s.Reg.OriginOf(a).ASN})
+			s.Stats.TargetsAdmitted++
+		}
+	}
+}
+
+// SourcesFor generates the spoofed sources for a target (§3.2): up to
+// MaxOtherPrefix other-prefix addresses, one same-prefix address, the
+// private/unique-local address, the target itself, and loopback.
+func (s *Scanner) SourcesFor(t Target) []netip.Addr {
+	as := s.Reg.AS(t.ASN)
+	v6 := t.Addr.Is6()
+	var sources []netip.Addr
+
+	own := routing.SubnetOf(t.Addr)
+	var prefixes []netip.Prefix
+	if v6 {
+		prefixes = as.V6Prefixes()
+	} else {
+		prefixes = as.V4Prefixes()
+	}
+	// Candidate subnets: for IPv6, hit-listed /64s come first (§3.2:
+	// preference for prefixes with observed activity — the hit list can
+	// name /64s far beyond what blind low-to-high enumeration reaches).
+	var candidates []netip.Prefix
+	seen := make(map[netip.Prefix]bool)
+	if v6 && len(s.Cfg.V6HitList) > 0 {
+		var hot []netip.Prefix
+		for sub := range s.Cfg.V6HitList {
+			if sub == own {
+				continue
+			}
+			for _, p := range prefixes {
+				if p.Contains(sub.Addr()) {
+					hot = append(hot, sub)
+					break
+				}
+			}
+		}
+		sort.Slice(hot, func(i, j int) bool { return hot[i].Addr().Less(hot[j].Addr()) })
+		for _, sub := range hot {
+			if !seen[sub] {
+				seen[sub] = true
+				candidates = append(candidates, sub)
+			}
+		}
+	}
+	for _, p := range prefixes {
+		for _, sub := range routing.EnumerateSubnets(p, s.Cfg.MaxOtherPrefix+1) {
+			if sub != own && !seen[sub] {
+				seen[sub] = true
+				candidates = append(candidates, sub)
+			}
+		}
+	}
+	for _, sub := range candidates {
+		if len(sources) >= s.Cfg.MaxOtherPrefix {
+			break
+		}
+		sources = append(sources, routing.RandomHostAddr(sub, s.rng))
+	}
+
+	// Same prefix, distinct from the target itself.
+	for tries := 0; tries < 16; tries++ {
+		a := routing.RandomHostAddr(own, s.rng)
+		if a != t.Addr {
+			sources = append(sources, a)
+			break
+		}
+	}
+
+	if v6 {
+		sources = append(sources, netip.MustParseAddr("fc00::10"))
+	} else {
+		sources = append(sources, netip.MustParseAddr("192.168.0.10"))
+	}
+	sources = append(sources, t.Addr) // destination-as-source
+	if v6 {
+		sources = append(sources, netip.MustParseAddr("::1"))
+	} else {
+		sources = append(sources, netip.MustParseAddr("127.0.0.1"))
+	}
+	return sources
+}
+
+// ScheduleAll enqueues every probe, spreading each target's queries
+// evenly over the experiment duration derived from the configured rate
+// (§3.4). It returns the probe count and the experiment duration.
+func (s *Scanner) ScheduleAll() (int, time.Duration) {
+	type plan struct {
+		target  Target
+		sources []netip.Addr
+	}
+	plans := make([]plan, 0, len(s.Targets))
+	total := 0
+	for _, t := range s.Targets {
+		srcs := s.SourcesFor(t)
+		plans = append(plans, plan{target: t, sources: srcs})
+		total += len(srcs)
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	duration := time.Duration(float64(total) / s.Cfg.Rate * float64(time.Second))
+	if duration < time.Second {
+		duration = time.Second
+	}
+	for _, p := range plans {
+		t := p.target
+		k := len(p.sources)
+		phase := s.rng.Float64()
+		for j, src := range p.sources {
+			at := time.Duration((float64(j) + phase) / float64(k) * float64(duration))
+			src := src
+			s.Host.Network().Q.At(at, func(now time.Duration) {
+				s.sendProbe(now, src, t, ProbeMain)
+			})
+		}
+	}
+	return total, duration
+}
+
+// sendProbe emits one spoofed-source (or, for the open probe,
+// real-source) DNS query.
+func (s *Scanner) sendProbe(now time.Duration, src netip.Addr, t Target, kind ProbeKind) {
+	if s.optedOut(t.Addr) {
+		return
+	}
+	name := EncodeQName(now, src, t.Addr, t.ASN, s.Cfg.Keyword, kind)
+	q := dnswire.NewQuery(uint16(s.rng.Intn(65536)), name, dnswire.TypeA)
+	payload, err := q.Pack()
+	if err != nil {
+		return
+	}
+	s.seq++
+	sport := uint16(40000 + s.seq%20000)
+	raw, err := packet.BuildUDP(src, t.Addr, sport, 53, 64, payload)
+	if err != nil {
+		return
+	}
+	s.Stats.ProbesSent++
+	s.Host.SendRaw(raw)
+}
+
+// monitor is the real-time authoritative-log hook (§3.5): the first
+// full-name hit for a target triggers its one-time follow-up set.
+func (s *Scanner) monitor(e authserver.LogEntry) {
+	d, full, partial := DecodeQName(e.Name, s.Cfg.Keyword)
+	switch {
+	case full:
+		hit := Hit{
+			Recv: e.Time, TS: d.TS, Lifetime: e.Time - d.TS,
+			Src: d.Src, Dst: d.Dst, ASN: d.ASN, Kind: d.Kind,
+			Client: e.Client, ClientPort: e.ClientPort,
+			Transport: e.Transport, SYN: e.SYN,
+		}
+		s.Hits = append(s.Hits, hit)
+		s.Stats.HitsObserved++
+		if d.Kind == ProbeMain && !s.followed[d.Dst] && Categorize(d.Src, d.Dst, []netip.Addr{s.Addr4, s.Addr6}) != CatNotSpoofed {
+			s.followed[d.Dst] = true
+			s.scheduleFollowUps(d)
+		}
+	case partial:
+		s.Partials = append(s.Partials, PartialHit{Recv: e.Time, Client: e.Client, Name: e.Name})
+		s.Stats.PartialHitsObserved++
+	}
+}
+
+// scheduleFollowUps sends the §3.5 follow-up set using the spoofed
+// source that worked: FollowUpCount each of IPv4-only and IPv6-only
+// queries, one non-spoofed open-resolver probe, and one TCP-eliciting
+// (truncated) probe.
+func (s *Scanner) scheduleFollowUps(d Decoded) {
+	s.Stats.FollowUpSetsSent++
+	t := Target{Addr: d.Dst, ASN: d.ASN}
+	q := s.Host.Network().Q
+	delay := s.Cfg.FollowUpSpacing
+	n := 0
+	send := func(src netip.Addr, kind ProbeKind) {
+		n++
+		q.After(time.Duration(n)*delay, func(now time.Duration) {
+			s.Stats.FollowUpQueries++
+			s.sendProbe(now, src, t, kind)
+		})
+	}
+	for i := 0; i < s.Cfg.FollowUpCount; i++ {
+		send(d.Src, ProbeV4)
+	}
+	for i := 0; i < s.Cfg.FollowUpCount; i++ {
+		send(d.Src, ProbeV6)
+	}
+	// Open-resolver probe: real source (§3.5, §5.1).
+	openSrc := s.Addr4
+	if d.Dst.Is6() {
+		openSrc = s.Addr6
+	}
+	if openSrc.IsValid() {
+		send(openSrc, ProbeMain)
+	}
+	// TCP probe via the always-truncate zone.
+	send(d.Src, ProbeTC)
+}

@@ -1,0 +1,296 @@
+// Package stats implements the statistical model of §5.3.2: the
+// distribution of the *range* of n source ports drawn uniformly from a
+// pool of size s is s·Beta(n−1, 2) (an order-statistic result), which
+// for the paper's 10-query samples gives Beta(9, 2). From that model the
+// package derives the OS-classification cutoffs of Table 4 and the
+// overlay curves of Figure 3.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// BetaPDF evaluates the Beta(a, b) density at x.
+func BetaPDF(x, a, b float64) float64 {
+	if x < 0 || x > 1 {
+		return 0
+	}
+	if x == 0 {
+		if a < 1 {
+			return math.Inf(1)
+		}
+		if a == 1 {
+			return b
+		}
+		return 0
+	}
+	if x == 1 {
+		if b < 1 {
+			return math.Inf(1)
+		}
+		if b == 1 {
+			return a
+		}
+		return 0
+	}
+	lg1, _ := math.Lgamma(a + b)
+	lg2, _ := math.Lgamma(a)
+	lg3, _ := math.Lgamma(b)
+	return math.Exp(lg1 - lg2 - lg3 + (a-1)*math.Log(x) + (b-1)*math.Log(1-x))
+}
+
+// BetaCDF evaluates the regularized incomplete beta function I_x(a, b),
+// the CDF of Beta(a, b).
+func BetaCDF(x, a, b float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lg1, _ := math.Lgamma(a + b)
+	lg2, _ := math.Lgamma(a)
+	lg3, _ := math.Lgamma(b)
+	bt := math.Exp(lg1 - lg2 - lg3 + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return bt * betacf(x, a, b) / a
+	}
+	return 1 - bt*betacf(1-x, b, a)/b
+}
+
+// betacf is the continued-fraction expansion for the incomplete beta
+// function (Numerical Recipes style).
+func betacf(x, a, b float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// SampleRangeAlpha and SampleRangeBeta are the Beta parameters of the
+// range of SampleSize uniform draws: Beta(n−1, 2).
+const (
+	// SampleSize is the paper's follow-up sample size (10 queries).
+	SampleSize = 10
+)
+
+// RangeCDF returns P(range ≤ r) for the range of n uniform draws from a
+// pool of s ports. The maximum possible range is s−1, and
+// range/(s−1) ~ Beta(n−1, 2).
+func RangeCDF(r float64, s, n int) float64 {
+	if s <= 1 {
+		if r >= 0 {
+			return 1
+		}
+		return 0
+	}
+	return BetaCDF(r/float64(s-1), float64(n-1), 2)
+}
+
+// RangePDF returns the density of the range at r for a pool of s ports.
+func RangePDF(r float64, s, n int) float64 {
+	if s <= 1 {
+		return 0
+	}
+	return BetaPDF(r/float64(s-1), float64(n-1), 2) / float64(s-1)
+}
+
+// RangeQuantile returns the r with P(range ≤ r) = p, by bisection.
+func RangeQuantile(p float64, s, n int) float64 {
+	lo, hi := 0.0, float64(s-1)
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if RangeCDF(mid, s, n) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// OptimalBoundary returns the integer range cutoff between two pools
+// s1 < s2 minimizing total misclassification
+// P(range₁ > r) + P(range₂ ≤ r), along with the two error terms at the
+// optimum. This is the optimization that yields the paper's 16,331
+// (FreeBSD/Linux) and 28,222 (Linux/full-range) cutoffs.
+func OptimalBoundary(s1, s2, n int) (cutoff int, errHigh, errLow float64) {
+	if s1 >= s2 {
+		panic(fmt.Sprintf("stats: OptimalBoundary needs s1 < s2 (got %d, %d)", s1, s2))
+	}
+	best := math.Inf(1)
+	for r := 1; r < s2; r++ {
+		e1 := 1 - RangeCDF(float64(r), s1, n)
+		e2 := RangeCDF(float64(r), s2, n)
+		if e1+e2 < best {
+			best = e1 + e2
+			cutoff, errHigh, errLow = r, e1, e2
+		}
+		// Past the smaller pool's maximum, e1 is 0 and e2 only grows.
+		if r > s1 {
+			break
+		}
+	}
+	return cutoff, errHigh, errLow
+}
+
+// Band is a half-open source-port-range band [Lo, Hi] attributed to a
+// pool (Table 4 rows).
+type Band struct {
+	Lo, Hi int
+	Label  string
+	Pool   int // pool size, 0 for unattributed gap bands
+}
+
+// Contains reports whether a range value falls in the band.
+func (b Band) Contains(r int) bool { return r >= b.Lo && r <= b.Hi }
+
+// String formats the band like the paper's Table 4 rows.
+func (b Band) String() string {
+	label := ""
+	if b.Label != "" {
+		label = " (" + b.Label + ")"
+	}
+	return fmt.Sprintf("%d-%d%s", b.Lo, b.Hi, label)
+}
+
+// PoolSpec names a pool for band derivation.
+type PoolSpec struct {
+	Label string
+	Size  int
+}
+
+// DeriveBands reproduces the Table 4 banding: for each pool (ascending
+// size), a band [Q(1−acc), Q(acc)] — except that adjacent pools closer
+// than their quantile bands are split at the misclassification-minimizing
+// boundary — with unattributed gap bands in between, plus the fixed
+// leading bands [0,0] and [1,200] (§5.2.1, §5.2.3) and a trailing band
+// to maxRange.
+func DeriveBands(pools []PoolSpec, n int, acc float64, maxRange int) []Band {
+	bands := []Band{
+		{Lo: 0, Hi: 0, Label: "zero"},
+		{Lo: 1, Hi: 200, Label: "low"},
+	}
+	prevHi := 200
+	for i, p := range pools {
+		lo := int(math.Ceil(RangeQuantile(1-acc, p.Size, n)))
+		hi := int(math.Floor(RangeQuantile(acc, p.Size, n)))
+		if lo <= prevHi {
+			lo = prevHi + 1
+		}
+		if i+1 < len(pools) {
+			// If the next pool's low quantile falls below this pool's
+			// high quantile, split at the optimal boundary instead.
+			nextLo := int(math.Ceil(RangeQuantile(1-acc, pools[i+1].Size, n)))
+			if nextLo <= hi {
+				cut, _, _ := OptimalBoundary(p.Size, pools[i+1].Size, n)
+				hi = cut
+			}
+		} else {
+			hi = maxRange // last band extends to the maximum
+		}
+		if lo > prevHi+1 {
+			bands = append(bands, Band{Lo: prevHi + 1, Hi: lo - 1})
+		}
+		bands = append(bands, Band{Lo: lo, Hi: hi, Label: p.Label, Pool: p.Size})
+		prevHi = hi
+	}
+	if prevHi < maxRange {
+		bands = append(bands, Band{Lo: prevHi + 1, Hi: maxRange, Label: "Full Port Range", Pool: 64511})
+	}
+	return bands
+}
+
+// BandFor returns the band containing r.
+func BandFor(bands []Band, r int) (Band, bool) {
+	for _, b := range bands {
+		if b.Contains(r) {
+			return b, true
+		}
+	}
+	return Band{}, false
+}
+
+// ChiSquareRangeFit quantifies Figure 3's "tight fit between the
+// histogram and the theoretical Beta curves": it bins the observed
+// sample ranges into equal-probability bins under the Beta(n−1, 2)
+// range model for a pool of size s and returns the chi-square statistic
+// per degree of freedom. Values near 1 indicate the observations are
+// consistent with the model; a wrong pool size inflates the statistic
+// by orders of magnitude.
+func ChiSquareRangeFit(ranges []int, s, n, bins int) (perDof float64, dof int) {
+	if bins < 2 {
+		bins = 10
+	}
+	if len(ranges) < bins {
+		return 0, 0
+	}
+	// Equal-probability bin edges from the model quantiles.
+	edges := make([]float64, bins+1)
+	edges[0] = -1 // ranges are >= 0
+	for i := 1; i < bins; i++ {
+		edges[i] = RangeQuantile(float64(i)/float64(bins), s, n)
+	}
+	edges[bins] = float64(s) // beyond the maximum possible range
+	observed := make([]int, bins)
+	for _, r := range ranges {
+		for b := 0; b < bins; b++ {
+			if float64(r) > edges[b] && float64(r) <= edges[b+1] {
+				observed[b]++
+				break
+			}
+			if b == bins-1 {
+				observed[b]++ // out-of-model ranges land in the last bin
+			}
+		}
+	}
+	expected := float64(len(ranges)) / float64(bins)
+	var chi float64
+	for _, o := range observed {
+		d := float64(o) - expected
+		chi += d * d / expected
+	}
+	dof = bins - 1
+	return chi / float64(dof), dof
+}

@@ -1,0 +1,243 @@
+package stats
+
+import "sort"
+
+// Histogram is a fixed-width binned count over [0, Max].
+type Histogram struct {
+	BinWidth int
+	Max      int
+	Counts   []int
+	N        int
+}
+
+// NewHistogram creates a histogram over [0, max] with the given bin
+// width.
+func NewHistogram(binWidth, max int) *Histogram {
+	if binWidth < 1 {
+		binWidth = 1
+	}
+	return &Histogram{
+		BinWidth: binWidth,
+		Max:      max,
+		Counts:   make([]int, max/binWidth+1),
+	}
+}
+
+// Add records a value; out-of-domain values clamp to the edge bins.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v > h.Max {
+		v = h.Max
+	}
+	h.Counts[v/h.BinWidth]++
+	h.N++
+}
+
+// Bin returns the count of the bin containing v.
+func (h *Histogram) Bin(v int) int {
+	if v < 0 || v > h.Max {
+		return 0
+	}
+	return h.Counts[v/h.BinWidth]
+}
+
+// BinStart returns the lower edge of bin i.
+func (h *Histogram) BinStart(i int) int { return i * h.BinWidth }
+
+// PeakBin returns the index of the fullest bin.
+func (h *Histogram) PeakBin() int {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Quantile returns the q-quantile (0..1) of the recorded values,
+// approximated at bin resolution.
+func (h *Histogram) Quantile(q float64) int {
+	if h.N == 0 {
+		return 0
+	}
+	target := int(q * float64(h.N))
+	run := 0
+	for i, c := range h.Counts {
+		run += c
+		if run > target {
+			return h.BinStart(i)
+		}
+	}
+	return h.Max
+}
+
+// Median returns the median of ints (used for §4.1's "median number of
+// spoofed sources" statistic).
+func Median(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	n := len(s)
+	if n%2 == 1 {
+		return float64(s[n/2])
+	}
+	return float64(s[n/2-1]+s[n/2]) / 2
+}
+
+// RangeOf returns max−min of a port sample (the paper's core §5.2
+// statistic). An empty or single-element sample has range 0.
+func RangeOf(ports []uint16) int {
+	if len(ports) == 0 {
+		return 0
+	}
+	lo, hi := ports[0], ports[0]
+	for _, p := range ports {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	return int(hi) - int(lo)
+}
+
+// StrictlyIncreasing reports whether the sample increases monotonically,
+// allowing a single wrap back to the bottom of the allocator's pool
+// (§5.2.3: 159 of 244 low-range resolvers were strictly increasing; 130
+// wrapped after reaching some maximum). A genuine wrap requires every
+// post-wrap value to sit below every pre-wrap value.
+func StrictlyIncreasing(ports []uint16) (increasing, wrapped bool) {
+	if len(ports) < 2 {
+		return true, false
+	}
+	wrapAt := -1
+	for i := 1; i < len(ports); i++ {
+		if ports[i] == ports[i-1] {
+			return false, false
+		}
+		if ports[i] < ports[i-1] {
+			if wrapAt >= 0 {
+				return false, false // second descent
+			}
+			wrapAt = i
+		}
+	}
+	if wrapAt < 0 {
+		return true, false
+	}
+	for _, post := range ports[wrapAt:] {
+		for _, pre := range ports[:wrapAt] {
+			if post >= pre {
+				return false, false
+			}
+		}
+	}
+	return true, true
+}
+
+// AdjustWindowsPorts applies the §5.3.2 wrap-adjustment algorithm for
+// Windows DNS port samples, using the paper's inclusive IANA bounds
+// i_min = 49152, i_max = 65535 and pool size s = 2500: if all ports fall
+// in the low region [i_min, i_min+s-1] or the high region
+// (i_max-(s-1), i_max], with at least one in each, the low-region ports
+// are increased by i_max - i_min so a wrapped pool reads as contiguous.
+// Adjusted values can exceed 65535, so the result is widened to int.
+func AdjustWindowsPorts(ports []uint16) []int {
+	const (
+		iMin = 49152
+		iMax = 65535
+		s    = 2500
+	)
+	inLow := func(p uint16) bool { return p >= iMin && p <= iMin+s-1 }
+	inHigh := func(p uint16) bool { return p > iMax-(s-1) }
+	anyLow, anyHigh, allInRegions := false, false, true
+	for _, p := range ports {
+		lo, hi := inLow(p), inHigh(p)
+		if lo {
+			anyLow = true
+		}
+		if hi {
+			anyHigh = true
+		}
+		if !lo && !hi {
+			allInRegions = false
+		}
+	}
+	out := make([]int, len(ports))
+	adjust := allInRegions && anyLow && anyHigh
+	for i, p := range ports {
+		if adjust && inLow(p) {
+			out[i] = int(p) + (iMax - iMin)
+		} else {
+			out[i] = int(p)
+		}
+	}
+	return out
+}
+
+// RangeOfInts is RangeOf for widened (wrap-adjusted) port values.
+func RangeOfInts(ports []int) int {
+	if len(ports) == 0 {
+		return 0
+	}
+	lo, hi := ports[0], ports[0]
+	for _, p := range ports {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	return hi - lo
+}
+
+// UniqueCount returns the number of distinct values in the sample (the
+// §5.2.3 small-pool detector input).
+func UniqueCount(ports []uint16) int {
+	seen := make(map[uint16]struct{}, len(ports))
+	for _, p := range ports {
+		seen[p] = struct{}{}
+	}
+	return len(seen)
+}
+
+// ProbUniqueAtMost returns the probability that n uniform draws from a
+// pool of s ports produce at most k distinct values — the §5.2.3
+// computation behind "a phenomenon that would typically only occur
+// 0.066% of the time... if the size of the pool being selected from was
+// actually 200" (k=7, n=10, s=200).
+func ProbUniqueAtMost(k, n, s int) float64 {
+	if k >= n {
+		return 1
+	}
+	// P(#distinct = j) = C(s, j) * S2(n, j) * j! / s^n, computed by
+	// dynamic programming over draws: state = number of distinct so far.
+	probs := make([]float64, n+1)
+	probs[0] = 1
+	for draw := 0; draw < n; draw++ {
+		next := make([]float64, n+1)
+		for j := 0; j <= n; j++ {
+			if probs[j] == 0 {
+				continue
+			}
+			pRepeat := float64(j) / float64(s)
+			next[j] += probs[j] * pRepeat
+			if j+1 <= n {
+				next[j+1] += probs[j] * (1 - pRepeat)
+			}
+		}
+		probs = next
+	}
+	total := 0.0
+	for j := 0; j <= k; j++ {
+		total += probs[j]
+	}
+	return total
+}

@@ -1,0 +1,377 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBetaCDFClosedForm(t *testing.T) {
+	// For Beta(9, 2): I_x = x^9 (10 - 9x).
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		want := math.Pow(x, 9) * (10 - 9*x)
+		got := BetaCDF(x, 9, 2)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("BetaCDF(%v, 9, 2) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestBetaCDFSymmetric(t *testing.T) {
+	// I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.05, 0.25, 0.5, 0.8, 0.95} {
+		got := BetaCDF(x, 3, 7) + BetaCDF(1-x, 7, 3)
+		if math.Abs(got-1) > 1e-10 {
+			t.Errorf("symmetry broken at %v: sum = %v", x, got)
+		}
+	}
+}
+
+func TestBetaCDFBounds(t *testing.T) {
+	if BetaCDF(-1, 2, 2) != 0 || BetaCDF(0, 2, 2) != 0 {
+		t.Fatal("CDF below support must be 0")
+	}
+	if BetaCDF(1, 2, 2) != 1 || BetaCDF(2, 2, 2) != 1 {
+		t.Fatal("CDF above support must be 1")
+	}
+}
+
+func TestBetaPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoid integration of the pdf should match the cdf.
+	a, b := 9.0, 2.0
+	const steps = 20000
+	sum := 0.0
+	prev := BetaPDF(0, a, b)
+	for i := 1; i <= steps; i++ {
+		x := float64(i) / steps * 0.8
+		cur := BetaPDF(x, a, b)
+		sum += (prev + cur) / 2 * (0.8 / steps)
+		prev = cur
+	}
+	if math.Abs(sum-BetaCDF(0.8, a, b)) > 1e-4 {
+		t.Fatalf("integral = %v, CDF = %v", sum, BetaCDF(0.8, a, b))
+	}
+}
+
+func TestRangeModelMatchesSimulation(t *testing.T) {
+	// Empirical check of the paper's model: the range of 10 uniform
+	// draws from a pool of size s follows (s-1)·Beta(9, 2).
+	rng := rand.New(rand.NewSource(42))
+	const s = 2500
+	const trials = 20000
+	below := 0
+	threshold := RangeQuantile(0.5, s, SampleSize)
+	for trial := 0; trial < trials; trial++ {
+		lo, hi := s, -1
+		for i := 0; i < SampleSize; i++ {
+			v := rng.Intn(s)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if float64(hi-lo) <= threshold {
+			below++
+		}
+	}
+	frac := float64(below) / trials
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("empirical P(range <= median) = %v, want ~0.5", frac)
+	}
+}
+
+func TestRangeQuantileReproducesPaperCutoffs(t *testing.T) {
+	// §5.3.2 / Table 4: the 99.9%-accuracy cutoffs.
+	cases := []struct {
+		p    float64
+		s    int
+		want float64
+		tol  float64
+	}{
+		{0.001, 2500, 940, 2},  // Windows low cutoff (band starts 941)
+		{0.999, 2500, 2488, 2}, // Windows high cutoff
+		// FreeBSD low cutoff: the paper prints 6,125, which appears to be
+		// empirically derived from their 1,000 lab samples; the exact
+		// Beta(9,2) quantile is ≈6,168 (0.7% away).
+		{0.001, 16383, 6168, 4},
+		{0.001, 28232, 10630, 30}, // Linux low quantile (subsumed by boundary)
+	}
+	for _, c := range cases {
+		got := RangeQuantile(c.p, c.s, SampleSize)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("RangeQuantile(%v, %d) = %v, want %v±%v", c.p, c.s, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestOptimalBoundaryReproducesPaper(t *testing.T) {
+	// FreeBSD/Linux boundary: 16,331 with 0.05% / 3.5% errors.
+	cut, eHigh, eLow := OptimalBoundary(16383, 28232, SampleSize)
+	if cut < 16300 || cut > 16383 {
+		t.Fatalf("FreeBSD/Linux cutoff = %d, want ≈16331", cut)
+	}
+	if eHigh > 0.002 {
+		t.Fatalf("FreeBSD misclassification = %v, want ≈0.0005", eHigh)
+	}
+	if eLow < 0.02 || eLow > 0.06 {
+		t.Fatalf("Linux misclassification = %v, want ≈0.035", eLow)
+	}
+	// Linux/full-range boundary: ≈28,222 with ≈0.35% collective error.
+	cut2, e2High, e2Low := OptimalBoundary(28232, 64511, SampleSize)
+	if cut2 < 28150 || cut2 > 28232 {
+		t.Fatalf("Linux/full cutoff = %d, want ≈28222", cut2)
+	}
+	if e2High+e2Low > 0.006 {
+		t.Fatalf("collective error = %v, want ≈0.0035", e2High+e2Low)
+	}
+}
+
+func TestDeriveBandsReproducesTable4(t *testing.T) {
+	pools := []PoolSpec{
+		{Label: "Windows DNS", Size: 2500},
+		{Label: "FreeBSD", Size: 16383},
+		{Label: "Linux", Size: 28232},
+		{Label: "Full Port Range", Size: 64511},
+	}
+	bands := DeriveBands(pools, SampleSize, 0.999, 65536)
+	if len(bands) != 8 {
+		t.Fatalf("got %d bands, want Table 4's 8: %v", len(bands), bands)
+	}
+	type expect struct {
+		lo, hi int
+		tolLo  int
+		tolHi  int
+		label  string
+	}
+	wants := []expect{
+		{0, 0, 0, 0, "zero"},
+		{1, 200, 0, 0, "low"},
+		{201, 940, 0, 2, ""},
+		{941, 2488, 2, 2, "Windows DNS"},
+		{2489, 6124, 2, 50, ""},
+		{6125, 16331, 50, 60, "FreeBSD"},
+		{16332, 28222, 60, 60, "Linux"},
+		{28223, 65536, 60, 0, "Full Port Range"},
+	}
+	for i, w := range wants {
+		b := bands[i]
+		if abs(b.Lo-w.lo) > w.tolLo || abs(b.Hi-w.hi) > w.tolHi {
+			t.Errorf("band %d = %v, want %d-%d (±%d/±%d)", i, b, w.lo, w.hi, w.tolLo, w.tolHi)
+		}
+		if b.Label != w.label {
+			t.Errorf("band %d label = %q, want %q", i, b.Label, w.label)
+		}
+	}
+	// Bands must partition [0, 65536] without gaps or overlap.
+	next := 0
+	for _, b := range bands {
+		if b.Lo != next {
+			t.Fatalf("band gap/overlap at %d (expected lo %d): %v", b.Lo, next, bands)
+		}
+		next = b.Hi + 1
+	}
+	if next != 65537 {
+		t.Fatalf("bands end at %d", next-1)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestBandFor(t *testing.T) {
+	bands := []Band{{Lo: 0, Hi: 0}, {Lo: 1, Hi: 10, Label: "x"}}
+	if b, ok := BandFor(bands, 5); !ok || b.Label != "x" {
+		t.Fatal("BandFor failed")
+	}
+	if _, ok := BandFor(bands, 11); ok {
+		t.Fatal("BandFor matched outside")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(100, 1000)
+	for i := 0; i < 50; i++ {
+		h.Add(250)
+	}
+	h.Add(-5)
+	h.Add(5000)
+	if h.Bin(250) != 50 {
+		t.Fatalf("bin(250) = %d", h.Bin(250))
+	}
+	if h.Bin(0) != 1 || h.Bin(1000) != 1 {
+		t.Fatal("clamping failed")
+	}
+	if h.PeakBin() != 2 {
+		t.Fatalf("peak bin = %d", h.PeakBin())
+	}
+	if h.N != 52 {
+		t.Fatalf("N = %d", h.N)
+	}
+	if got := h.Quantile(0.5); got != 200 {
+		t.Fatalf("median bin start = %d", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]int{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]int{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+}
+
+func TestRangeOf(t *testing.T) {
+	if RangeOf([]uint16{53, 53, 53}) != 0 {
+		t.Fatal("fixed-port range must be 0")
+	}
+	if RangeOf([]uint16{1000, 5000, 3000}) != 4000 {
+		t.Fatal("range wrong")
+	}
+	if RangeOf(nil) != 0 {
+		t.Fatal("empty range")
+	}
+}
+
+func TestStrictlyIncreasing(t *testing.T) {
+	inc, wrap := StrictlyIncreasing([]uint16{1, 2, 3, 4})
+	if !inc || wrap {
+		t.Fatal("plain increasing misdetected")
+	}
+	inc, wrap = StrictlyIncreasing([]uint16{100, 101, 102, 5, 6})
+	if !inc || !wrap {
+		t.Fatal("wrapping sequence misdetected")
+	}
+	inc, _ = StrictlyIncreasing([]uint16{1, 3, 2, 4})
+	if inc {
+		t.Fatal("non-monotonic accepted")
+	}
+	inc, _ = StrictlyIncreasing([]uint16{5, 5})
+	if inc {
+		t.Fatal("repeated value accepted as increasing")
+	}
+	inc, wrap = StrictlyIncreasing([]uint16{9, 1, 8, 2})
+	if inc || wrap {
+		t.Fatal("double wrap accepted")
+	}
+}
+
+func TestUniqueCount(t *testing.T) {
+	if UniqueCount([]uint16{1, 1, 2, 3, 3, 3}) != 3 {
+		t.Fatal("unique count wrong")
+	}
+}
+
+func TestProbUniqueAtMostPaperValue(t *testing.T) {
+	// §5.2.3: ≤7 unique out of 10 draws from a pool of 200 happens
+	// ~0.066% of the time ("1 out of every 1,500").
+	p := ProbUniqueAtMost(7, 10, 200)
+	if p < 0.0004 || p > 0.001 {
+		t.Fatalf("P(≤7 unique | s=200) = %v, want ≈0.00066", p)
+	}
+	if ProbUniqueAtMost(10, 10, 200) != 1 {
+		t.Fatal("k>=n must be certain")
+	}
+}
+
+func TestQuickRangeCDFMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		r1, r2 := float64(a%2499), float64(b%2499)
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		return RangeCDF(r1, 2500, 10) <= RangeCDF(r2, 2500, 10)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickQuantileInvertsCDF(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 0.01 + 0.98*rng.Float64()
+		s := 100 + rng.Intn(60000)
+		r := RangeQuantile(p, s, 10)
+		return math.Abs(RangeCDF(r, s, 10)-p) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBetaCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BetaCDF(0.6, 9, 2)
+	}
+}
+
+func BenchmarkDeriveBands(b *testing.B) {
+	pools := []PoolSpec{
+		{Label: "Windows DNS", Size: 2500},
+		{Label: "FreeBSD", Size: 16383},
+		{Label: "Linux", Size: 28232},
+		{Label: "Full Port Range", Size: 64511},
+	}
+	for i := 0; i < b.N; i++ {
+		DeriveBands(pools, SampleSize, 0.999, 65536)
+	}
+}
+
+func TestChiSquareRangeFitDiscriminatesPools(t *testing.T) {
+	// Samples genuinely drawn from a 2,500-port pool must fit the 2,500
+	// model and decisively reject the 28,232 model (and vice versa).
+	rng := rand.New(rand.NewSource(77))
+	draw := func(s int) []int {
+		ranges := make([]int, 800)
+		for i := range ranges {
+			lo, hi := s, -1
+			for j := 0; j < SampleSize; j++ {
+				v := rng.Intn(s)
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			ranges[i] = hi - lo
+		}
+		return ranges
+	}
+	winRanges := draw(2500)
+	good, dof := ChiSquareRangeFit(winRanges, 2500, SampleSize, 10)
+	if dof != 9 {
+		t.Fatalf("dof = %d", dof)
+	}
+	bad, _ := ChiSquareRangeFit(winRanges, 28232, SampleSize, 10)
+	if good > 3 {
+		t.Errorf("true-pool fit chi2/dof = %.2f, want ~1", good)
+	}
+	if bad < 20*good || bad < 10 {
+		t.Errorf("wrong-pool fit chi2/dof = %.2f vs true %.2f: model not discriminating", bad, good)
+	}
+
+	linRanges := draw(28232)
+	good2, _ := ChiSquareRangeFit(linRanges, 28232, SampleSize, 10)
+	bad2, _ := ChiSquareRangeFit(linRanges, 16383, SampleSize, 10)
+	if good2 > 3 || bad2 < 10 {
+		t.Errorf("linux fit: true %.2f, wrong %.2f", good2, bad2)
+	}
+}
+
+func TestChiSquareRangeFitSmallSample(t *testing.T) {
+	if perDof, dof := ChiSquareRangeFit([]int{1, 2, 3}, 2500, 10, 10); perDof != 0 || dof != 0 {
+		t.Fatal("undersized sample must report no fit")
+	}
+}

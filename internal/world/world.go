@@ -1,0 +1,640 @@
+// Package world instantiates a simulated Internet (netsim) from a
+// synthetic DITL population (ditl): the DNS infrastructure (root, org,
+// and the experimenter's dns-lab.org servers with their transport- and
+// truncation-probing subzones), public DNS services, the spoofing-capable
+// scanner vantage point, and every live resolver with its ACL, OS,
+// forwarding, and port-allocation configuration — plus the measurement
+// hazards the paper accounts for: transparent DNS middleboxes (§3.6.1)
+// and IDS-triggered human analyst queries (§3.6.3).
+package world
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"time"
+
+	"repro/internal/authserver"
+	"repro/internal/ditl"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/oskernel"
+	"repro/internal/packet"
+	"repro/internal/resolver"
+	"repro/internal/routing"
+)
+
+// Infrastructure addressing, far from the ditl block allocator's range.
+var (
+	infraPrefix4   = netip.MustParsePrefix("223.255.0.0/16")
+	infraPrefix6   = netip.MustParsePrefix("2a01:0:1::/48")
+	scannerPrefix4 = netip.MustParsePrefix("223.254.0.0/16")
+	scannerPrefix6 = netip.MustParsePrefix("2a01:0:2::/48")
+	publicPrefix4  = netip.MustParsePrefix("223.253.0.0/16")
+	publicPrefix6  = netip.MustParsePrefix("2a01:0:3::/48")
+	thirdPrefix4   = netip.MustParsePrefix("223.252.0.0/16")
+)
+
+// Zone is the experiment's base zone.
+const Zone = dnswire.Name("dns-lab.org")
+
+// Subzone apexes for the follow-up probes (§3.5).
+const (
+	ZoneV4 = dnswire.Name("v4.dns-lab.org") // IPv4-only delegation
+	ZoneV6 = dnswire.Name("v6.dns-lab.org") // IPv6-only delegation
+	ZoneTC = dnswire.Name("tc.dns-lab.org") // always-truncate (TCP probe)
+)
+
+// Options tunes world construction.
+type Options struct {
+	// Seed drives simulator randomness (latency jitter, resolver server
+	// selection independence from population generation).
+	Seed int64
+	// LossRate is transit packet loss (default 0: deterministic runs).
+	LossRate float64
+	// Wildcard serves wildcard answers from dns-lab.org instead of
+	// NXDOMAIN (the §3.6.4 fix; used by the ablation bench).
+	Wildcard bool
+	// AllDSAV forces DSAV on in every target AS (counterfactual
+	// ablation: which vulnerable resolvers would have been protected).
+	AllDSAV bool
+	// NoDSAV forces DSAV off everywhere.
+	NoDSAV bool
+}
+
+// World is the built simulation.
+type World struct {
+	Pop *ditl.Population
+	Net *netsim.Network
+	Reg *routing.Registry
+
+	// Scanner is the measurement client's host (in an AS without OSAV).
+	Scanner      *netsim.Host
+	ScannerAddr4 netip.Addr
+	ScannerAddr6 netip.Addr
+
+	// Roots are the root server addresses (resolver hints).
+	Roots []netip.Addr
+	// Auth are the experimenter-controlled authoritative servers whose
+	// logs are the experiment's observations.
+	Auth []*authserver.Server
+	// MainZone is the dns-lab.org zone (for wildcard toggling).
+	MainZone *authserver.Zone
+	// PublicDNS lists the public resolver service addresses (the §3.6.1
+	// middlebox-accounting allowlist).
+	PublicDNS []netip.Addr
+	// Resolvers indexes built resolvers by address (ground truth for
+	// validation).
+	Resolvers map[netip.Addr]*resolver.Resolver
+
+	// AnalystDelay bounds the IDS human-analyst reaction time.
+	AnalystDelayMin, AnalystDelayMax time.Duration
+
+	rootZone *authserver.Zone
+
+	analystRng *rand.Rand
+	analysts   map[routing.ASN]*netsim.Host
+}
+
+// ScheduleChurn takes a seeded fraction of resolver hosts offline at
+// uniformly random points within the experiment window — the address
+// churn of §3.6.2 that makes per-source effectiveness a lower bound.
+// Call after the scanner's probes are scheduled, with the experiment
+// duration.
+func (w *World) ScheduleChurn(fraction float64, duration time.Duration, seed int64) int {
+	if fraction <= 0 || duration <= 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	churned := 0
+	seen := make(map[*netsim.Host]bool)
+	for _, res := range w.Resolvers {
+		h := res.Host
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		if rng.Float64() >= fraction {
+			continue
+		}
+		at := time.Duration(rng.Int63n(int64(duration)))
+		w.Net.Q.At(at, func(time.Duration) { h.SetDown(true) })
+		churned++
+	}
+	return churned
+}
+
+// Build constructs the world.
+func Build(pop *ditl.Population, opts Options) (*World, error) {
+	reg := routing.NewRegistry()
+
+	infraAS := &routing.AS{ASN: 10, Prefixes: []netip.Prefix{infraPrefix4, infraPrefix6}}
+	scannerAS := &routing.AS{ASN: 20, Prefixes: []netip.Prefix{scannerPrefix4, scannerPrefix6}} // no OSAV: required (§3.4)
+	publicAS := &routing.AS{ASN: 30, Prefixes: []netip.Prefix{publicPrefix4, publicPrefix6}}
+	thirdAS := &routing.AS{ASN: 40, Prefixes: []netip.Prefix{thirdPrefix4}}
+	for _, as := range []*routing.AS{infraAS, scannerAS, publicAS, thirdAS} {
+		if err := reg.Add(as); err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range pop.ASes {
+		dsav := spec.DSAV
+		if opts.AllDSAV {
+			dsav = true
+		}
+		if opts.NoDSAV {
+			dsav = false
+		}
+		as := &routing.AS{
+			ASN: spec.ASN, Prefixes: spec.Prefixes(),
+			DSAV: dsav, OSAV: spec.OSAV, FilterBogons: spec.FilterBogons,
+			Countries: spec.Countries,
+		}
+		if err := reg.Add(as); err != nil {
+			return nil, err
+		}
+	}
+
+	n := netsim.New(reg, netsim.Config{Seed: opts.Seed, LossRate: opts.LossRate})
+	w := &World{
+		Pop: pop, Net: n, Reg: reg,
+		Resolvers:       make(map[netip.Addr]*resolver.Resolver),
+		analysts:        make(map[routing.ASN]*netsim.Host),
+		analystRng:      rand.New(rand.NewSource(opts.Seed + 1)),
+		AnalystDelayMin: time.Minute,
+		AnalystDelayMax: 30 * time.Minute,
+	}
+
+	if err := w.buildInfra(infraAS, opts); err != nil {
+		return nil, err
+	}
+	if err := w.buildReverseDNS(infraAS, pop); err != nil {
+		return nil, err
+	}
+	if err := w.buildScanner(scannerAS); err != nil {
+		return nil, err
+	}
+	if err := w.buildPublicDNS(publicAS); err != nil {
+		return nil, err
+	}
+	thirdParty, err := w.buildThirdParty(thirdAS)
+	if err != nil {
+		return nil, err
+	}
+
+	for i, spec := range pop.ASes {
+		as := reg.AS(spec.ASN)
+		if err := w.buildTargetAS(i, spec, as, thirdParty); err != nil {
+			return nil, err
+		}
+	}
+	w.wireIDS()
+	return w, nil
+}
+
+// addr4 and addr6 derive stable infrastructure addresses.
+func addrAt4(p netip.Prefix, off uint64) netip.Addr { return routing.AddrAt(p, off) }
+
+func (w *World) buildInfra(as *routing.AS, opts Options) error {
+	rootA4, rootA6 := addrAt4(infraPrefix4, 1), routing.AddrAt(infraPrefix6, 1)
+	orgA4, orgA6 := addrAt4(infraPrefix4, 2), routing.AddrAt(infraPrefix6, 2)
+	ns1A4, ns1A6 := addrAt4(infraPrefix4, 3), routing.AddrAt(infraPrefix6, 3)
+	nsV4 := addrAt4(infraPrefix4, 4)
+	nsV6 := routing.AddrAt(infraPrefix6, 5)
+
+	soa := dnswire.SOAData{
+		MName: "www.dns-lab.org", RName: "research.dns-lab.org",
+		Serial: 2019110601, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 60,
+	}
+
+	rootHost, err := w.Net.Attach("root-servers", as, rootA4, rootA6)
+	if err != nil {
+		return err
+	}
+	rootZone := authserver.NewZone(dnswire.Root, soa)
+	rootZone.TTL = 86400
+	w.rootZone = rootZone
+	rootZone.Delegate(&authserver.Delegation{
+		Apex: "org", NS: []dnswire.Name{"a0.org.afilias-nst.info"},
+		Glue: map[dnswire.Name][]netip.Addr{"a0.org.afilias-nst.info": {orgA4, orgA6}},
+	})
+	if _, err := authserver.New(rootHost, rootZone); err != nil {
+		return err
+	}
+	w.Roots = []netip.Addr{rootA4, rootA6}
+
+	orgHost, err := w.Net.Attach("org-servers", as, orgA4, orgA6)
+	if err != nil {
+		return err
+	}
+	orgZone := authserver.NewZone("org", soa)
+	orgZone.TTL = 86400
+	orgZone.Delegate(&authserver.Delegation{
+		Apex: Zone, NS: []dnswire.Name{"ns1.dns-lab.org"},
+		Glue: map[dnswire.Name][]netip.Addr{"ns1.dns-lab.org": {ns1A4, ns1A6}},
+	})
+	if _, err := authserver.New(orgHost, orgZone); err != nil {
+		return err
+	}
+
+	// The experimenter's servers: ns1 (dual-stack) serving the main and
+	// tc zones; family-restricted servers for the v4/v6 subzones.
+	ns1Host, err := w.Net.Attach("ns1.dns-lab.org", as, ns1A4, ns1A6)
+	if err != nil {
+		return err
+	}
+	main := authserver.NewZone(Zone, soa)
+	main.Wildcard = opts.Wildcard
+	main.AddAddr("www.dns-lab.org", ns1A4, 300)
+	main.Delegate(&authserver.Delegation{
+		Apex: ZoneV4, NS: []dnswire.Name{"ns-v4.dns-lab.org"},
+		Glue: map[dnswire.Name][]netip.Addr{"ns-v4.dns-lab.org": {nsV4}},
+	})
+	main.Delegate(&authserver.Delegation{
+		Apex: ZoneV6, NS: []dnswire.Name{"ns-v6.dns-lab.org"},
+		Glue: map[dnswire.Name][]netip.Addr{"ns-v6.dns-lab.org": {nsV6}},
+	})
+	tc := authserver.NewZone(ZoneTC, soa)
+	tc.AlwaysTruncate = true
+	tc.Wildcard = opts.Wildcard
+	ns1, err := authserver.New(ns1Host, main, tc)
+	if err != nil {
+		return err
+	}
+	w.MainZone = main
+
+	v4Host, err := w.Net.Attach("ns-v4.dns-lab.org", as, nsV4)
+	if err != nil {
+		return err
+	}
+	v4zone := authserver.NewZone(ZoneV4, soa)
+	v4zone.Wildcard = opts.Wildcard
+	srvV4, err := authserver.New(v4Host, v4zone)
+	if err != nil {
+		return err
+	}
+
+	v6Host, err := w.Net.Attach("ns-v6.dns-lab.org", as, nsV6)
+	if err != nil {
+		return err
+	}
+	v6zone := authserver.NewZone(ZoneV6, soa)
+	v6zone.Wildcard = opts.Wildcard
+	srvV6, err := authserver.New(v6Host, v6zone)
+	if err != nil {
+		return err
+	}
+
+	w.Auth = []*authserver.Server{ns1, srvV4, srvV6}
+	return nil
+}
+
+// PublishesPTR reports whether a resolver publishes reverse DNS (the
+// §5.2.1 contact-discovery path works only for these; roughly 70% of
+// the population).
+func PublishesPTR(spec *ditl.ResolverSpec) bool { return spec.Index%10 < 7 }
+
+// buildReverseDNS attaches the in-addr.arpa / ip6.arpa / example.net
+// server used by the §5.2.1 contact-discovery pipeline: PTR records for
+// resolvers that publish them, and per-AS SOA records whose RNAME
+// carries the operator contact.
+func (w *World) buildReverseDNS(as *routing.AS, pop *ditl.Population) error {
+	addr := addrAt4(infraPrefix4, 6)
+	host, err := w.Net.Attach("rdns", as, addr)
+	if err != nil {
+		return err
+	}
+	soa := dnswire.SOAData{
+		MName: "rdns.example.net", RName: "noc.example.net",
+		Serial: 1, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300,
+	}
+	v4rev := authserver.NewZone("in-addr.arpa", soa)
+	v6rev := authserver.NewZone("ip6.arpa", soa)
+	opdom := authserver.NewZone("example.net", soa)
+
+	for _, asSpec := range pop.ASes {
+		domain := dnswire.Name(fmt.Sprintf("as%d.example.net", asSpec.ASN))
+		hasPTR := false
+		for _, rs := range asSpec.Resolvers {
+			if !PublishesPTR(rs) {
+				continue
+			}
+			target := dnswire.Name(fmt.Sprintf("r%d.%s", rs.Index, domain))
+			if rs.HasV4() {
+				v4rev.AddRecord(dnswire.RR{
+					Name: contactReverse(rs.Addr4), Type: dnswire.TypePTR,
+					Class: dnswire.ClassIN, TTL: 3600, Target: target,
+				})
+			}
+			if rs.HasV6() {
+				v6rev.AddRecord(dnswire.RR{
+					Name: contactReverse(rs.Addr6), Type: dnswire.TypePTR,
+					Class: dnswire.ClassIN, TTL: 3600, Target: target,
+				})
+			}
+			hasPTR = true
+		}
+		if hasPTR {
+			opdom.AddRecord(dnswire.RR{
+				Name: domain, Type: dnswire.TypeSOA, Class: dnswire.ClassIN, TTL: 3600,
+				SOA: &dnswire.SOAData{
+					MName:  "ns." + domain,
+					RName:  "hostmaster." + domain,
+					Serial: 2019110601, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300,
+				},
+			})
+		}
+	}
+	if _, err := authserver.New(host, v4rev, v6rev, opdom); err != nil {
+		return err
+	}
+	for _, apex := range []dnswire.Name{"in-addr.arpa", "ip6.arpa", "example.net"} {
+		w.rootZone.Delegate(&authserver.Delegation{
+			Apex: apex, NS: []dnswire.Name{"rdns.example.net"},
+			Glue: map[dnswire.Name][]netip.Addr{"rdns.example.net": {addr}},
+		})
+	}
+	return nil
+}
+
+func (w *World) buildScanner(as *routing.AS) error {
+	w.ScannerAddr4 = addrAt4(scannerPrefix4, 10)
+	w.ScannerAddr6 = routing.AddrAt(scannerPrefix6, 10)
+	h, err := w.Net.Attach("scanner", as, w.ScannerAddr4, w.ScannerAddr6)
+	if err != nil {
+		return err
+	}
+	w.Scanner = h
+	return nil
+}
+
+func (w *World) buildPublicDNS(as *routing.AS) error {
+	for i := 0; i < 2; i++ {
+		a4 := addrAt4(publicPrefix4, uint64(1+i))
+		a6 := routing.AddrAt(publicPrefix6, uint64(1+i))
+		h, err := w.Net.Attach(fmt.Sprintf("public-dns-%d", i), as, a4, a6)
+		if err != nil {
+			return err
+		}
+		h.OS = oskernel.UbuntuModern
+		h.ScrubFingerprint = true
+		_, err = resolver.New(h, w.Roots, resolver.Config{
+			ACL:   resolver.ACL{Open: true},
+			Ports: resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(900+int64(i)))),
+			Seed:  900 + int64(i),
+		})
+		if err != nil {
+			return err
+		}
+		w.PublicDNS = append(w.PublicDNS, a4, a6)
+	}
+	return nil
+}
+
+// buildThirdParty attaches the "unexplained" upstream resolver some
+// forwarders use (the §3.6.1 residual).
+func (w *World) buildThirdParty(as *routing.AS) (netip.Addr, error) {
+	a4 := addrAt4(thirdPrefix4, 1)
+	h, err := w.Net.Attach("third-party-dns", as, a4)
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	h.OS = oskernel.UbuntuLegacy
+	h.ScrubFingerprint = true
+	_, err = resolver.New(h, w.Roots, resolver.Config{
+		ACL:   resolver.ACL{Open: true},
+		Ports: resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(990))),
+		Seed:  990,
+	})
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	return a4, nil
+}
+
+// aclFor translates a spec's ACL scope into resolver prefixes.
+func aclFor(spec *ditl.ResolverSpec, as *routing.AS) resolver.ACL {
+	var acl resolver.ACL
+	switch spec.Scope {
+	case ditl.ScopeOpen:
+		acl.Open = true
+	case ditl.ScopeWholeAS:
+		acl.Allowed = append(acl.Allowed, as.Prefixes...)
+	case ditl.ScopeSamePrefix:
+		if spec.Addr4.IsValid() {
+			acl.Allowed = append(acl.Allowed, routing.SubnetOf(spec.Addr4))
+		}
+		if spec.Addr6.IsValid() {
+			acl.Allowed = append(acl.Allowed, routing.SubnetOf(spec.Addr6))
+		}
+	case ditl.ScopeOtherSubnets:
+		// Client subnets that exclude the resolver's own subnet: the
+		// configuration other-prefix spoofing defeats but same-prefix
+		// and dst-as-src do not.
+		rng := rand.New(rand.NewSource(spec.Seed + 7))
+		for _, p := range as.V4Prefixes() {
+			subs := routing.EnumerateSubnets(p, 16)
+			own := netip.Prefix{}
+			if spec.Addr4.IsValid() {
+				own = routing.SubnetOf(spec.Addr4)
+			}
+			picked := 0
+			for _, s := range subs {
+				if s != own && rng.Float64() < 0.6 && picked < 2 {
+					acl.Allowed = append(acl.Allowed, s)
+					picked++
+				}
+			}
+		}
+		for _, p := range as.V6Prefixes() {
+			subs := routing.EnumerateSubnets(p, 8)
+			own := netip.Prefix{}
+			if spec.Addr6.IsValid() {
+				own = routing.SubnetOf(spec.Addr6)
+			}
+			for _, s := range subs {
+				if s != own {
+					acl.Allowed = append(acl.Allowed, s)
+					break
+				}
+			}
+		}
+		if len(acl.Allowed) == 0 {
+			// Single-subnet AS: behaves as strict.
+			acl.Allowed = append(acl.Allowed, netip.PrefixFrom(as.Prefixes[0].Masked().Addr(), 32))
+		}
+	case ditl.ScopeASPlusPrivate:
+		acl.Allowed = append(acl.Allowed, as.Prefixes...)
+		acl.Allowed = append(acl.Allowed,
+			netip.MustParsePrefix("10.0.0.0/8"),
+			netip.MustParsePrefix("172.16.0.0/12"),
+			netip.MustParsePrefix("192.168.0.0/16"),
+			netip.MustParsePrefix("fc00::/7"))
+	case ditl.ScopeStrict:
+		// Allow only the (never-spoofed) network address of the first
+		// prefix: effectively refuses every experimental source.
+		acl.Allowed = append(acl.Allowed, netip.PrefixFrom(as.Prefixes[0].Masked().Addr(), 32))
+	}
+	if spec.ACLAllowLoopback && !acl.Open {
+		acl.Allowed = append(acl.Allowed,
+			netip.MustParsePrefix("127.0.0.0/8"),
+			netip.MustParsePrefix("::1/128"))
+	}
+	return acl
+}
+
+func (w *World) buildTargetAS(i int, spec *ditl.ASSpec, as *routing.AS, thirdParty netip.Addr) error {
+	for _, rs := range spec.Resolvers {
+		var addrs []netip.Addr
+		if rs.Addr4.IsValid() {
+			addrs = append(addrs, rs.Addr4)
+		}
+		if rs.Addr6.IsValid() {
+			addrs = append(addrs, rs.Addr6)
+		}
+		if len(addrs) == 0 {
+			continue
+		}
+		h, err := w.Net.Attach(fmt.Sprintf("r%d", rs.Index), as, addrs...)
+		if err != nil {
+			return err
+		}
+		h.OS = rs.OS
+		h.ScrubFingerprint = rs.Scrub
+
+		cfg := resolver.Config{
+			ACL:             aclFor(rs, as),
+			Ports:           rs.Allocator(),
+			QnameMin:        rs.QnameMin,
+			QnameMinLenient: rs.QnameMin && !rs.QnameMinStrict,
+			Seed:            rs.Seed,
+		}
+		roots := w.Roots
+		if rs.Forward {
+			up := w.PublicDNS[rs.Index%len(w.PublicDNS)]
+			if rs.Upstream == ditl.UpstreamThirdParty {
+				up = thirdParty
+			}
+			cfg.Forward = []netip.Addr{up}
+			cfg.ForwardFraction = rs.ForwardFraction
+			if rs.ForwardFraction == 0 || rs.ForwardFraction >= 1 {
+				roots = nil // pure forwarder
+			}
+		}
+		res, err := resolver.New(h, roots, cfg)
+		if err != nil {
+			return err
+		}
+		for _, a := range addrs {
+			w.Resolvers[a] = res
+		}
+	}
+
+	// Transparent middlebox (§3.6.1): intercept inbound UDP/53 and hand
+	// it to a dedicated open forwarder resolving via public DNS, so the
+	// auth servers see the public DNS service, not the target AS.
+	if spec.Middlebox {
+		a := routing.RandomHostAddr(routing.EnumerateSubnets(spec.V4Prefixes[0], 1)[0],
+			rand.New(rand.NewSource(int64(i)+555)))
+		if w.Net.HostAt(a) == nil {
+			h, err := w.Net.Attach(fmt.Sprintf("mbox-as%d", spec.ASN), as, a)
+			if err != nil {
+				return err
+			}
+			h.OS = oskernel.UbuntuModern
+			h.ScrubFingerprint = true
+			mb, err := resolver.New(h, nil, resolver.Config{
+				ACL:     resolver.ACL{Open: true},
+				Ports:   resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(int64(i)+556))),
+				Forward: []netip.Addr{w.PublicDNS[0]},
+				Seed:    int64(i) + 557,
+			})
+			if err != nil {
+				return err
+			}
+			at := a
+			w.Net.SetInterceptor(spec.ASN, func(now time.Duration, pkt *packet.Packet) bool {
+				if pkt.UDP == nil || pkt.UDP.DstPort != 53 || pkt.Dst() == at {
+					return false
+				}
+				mb.HandleQuery(now, pkt.Src(), pkt.UDP.SrcPort, at, pkt.Data)
+				return true
+			})
+		}
+	}
+
+	// IDS analyst host (§3.6.3).
+	if spec.IDS {
+		rng := rand.New(rand.NewSource(int64(i) + 777))
+		sub := routing.EnumerateSubnets(spec.V4Prefixes[len(spec.V4Prefixes)-1], 4)
+		for tries := 0; tries < 8; tries++ {
+			a := routing.RandomHostAddr(sub[rng.Intn(len(sub))], rng)
+			if w.Net.HostAt(a) == nil {
+				h, err := w.Net.Attach(fmt.Sprintf("analyst-as%d", spec.ASN), as, a)
+				if err != nil {
+					return err
+				}
+				w.analysts[spec.ASN] = h
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// wireIDS installs the drop hook that models §3.6.3: when a spoofed
+// query is dropped at an IDS-equipped border, an analyst later resolves
+// the logged name through public DNS, producing an auth-side query with
+// a lifetime far beyond the 10-second threshold.
+func (w *World) wireIDS() {
+	w.Net.SetDropHook(func(now time.Duration, reason netsim.DropReason, pkt *packet.Packet, dstAS *routing.AS) {
+		if reason != netsim.DropDSAV && reason != netsim.DropBogonSource {
+			return
+		}
+		if pkt == nil || pkt.UDP == nil || pkt.UDP.DstPort != 53 || dstAS == nil {
+			return
+		}
+		analyst := w.analysts[dstAS.ASN]
+		if analyst == nil {
+			return
+		}
+		msg, err := dnswire.Unpack(pkt.Data)
+		if err != nil || msg.QR || len(msg.Question) == 0 {
+			return
+		}
+		name := msg.Q().Name
+		if !name.IsSubdomainOf(Zone) {
+			return
+		}
+		if w.analystRng.Float64() > 0.25 {
+			return
+		}
+		delay := w.AnalystDelayMin +
+			time.Duration(w.analystRng.Int63n(int64(w.AnalystDelayMax-w.AnalystDelayMin)))
+		w.Net.Q.After(delay, func(time.Duration) {
+			q := dnswire.NewQuery(uint16(w.analystRng.Intn(65536)), name, dnswire.TypeA)
+			payload, err := q.Pack()
+			if err != nil {
+				return
+			}
+			analyst.SendUDP(analyst.Addrs[0], 40000, w.PublicDNS[0], 53, payload)
+		})
+	})
+}
+
+// contactReverse mirrors contact.ReverseName without importing the
+// contact package (avoiding an import cycle in tests).
+func contactReverse(addr netip.Addr) dnswire.Name {
+	if addr.Is4() {
+		b := addr.As4()
+		return dnswire.Name(fmt.Sprintf("%d.%d.%d.%d.in-addr.arpa", b[3], b[2], b[1], b[0]))
+	}
+	b := addr.As16()
+	var sb strings.Builder
+	for i := 15; i >= 0; i-- {
+		fmt.Fprintf(&sb, "%x.%x.", b[i]&0xf, b[i]>>4)
+	}
+	sb.WriteString("ip6.arpa")
+	return dnswire.Name(sb.String())
+}
