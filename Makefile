@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# Tier-1 verification: build + vet + full tests + race detector over
+# the parallel sharded engine.
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Headline performance numbers (event-queue allocations, survey
+# wall-clock single-shard vs sharded), recorded as BENCH_1.json.
+bench:
+	./scripts/bench.sh

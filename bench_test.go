@@ -42,19 +42,31 @@ func benchSetup(b *testing.B) (*Survey, analysis.Input) {
 			Hits: s.Scanner.Hits, Partials: s.Scanner.Partials,
 			Targets:      s.Scanner.Targets,
 			ScannerAddrs: []netip.Addr{s.World.ScannerAddr4, s.World.ScannerAddr6},
-			Reg:          s.World.Reg, Geo: s.Geo, PublicDNS: s.World.PublicDNS,
+			Reg:          s.World.Reg, Geo: s.Geo, PublicDNS: s.PublicDNS,
 		}
 	})
 	return benchSurvey, benchInput
 }
 
 // BenchmarkHeadlineReachability regenerates the §4 headline (4.6%/49%
-// etc.) with a full probe campaign per iteration.
+// etc.) with a full probe campaign per iteration, single-shard.
 func BenchmarkHeadlineReachability(b *testing.B) {
+	benchHeadline(b, 1)
+}
+
+// BenchmarkHeadlineReachabilitySharded runs the same campaign with one
+// shard per available CPU; comparing against the single-shard bench
+// measures the parallel speedup of the sharded engine.
+func BenchmarkHeadlineReachabilitySharded(b *testing.B) {
+	benchHeadline(b, -1)
+}
+
+func benchHeadline(b *testing.B, shards int) {
 	for i := 0; i < b.N; i++ {
 		s, err := RunSurvey(SurveyConfig{
 			Population: ditl.Params{Seed: int64(i), ASes: 120},
 			Scanner:    scanner.Config{Seed: int64(i) + 1, Rate: 50000},
+			Shards:     shards,
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dsavsurvey [-ases N] [-seed N] [-rate QPS] [-loss P]
+//	dsavsurvey [-ases N] [-seed N] [-rate QPS] [-loss P] [-shards K]
 //	           [-wildcard] [-alldsav] [-nodsav] [-figures]
 package main
 
@@ -29,6 +29,7 @@ func main() {
 		allDSAV  = flag.Bool("alldsav", false, "counterfactual: every AS deploys DSAV")
 		noDSAV   = flag.Bool("nodsav", false, "counterfactual: no AS deploys DSAV")
 		figures  = flag.Bool("figures", false, "print Figure 2 histograms")
+		shards   = flag.Int("shards", -1, "parallel simulation shards (-1 = one per CPU, 1 = serial); results are identical at any value")
 	)
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 			Wildcard: *wildcard, AllDSAV: *allDSAV, NoDSAV: *noDSAV,
 		},
 		Scanner: scanner.Config{Seed: *seed + 2, Rate: *rate},
+		Shards:  *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsavsurvey:", err)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	figures [-ases N] [-seed N] [-labqueries N] [-o DIR]
+//	figures [-ases N] [-seed N] [-labqueries N] [-shards K] [-o DIR]
 package main
 
 import (
@@ -77,6 +77,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "seed")
 		labQueries = flag.Int("labqueries", 10000, "lab queries per configuration")
 		out        = flag.String("o", "figures-out", "output directory")
+		shards     = flag.Int("shards", -1, "parallel simulation shards (-1 = one per CPU, 1 = serial); results are identical at any value")
 	)
 	flag.Parse()
 
@@ -89,6 +90,7 @@ func main() {
 	s, err := doors.RunSurvey(doors.SurveyConfig{
 		Population: ditl.Params{Seed: *seed, ASes: *ases},
 		Scanner:    scanner.Config{Seed: *seed + 2, Rate: 20000},
+		Shards:     *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)

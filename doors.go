@@ -19,6 +19,8 @@ package doors
 
 import (
 	"net/netip"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/analysis"
@@ -44,15 +46,43 @@ type SurveyConfig struct {
 	// ChurnFraction takes this share of resolvers offline at random
 	// points during the experiment (§3.6.2's address churn).
 	ChurnFraction float64
+	// Shards splits the population across this many independent
+	// simulation shards run on parallel goroutines. 0 (or 1) runs the
+	// classic single-shard survey; -1 picks runtime.GOMAXPROCS(0).
+	// Every source of randomness in the pipeline is keyed on causal
+	// identity rather than drawn from shared streams, so the merged
+	// survey — targets, hits, report — is identical at any shard count.
+	Shards int
+}
+
+// shardCount resolves the configured shard count.
+func (c SurveyConfig) shardCount() int {
+	switch {
+	case c.Shards < 0:
+		return runtime.GOMAXPROCS(0)
+	case c.Shards == 0:
+		return 1
+	default:
+		return c.Shards
+	}
 }
 
 // Survey is a completed run.
 type Survey struct {
 	Population *ditl.Population
-	World      *world.World
-	Scanner    *scanner.Scanner
-	Report     *analysis.Report
-	Geo        *geo.DB
+	// World is the first shard's world (they share scanner addresses,
+	// registry, and global public-DNS addressing); Worlds lists every
+	// shard's world.
+	World  *world.World
+	Worlds []*world.World
+	// Scanner holds the merged survey results: Targets, Hits, Partials
+	// and Stats aggregated across shards in canonical order.
+	Scanner *scanner.Scanner
+	Report  *analysis.Report
+	Geo     *geo.DB
+	// PublicDNS is the full middlebox-accounting allowlist used by the
+	// analysis: the shared public resolvers plus every per-AS replica.
+	PublicDNS []netip.Addr
 
 	// Probes is the number of probe queries scheduled; Duration is the
 	// virtual experiment duration they were spread over.
@@ -64,8 +94,14 @@ type Survey struct {
 // resolvers and dead addresses alike; the scanner cannot tell them
 // apart, §3.6.2).
 func CandidateAddrs(pop *ditl.Population) []netip.Addr {
-	var out []netip.Addr
-	for _, as := range pop.ASes {
+	return candidateAddrsFor(pop, nil)
+}
+
+// candidateAddrsFor collects the candidates of the population ASes
+// named by indices (nil = all), pre-sized from the population counts.
+func candidateAddrsFor(pop *ditl.Population, indices []int) []netip.Addr {
+	out := make([]netip.Addr, 0, pop.CandidateCount(indices))
+	visit := func(as *ditl.ASSpec) {
 		for _, r := range as.Resolvers {
 			if r.HasV4() {
 				out = append(out, r.Addr4)
@@ -76,6 +112,15 @@ func CandidateAddrs(pop *ditl.Population) []netip.Addr {
 		}
 		out = append(out, as.DeadTargets...)
 	}
+	if indices == nil {
+		for _, as := range pop.ASes {
+			visit(as)
+		}
+	} else {
+		for _, i := range indices {
+			visit(pop.ASes[i])
+		}
+	}
 	return out
 }
 
@@ -83,7 +128,7 @@ func CandidateAddrs(pop *ditl.Population) []netip.Addr {
 // the /64s of every known-active v6 address (live resolvers and
 // once-seen dead targets alike — activity, not liveness).
 func V6HitList(pop *ditl.Population) map[netip.Prefix]bool {
-	hl := make(map[netip.Prefix]bool)
+	hl := make(map[netip.Prefix]bool, pop.V6AddrCount())
 	add := func(a netip.Addr) {
 		if a.IsValid() && a.Is6() {
 			hl[routing.SubnetOf(a)] = true
@@ -119,39 +164,126 @@ func RunSurvey(cfg SurveyConfig) (*Survey, error) {
 
 // RunSurveyOn runs a survey over an existing population (so ablations
 // can share one population across world variants).
+//
+// With Shards > 1 the population's ASes are partitioned into
+// contiguous shards, each simulated in its own world (own event queue,
+// own scanner instance) on its own goroutine over one shared read-only
+// routing registry. Probe timing is computed from the survey-wide
+// probe total before any shard schedules, and the shard-local result
+// buffers are merged in canonical order afterwards, so the survey is
+// deterministic: the same seeds produce the same Report at any shard
+// count, including 1.
 func RunSurveyOn(pop *ditl.Population, cfg SurveyConfig) (*Survey, error) {
-	w, err := world.Build(pop, cfg.World)
-	if err != nil {
-		return nil, err
-	}
+	shards := cfg.shardCount()
 	if cfg.Scanner.V6HitList == nil {
 		cfg.Scanner.V6HitList = V6HitList(pop)
 	}
-	sc, err := scanner.New(w.Scanner, w.ScannerAddr4, w.ScannerAddr6, w.Reg, w.Auth, cfg.Scanner)
+	reg, err := world.BuildRegistry(pop, cfg.World)
 	if err != nil {
 		return nil, err
 	}
-	sc.Admit(CandidateAddrs(pop))
-	probes, duration := sc.ScheduleAll()
-	if cfg.ChurnFraction > 0 {
-		w.ScheduleChurn(cfg.ChurnFraction, duration, cfg.Scanner.Seed+99)
+
+	// Phase 1: build each shard's world and scanner, and plan (but do
+	// not yet schedule) its probes.
+	parts := ditl.PartitionIndices(len(pop.ASes), shards)
+	worlds := make([]*world.World, shards)
+	scanners := make([]*scanner.Scanner, shards)
+	probes := 0
+	for k := range parts {
+		indices := parts[k]
+		if shards == 1 {
+			indices = nil // build everything; preserves Build's fast path
+		}
+		w, err := world.BuildWith(pop, reg, cfg.World, indices)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := scanner.New(w.Scanner, w.ScannerAddr4, w.ScannerAddr6, w.Reg, w.Auth, cfg.Scanner)
+		if err != nil {
+			return nil, err
+		}
+		sc.Admit(candidateAddrsFor(pop, indices))
+		probes += sc.Plan()
+		worlds[k], scanners[k] = w, sc
 	}
-	w.Net.Run()
+
+	// Phase 2: the campaign duration depends only on the survey-wide
+	// probe total and rate, so per-probe timestamps are identical no
+	// matter how the targets were partitioned.
+	duration := scanner.CampaignDuration(probes, scanners[0].Cfg.Rate)
+	for k := range worlds {
+		scanners[k].Schedule(duration)
+		if cfg.ChurnFraction > 0 {
+			worlds[k].ScheduleChurn(cfg.ChurnFraction, duration, cfg.Scanner.Seed+99)
+		}
+	}
+
+	// Phase 3: run the shard simulations in parallel. The shards share
+	// only the read-only registry and population, so no locking is
+	// needed.
+	if shards == 1 {
+		worlds[0].Net.Run()
+	} else {
+		var wg sync.WaitGroup
+		for k := range worlds {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				worlds[k].Net.Run()
+			}(k)
+		}
+		wg.Wait()
+	}
+
+	// Phase 4: deterministic merge. Targets concatenate in shard order
+	// (= population order, since shards are contiguous); hits and
+	// partials sort by their full content keys. The sorts run at every
+	// shard count — K=1 included — so the merged sequences are
+	// bit-identical however the survey was split.
+	sc := scanners[0]
+	for _, o := range scanners[1:] {
+		sc.Targets = append(sc.Targets, o.Targets...)
+		sc.Hits = append(sc.Hits, o.Hits...)
+		sc.Partials = append(sc.Partials, o.Partials...)
+		sc.Stats.Add(o.Stats)
+	}
+	scanner.SortHits(sc.Hits)
+	scanner.SortPartials(sc.Partials)
+	publicDNS := mergedPublicDNS(worlds)
 
 	gdb := GeoDB(pop)
 	report := analysis.Analyze(analysis.Input{
 		Hits:              sc.Hits,
 		Partials:          sc.Partials,
 		Targets:           sc.Targets,
-		ScannerAddrs:      []netip.Addr{w.ScannerAddr4, w.ScannerAddr6},
-		Reg:               w.Reg,
+		ScannerAddrs:      []netip.Addr{worlds[0].ScannerAddr4, worlds[0].ScannerAddr6},
+		Reg:               reg,
 		Geo:               gdb,
-		PublicDNS:         w.PublicDNS,
+		PublicDNS:         publicDNS,
 		LifetimeThreshold: cfg.LifetimeThreshold,
 		FollowUpCount:     cfg.Scanner.FollowUpCount,
 	})
 	return &Survey{
-		Population: pop, World: w, Scanner: sc, Report: report, Geo: gdb,
+		Population: pop, World: worlds[0], Worlds: worlds,
+		Scanner: sc, Report: report, Geo: gdb, PublicDNS: publicDNS,
 		Probes: probes, Duration: duration,
 	}, nil
+}
+
+// mergedPublicDNS unions the public-DNS allowlist across shard worlds:
+// the shared public resolvers (identical in every shard) plus each
+// shard's per-AS replicas. Shards hold disjoint AS subsets in
+// population order, so concatenating in shard order reproduces the
+// single-shard list exactly.
+func mergedPublicDNS(worlds []*world.World) []netip.Addr {
+	n := len(worlds[0].PublicDNS)
+	for _, w := range worlds {
+		n += len(w.ASPublicDNS)
+	}
+	out := make([]netip.Addr, 0, n)
+	out = append(out, worlds[0].PublicDNS...)
+	for _, w := range worlds {
+		out = append(out, w.ASPublicDNS...)
+	}
+	return out
 }

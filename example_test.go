@@ -24,6 +24,6 @@ func ExampleRunSurvey() {
 	fmt.Printf("ASes flagged: %d of %d\n", r.V4.ReachableASes, r.V4.ASes)
 	// Output:
 	// v4 targets: 1980
-	// v4 reachable: 67
+	// v4 reachable: 66
 	// ASes flagged: 19 of 40
 }

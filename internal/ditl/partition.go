@@ -1,0 +1,85 @@
+package ditl
+
+// PartitionIndices splits the index range [0, n) into k contiguous,
+// balanced slices: the first n%k slices hold one extra index. The
+// concatenation of the slices, in order, is exactly 0..n-1, which is
+// what lets a sharded survey merge shard-local results back into the
+// single-shard order deterministically. k <= 1 yields one slice; k > n
+// yields trailing empty slices so callers can still index by shard.
+func PartitionIndices(n, k int) [][]int {
+	if k < 1 {
+		k = 1
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := make([][]int, k)
+	base, extra := n/k, n%k
+	next := 0
+	for s := 0; s < k; s++ {
+		size := base
+		if s < extra {
+			size++
+		}
+		part := make([]int, size)
+		for i := range part {
+			part[i] = next
+			next++
+		}
+		out[s] = part
+	}
+	return out
+}
+
+// CandidateCount returns the number of DITL-derived candidate target
+// addresses (live resolver v4+v6 addresses plus dead targets) across
+// the ASes named by indices; nil means the whole population. Callers
+// use it to pre-size candidate slices before collecting the addresses.
+func (p *Population) CandidateCount(indices []int) int {
+	n := 0
+	each(p, indices, func(as *ASSpec) {
+		for _, r := range as.Resolvers {
+			if r.HasV4() {
+				n++
+			}
+			if r.HasV6() {
+				n++
+			}
+		}
+		n += len(as.DeadTargets)
+	})
+	return n
+}
+
+// V6AddrCount returns the number of IPv6 candidate addresses (live and
+// dead) in the population — an upper bound on the IPv6 hit-list size,
+// used to pre-size the hit-list map.
+func (p *Population) V6AddrCount() int {
+	n := 0
+	for _, as := range p.ASes {
+		for _, r := range as.Resolvers {
+			if r.HasV6() {
+				n++
+			}
+		}
+		for _, d := range as.DeadTargets {
+			if d.Is6() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// each visits the ASes selected by indices (nil = all) in order.
+func each(p *Population, indices []int, fn func(*ASSpec)) {
+	if indices == nil {
+		for _, as := range p.ASes {
+			fn(as)
+		}
+		return
+	}
+	for _, i := range indices {
+		fn(p.ASes[i])
+	}
+}

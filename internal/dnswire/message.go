@@ -161,6 +161,24 @@ func NewQuery(id uint16, name Name, t Type) *Message {
 	}
 }
 
+// AppendQuery serializes a recursion-desired query for a pre-encoded
+// wire-form name (as produced by AppendName, possibly with extra
+// leading labels spliced on) directly into buf. It is the allocation-
+// free equivalent of NewQuery+Pack for the probe hot path: no Message,
+// no compression bookkeeping. The caller guarantees nameWire is a
+// valid wire-form name of at most 255 octets.
+func AppendQuery(buf []byte, id uint16, nameWire []byte, t Type) []byte {
+	buf = append(buf,
+		byte(id>>8), byte(id),
+		0x01, 0x00, // RD set, everything else clear
+		0x00, 0x01, // QDCOUNT = 1
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+	)
+	buf = append(buf, nameWire...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(t))
+	return binary.BigEndian.AppendUint16(buf, uint16(ClassIN))
+}
+
 // Reply builds a response skeleton echoing the question section.
 func (m *Message) Reply() *Message {
 	r := &Message{ID: m.ID, QR: true, OpCode: m.OpCode, RD: m.RD}

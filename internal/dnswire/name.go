@@ -96,6 +96,14 @@ func (n Name) String() string {
 	return string(n) + "."
 }
 
+// AppendName serializes the name into buf in uncompressed wire form
+// (length-prefixed labels plus the terminal root byte). Hot-path
+// callers use it to pre-encode a constant name tail once and splice
+// varying leading labels in front of it per message.
+func AppendName(buf []byte, n Name) ([]byte, error) {
+	return appendName(buf, n)
+}
+
 // appendName serializes the name into buf without compression, returning
 // the extended buffer.
 func appendName(buf []byte, n Name) ([]byte, error) {

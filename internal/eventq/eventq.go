@@ -5,12 +5,16 @@
 // Determinism is a design requirement. Events scheduled for the same
 // instant run in the order they were scheduled (FIFO among equal
 // timestamps), so a seeded simulation always produces identical results.
+//
+// The queue is the hottest structure in a survey run: every packet hop
+// costs at least one event. It is therefore a hand-rolled binary heap of
+// slab indices over value-typed items with a free-list, rather than
+// container/heap over []*item — scheduling in steady state allocates
+// nothing (the slab and free-list amortize to zero) and avoids the
+// interface boxing container/heap imposes on every Push/Pop.
 package eventq
 
-import (
-	"container/heap"
-	"time"
-)
+import "time"
 
 // Event is a callback scheduled to run at a virtual instant.
 type Event func(now time.Duration)
@@ -21,37 +25,16 @@ type item struct {
 	fn  Event
 }
 
-type itemHeap []*item
-
-func (h itemHeap) Len() int { return len(h) }
-
-func (h itemHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *itemHeap) Push(x any) { *h = append(*h, x.(*item)) }
-
-func (h *itemHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
-}
-
 // Queue is a virtual-time event queue. The zero value is ready to use.
-// Queue is not safe for concurrent use; the simulator is single-threaded
-// by design (determinism over parallelism).
+// Queue is not safe for concurrent use; each simulation shard is
+// single-threaded by design (determinism within a shard, parallelism
+// across shards).
 type Queue struct {
 	now     time.Duration
 	seq     uint64
-	heap    itemHeap
+	heap    []uint32 // binary heap of indices into items
+	items   []item   // slab; slots recycled through free
+	free    []uint32 // recycled slab slots
 	stopped bool
 	ran     uint64
 }
@@ -68,6 +51,49 @@ func (q *Queue) Len() int { return len(q.heap) }
 // Processed reports how many events have run so far.
 func (q *Queue) Processed() uint64 { return q.ran }
 
+func (q *Queue) less(i, j uint32) bool {
+	a, b := &q.items[i], &q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) siftUp(i int) {
+	h := q.heap
+	idx := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(idx, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = idx
+}
+
+func (q *Queue) siftDown(i int) {
+	h := q.heap
+	n := len(h)
+	idx := h[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && q.less(h[r], h[child]) {
+			child = r
+		}
+		if !q.less(h[child], idx) {
+			break
+		}
+		h[i] = h[child]
+		i = child
+	}
+	h[i] = idx
+}
+
 // At schedules fn to run at virtual time at. Scheduling in the past is a
 // programming error; such events are clamped to run "now" so the clock
 // never moves backward.
@@ -76,7 +102,17 @@ func (q *Queue) At(at time.Duration, fn Event) {
 		at = q.now
 	}
 	q.seq++
-	heap.Push(&q.heap, &item{at: at, seq: q.seq, fn: fn})
+	var idx uint32
+	if n := len(q.free); n > 0 {
+		idx = q.free[n-1]
+		q.free = q.free[:n-1]
+		q.items[idx] = item{at: at, seq: q.seq, fn: fn}
+	} else {
+		idx = uint32(len(q.items))
+		q.items = append(q.items, item{at: at, seq: q.seq, fn: fn})
+	}
+	q.heap = append(q.heap, idx)
+	q.siftUp(len(q.heap) - 1)
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -97,10 +133,20 @@ func (q *Queue) Step() bool {
 	if len(q.heap) == 0 {
 		return false
 	}
-	it := heap.Pop(&q.heap).(*item)
-	q.now = it.at
+	idx := q.heap[0]
+	n := len(q.heap) - 1
+	q.heap[0] = q.heap[n]
+	q.heap = q.heap[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
+	it := &q.items[idx]
+	at, fn := it.at, it.fn
+	it.fn = nil // release the closure while the slot waits on the free-list
+	q.free = append(q.free, idx)
+	q.now = at
 	q.ran++
-	it.fn(q.now)
+	fn(q.now)
 	return true
 }
 
@@ -118,7 +164,7 @@ func (q *Queue) Run() time.Duration {
 // deadline stay queued.
 func (q *Queue) RunUntil(deadline time.Duration) time.Duration {
 	q.stopped = false
-	for !q.stopped && len(q.heap) > 0 && q.heap[0].at <= deadline {
+	for !q.stopped && len(q.heap) > 0 && q.items[q.heap[0]].at <= deadline {
 		q.Step()
 	}
 	if q.now < deadline {

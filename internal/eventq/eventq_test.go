@@ -133,6 +133,61 @@ func TestStepOnEmpty(t *testing.T) {
 	}
 }
 
+func TestSlabSlotsRecycled(t *testing.T) {
+	// Steady-state schedule/run cycles must reuse slab slots instead of
+	// growing the item store without bound.
+	q := New()
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 100; i++ {
+			q.After(time.Duration(i)*time.Millisecond, func(time.Duration) {})
+		}
+		q.Run()
+	}
+	if got := len(q.items); got > 200 {
+		t.Fatalf("slab grew to %d slots for 100 concurrent events; free-list not recycling", got)
+	}
+}
+
+func TestInterleavedScheduleAndStep(t *testing.T) {
+	// Mixing Step with fresh scheduling exercises free-list churn while
+	// the heap is non-empty; ordering must survive slot reuse.
+	q := New()
+	var got []int
+	q.At(1*time.Millisecond, func(time.Duration) { got = append(got, 1) })
+	q.At(3*time.Millisecond, func(time.Duration) { got = append(got, 3) })
+	q.Step()
+	q.At(2*time.Millisecond, func(time.Duration) { got = append(got, 2) })
+	q.At(4*time.Millisecond, func(time.Duration) { got = append(got, 4) })
+	q.Run()
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// BenchmarkQueue measures steady-state scheduling cost: the slab and
+// free-list should make the amortized allocs/op ~0 (run with -benchmem).
+func BenchmarkQueue(b *testing.B) {
+	q := New()
+	noop := func(time.Duration) {}
+	// Warm the slab so the measured loop sees steady state.
+	for i := 0; i < 1024; i++ {
+		q.After(time.Duration(i%97)*time.Microsecond, noop)
+	}
+	q.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.After(time.Duration(i%97)*time.Microsecond, noop)
+		if q.Len() >= 1024 {
+			q.Run()
+		}
+	}
+	q.Run()
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		q := New()

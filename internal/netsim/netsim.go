@@ -10,20 +10,34 @@
 // (internal/packet); every filter and endpoint parses the same bytes a
 // raw socket would produce.
 //
-// The simulator is single-threaded and driven by a virtual-time event
-// queue, so a seeded run is fully deterministic.
+// Each Network is single-threaded and driven by a virtual-time event
+// queue, so a seeded run is fully deterministic. All randomness (jitter,
+// loss, TCP ISNs) is derived by hashing the seed with the packet or flow
+// identity rather than drawn from a shared sequential stream: a packet's
+// fate depends only on its own bytes and virtual send time, never on how
+// many other packets happened to cross the simulator first. That
+// property is what lets the sharded survey engine split a population
+// across several Networks and still produce bit-identical results at any
+// shard count.
 package netsim
 
 import (
 	"fmt"
 	"hash/fnv"
-	"math/rand"
 	"net/netip"
 	"time"
 
+	"repro/internal/detrand"
 	"repro/internal/eventq"
 	"repro/internal/packet"
 	"repro/internal/routing"
+)
+
+// Domain-separation salts for hash-derived randomness.
+const (
+	saltJitter = 1 + iota
+	saltLoss
+	saltISN
 )
 
 // DropReason classifies why the simulator discarded a packet.
@@ -101,7 +115,7 @@ type Network struct {
 	Registry *routing.Registry
 
 	cfg          Config
-	rng          *rand.Rand
+	seed         uint64
 	hosts        map[netip.Addr]*Host
 	interceptors map[routing.ASN]Interceptor
 	dropHook     DropHook
@@ -122,7 +136,7 @@ func New(reg *routing.Registry, cfg Config) *Network {
 		Q:            eventq.New(),
 		Registry:     reg,
 		cfg:          cfg,
-		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		seed:         uint64(cfg.Seed),
 		hosts:        make(map[netip.Addr]*Host),
 		interceptors: make(map[routing.ASN]Interceptor),
 		drops:        make(map[DropReason]uint64),
@@ -197,6 +211,21 @@ func (n *Network) traceDelivery(pkt *packet.Packet, dstAS *routing.AS) {
 	}
 }
 
+// flowKey folds a packet's flow identity (addresses, transport protocol,
+// ports) into one hash word for the per-flow jitter draw.
+func flowKey(pkt *packet.Packet) uint64 {
+	sh, sl := detrand.AddrWords(pkt.Src())
+	dh, dl := detrand.AddrWords(pkt.Dst())
+	var ports uint64
+	switch {
+	case pkt.UDP != nil:
+		ports = 17<<32 | uint64(pkt.UDP.SrcPort)<<16 | uint64(pkt.UDP.DstPort)
+	case pkt.TCP != nil:
+		ports = 6<<32 | uint64(pkt.TCP.SrcPort)<<16 | uint64(pkt.TCP.DstPort)
+	}
+	return detrand.Mix(sh, sl, dh, dl, ports)
+}
+
 // pathHops returns a stable per-(srcAS,dstAS) hop count in [5, 20], so
 // TTL observations are deterministic for a given topology.
 func pathHops(src, dst routing.ASN) uint8 {
@@ -238,10 +267,19 @@ func (n *Network) inject(origin *Host, raw []byte) {
 
 	crossesBorder := dstAS != origin.AS
 	latency := n.cfg.BaseLatency
+	// Jitter hashes the flow identity (addresses + ports), not the packet
+	// bytes: every packet of a flow rides the same simulated path, so
+	// same-flow packets deliver FIFO (the minimal TCP depends on in-order
+	// segments) while distinct flows still spread across [0, JitterMax).
+	// Loss hashes the packet's own bytes plus send time, so the decision
+	// is independent of how many other packets preceded it and a
+	// retransmission of identical bytes still gets a fresh draw. Neither
+	// draw consumes a shared stream — a packet's fate is shard-invariant.
 	if n.cfg.JitterMax > 0 {
-		latency += time.Duration(n.rng.Int63n(int64(n.cfg.JitterMax)))
+		latency += time.Duration(detrand.Mix(n.seed, flowKey(pkt), saltJitter) % uint64(n.cfg.JitterMax))
 	}
-	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+	if n.cfg.LossRate > 0 &&
+		detrand.Float64(detrand.HashBytes(n.seed, raw), uint64(n.Q.Now()), saltLoss) < n.cfg.LossRate {
 		n.drop(DropLoss, pkt, dstAS)
 		return
 	}

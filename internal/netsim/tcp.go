@@ -6,8 +6,19 @@ import (
 	"net/netip"
 	"time"
 
+	"repro/internal/detrand"
 	"repro/internal/packet"
 )
+
+// isn derives an initial sequence number from the flow 4-tuple and the
+// current virtual time (RFC 6528 in spirit): deterministic per flow,
+// independent of any shared RNG stream so it is shard-invariant.
+func (n *Network) isn(local netip.Addr, localPort uint16, remote netip.Addr, remotePort uint16) uint32 {
+	lh, ll := detrand.AddrWords(local)
+	rh, rl := detrand.AddrWords(remote)
+	ports := uint64(localPort)<<16 | uint64(remotePort)
+	return uint32(detrand.Mix(n.seed, uint64(n.Q.Now()), lh, ll, rh, rl, ports, saltISN))
+}
 
 // TCPAccept is called on a listening host when a new connection reaches
 // the established state.
@@ -117,7 +128,7 @@ func (h *Host) DialTCP(local netip.Addr, localPort uint16, remote netip.Addr, re
 		return nil, fmt.Errorf("netsim: %s: connection %v already exists", h.Name, key)
 	}
 	c := &TCPConn{host: h, key: key, state: tcpSynSent, onConnect: onConnect}
-	c.seq = h.net.rng.Uint32()
+	c.seq = h.net.isn(local, localPort, remote, remotePort)
 	h.tcpConn[key] = c
 
 	opts, window := h.synOptions()
@@ -192,7 +203,7 @@ func (h *Host) deliverTCP(pkt *packet.Packet) {
 		h.net.delivered++
 		h.net.traceDelivery(pkt, h.AS)
 		c := &TCPConn{host: h, key: key, state: tcpSynReceived, server: true, SYN: pkt}
-		c.seq = h.net.rng.Uint32()
+		c.seq = h.net.isn(key.local, key.localPort, key.remote, key.remotePort)
 		c.ack = t.Seq + 1
 		c.onConnect = accept
 		h.tcpConn[key] = c

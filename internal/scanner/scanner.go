@@ -5,13 +5,26 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/authserver"
+	"repro/internal/detrand"
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/routing"
+)
+
+// Domain-separation salts for hash-derived randomness. Every draw the
+// scanner makes is keyed on the target (and probe identity), never on a
+// shared sequential stream, so a target's probe set is identical no
+// matter which survey shard it lands in.
+const (
+	saltSources = 11 + iota
+	saltPhase
+	saltTxn
+	saltSport
 )
 
 // SourceCategory classifies a spoofed source relative to its target
@@ -50,12 +63,19 @@ func (c SourceCategory) String() string {
 
 // Categorize recovers the category of a spoofed source for a target.
 // scannerAddrs are the experiment's real client addresses (identifying
-// the non-spoofed open-resolver probe).
+// the non-spoofed open-resolver probe). IPv4-mapped IPv6 addresses are
+// unmapped first so ::ffff:192.0.2.1 categorizes as its embedded IPv4
+// address would; invalid addresses (decode failures upstream) fall into
+// the other-prefix bucket rather than comparing equal to each other.
 func Categorize(src, dst netip.Addr, scannerAddrs []netip.Addr) SourceCategory {
+	src, dst = src.Unmap(), dst.Unmap()
 	for _, a := range scannerAddrs {
-		if src == a {
+		if a.IsValid() && src == a.Unmap() {
 			return CatNotSpoofed
 		}
+	}
+	if !src.IsValid() || !dst.IsValid() {
+		return CatOtherPrefix
 	}
 	switch {
 	case src == dst:
@@ -110,6 +130,52 @@ type PartialHit struct {
 	Recv   time.Duration
 	Client netip.Addr
 	Name   dnswire.Name
+}
+
+// SortHits orders hits by their full content key (Recv first). Every
+// field that distinguishes two observations participates, so sorting a
+// concatenation of shard-local hit buffers yields the same sequence no
+// matter how the survey was sharded.
+func SortHits(hits []Hit) {
+	sort.SliceStable(hits, func(i, j int) bool {
+		a, b := &hits[i], &hits[j]
+		switch {
+		case a.Recv != b.Recv:
+			return a.Recv < b.Recv
+		case a.TS != b.TS:
+			return a.TS < b.TS
+		case a.Dst != b.Dst:
+			return a.Dst.Less(b.Dst)
+		case a.Src != b.Src:
+			return a.Src.Less(b.Src)
+		case a.ASN != b.ASN:
+			return a.ASN < b.ASN
+		case a.Kind != b.Kind:
+			return a.Kind < b.Kind
+		case a.Client != b.Client:
+			return a.Client.Less(b.Client)
+		case a.ClientPort != b.ClientPort:
+			return a.ClientPort < b.ClientPort
+		default:
+			return a.Transport < b.Transport
+		}
+	})
+}
+
+// SortPartials orders partial hits by (Recv, Client, Name), the
+// canonical merge order for shard-local partial buffers.
+func SortPartials(ps []PartialHit) {
+	sort.SliceStable(ps, func(i, j int) bool {
+		a, b := &ps[i], &ps[j]
+		switch {
+		case a.Recv != b.Recv:
+			return a.Recv < b.Recv
+		case a.Client != b.Client:
+			return a.Client.Less(b.Client)
+		default:
+			return a.Name < b.Name
+		}
+	})
 }
 
 // Config tunes the scanner.
@@ -167,6 +233,30 @@ type Stats struct {
 	PartialHitsObserved uint64
 }
 
+// Add accumulates another scanner's counters (merging shard-local
+// stats into a survey-wide total).
+func (st *Stats) Add(o Stats) {
+	st.TargetsAdmitted += o.TargetsAdmitted
+	st.ExcludedSpecial += o.ExcludedSpecial
+	st.ExcludedUnrouted += o.ExcludedUnrouted
+	st.ExcludedOptOut += o.ExcludedOptOut
+	st.ProbesSent += o.ProbesSent
+	st.FollowUpSetsSent += o.FollowUpSetsSent
+	st.FollowUpQueries += o.FollowUpQueries
+	st.HitsObserved += o.HitsObserved
+	st.PartialHitsObserved += o.PartialHitsObserved
+}
+
+// probePlan is one target's precomputed probe set: its spoofed sources,
+// their DNS-label encodings, and the wire-encoded constant tail of the
+// probe name (dst.asn.kw.zone) that every probe to this target shares.
+type probePlan struct {
+	target    Target
+	sources   []netip.Addr
+	srcLabels []string
+	nameTail  []byte // wire form incl. terminal root byte; nil = slow path
+}
+
 // Scanner is the measurement client.
 type Scanner struct {
 	Host         *netsim.Host
@@ -181,10 +271,12 @@ type Scanner struct {
 	Hits     []Hit
 	Partials []PartialHit
 
-	rng      *rand.Rand
+	seed     uint64
 	followed map[netip.Addr]bool
 	optOut   []netip.Prefix
-	seq      uint64
+	plans    []probePlan
+	nameBuf  []byte // scratch: wire-form probe name
+	msgBuf   []byte // scratch: packed query message
 }
 
 // New creates a scanner on host (whose AS must lack OSAV) monitoring
@@ -196,7 +288,7 @@ func New(host *netsim.Host, addr4, addr6 netip.Addr, reg *routing.Registry, auth
 	s := &Scanner{
 		Host: host, Addr4: addr4, Addr6: addr6, Reg: reg,
 		Cfg:      cfg.withDefaults(),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		seed:     uint64(cfg.Seed),
 		followed: make(map[netip.Addr]bool),
 	}
 	for _, a := range auths {
@@ -223,6 +315,9 @@ func (s *Scanner) optedOut(a netip.Addr) bool {
 // Admit filters candidate addresses per §3.1: special-purpose addresses
 // and addresses without an announced route are excluded.
 func (s *Scanner) Admit(candidates []netip.Addr) {
+	if s.Targets == nil {
+		s.Targets = make([]Target, 0, len(candidates))
+	}
 	for _, a := range candidates {
 		switch {
 		case routing.IsSpecialPurpose(a):
@@ -238,13 +333,22 @@ func (s *Scanner) Admit(candidates []netip.Addr) {
 	}
 }
 
+// targetRand returns the private RNG stream for a target: seeded from
+// the target's identity, so the draws a target receives do not depend
+// on how many other targets were processed before it.
+func (s *Scanner) targetRand(a netip.Addr) *rand.Rand {
+	hi, lo := detrand.AddrWords(a)
+	return detrand.Rand(s.seed, hi, lo, saltSources)
+}
+
 // SourcesFor generates the spoofed sources for a target (§3.2): up to
 // MaxOtherPrefix other-prefix addresses, one same-prefix address, the
 // private/unique-local address, the target itself, and loopback.
 func (s *Scanner) SourcesFor(t Target) []netip.Addr {
 	as := s.Reg.AS(t.ASN)
 	v6 := t.Addr.Is6()
-	var sources []netip.Addr
+	rng := s.targetRand(t.Addr)
+	sources := make([]netip.Addr, 0, s.Cfg.MaxOtherPrefix+4)
 
 	own := routing.SubnetOf(t.Addr)
 	var prefixes []netip.Prefix
@@ -291,12 +395,12 @@ func (s *Scanner) SourcesFor(t Target) []netip.Addr {
 		if len(sources) >= s.Cfg.MaxOtherPrefix {
 			break
 		}
-		sources = append(sources, routing.RandomHostAddr(sub, s.rng))
+		sources = append(sources, routing.RandomHostAddr(sub, rng))
 	}
 
 	// Same prefix, distinct from the target itself.
 	for tries := 0; tries < 16; tries++ {
-		a := routing.RandomHostAddr(own, s.rng)
+		a := routing.RandomHostAddr(own, rng)
 		if a != t.Addr {
 			sources = append(sources, a)
 			break
@@ -317,57 +421,153 @@ func (s *Scanner) SourcesFor(t Target) []netip.Addr {
 	return sources
 }
 
-// ScheduleAll enqueues every probe, spreading each target's queries
-// evenly over the experiment duration derived from the configured rate
-// (§3.4). It returns the probe count and the experiment duration.
-func (s *Scanner) ScheduleAll() (int, time.Duration) {
-	type plan struct {
-		target  Target
-		sources []netip.Addr
-	}
-	plans := make([]plan, 0, len(s.Targets))
+// Plan computes every admitted target's spoofed-source set and probe-
+// name skeleton, returning the number of probes this scanner will send.
+// A sharded survey calls Plan on every shard first, sums the totals
+// into one campaign duration, and only then calls Schedule — so probe
+// timestamps depend on the global campaign, not the shard split.
+func (s *Scanner) Plan() int {
+	s.plans = make([]probePlan, 0, len(s.Targets))
 	total := 0
 	for _, t := range s.Targets {
 		srcs := s.SourcesFor(t)
-		plans = append(plans, plan{target: t, sources: srcs})
+		labels := make([]string, len(srcs))
+		maxLabel := 0
+		for i, src := range srcs {
+			labels[i] = EncodeAddr(src)
+			if len(labels[i]) > maxLabel {
+				maxLabel = len(labels[i])
+			}
+		}
+		// Wire-encode the constant name tail once per target. All main
+		// probes to this target splice ts and source labels in front of
+		// it, skipping string building and message packing per probe.
+		tailName := dnswire.NewName(
+			EncodeAddr(t.Addr),
+			strconv.FormatUint(uint64(t.ASN), 10),
+			s.Cfg.Keyword,
+		) + "." + zoneFor(ProbeMain)
+		tail, err := dnswire.AppendName(nil, tailName)
+		// Worst-case probe name: 1+20 (ts label) + 1+maxLabel + tail.
+		if err != nil || 22+maxLabel+len(tail) > 255 {
+			tail = nil // fall back to the allocating path
+		}
+		s.plans = append(s.plans, probePlan{target: t, sources: srcs, srcLabels: labels, nameTail: tail})
 		total += len(srcs)
 	}
+	if s.Hits == nil {
+		s.Hits = make([]Hit, 0, 2*len(s.Targets))
+	}
+	return total
+}
+
+// CampaignDuration converts a survey-wide probe count into the campaign
+// duration at the configured rate (§3.4).
+func CampaignDuration(total int, rate float64) time.Duration {
 	if total == 0 {
-		return 0, 0
+		return 0
 	}
-	duration := time.Duration(float64(total) / s.Cfg.Rate * float64(time.Second))
-	if duration < time.Second {
-		duration = time.Second
+	d := time.Duration(float64(total) / rate * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
 	}
-	for _, p := range plans {
-		t := p.target
+	return d
+}
+
+// Schedule enqueues every planned probe, spreading each target's
+// queries evenly over the campaign duration with a per-target phase.
+func (s *Scanner) Schedule(duration time.Duration) {
+	q := s.Host.Network().Q
+	for pi := range s.plans {
+		p := &s.plans[pi]
 		k := len(p.sources)
-		phase := s.rng.Float64()
-		for j, src := range p.sources {
+		if k == 0 {
+			continue
+		}
+		hi, lo := detrand.AddrWords(p.target.Addr)
+		phase := detrand.Float64(s.seed, hi, lo, saltPhase)
+		pi := pi
+		for j := range p.sources {
 			at := time.Duration((float64(j) + phase) / float64(k) * float64(duration))
-			src := src
-			s.Host.Network().Q.At(at, func(now time.Duration) {
-				s.sendProbe(now, src, t, ProbeMain)
+			j := j
+			q.At(at, func(now time.Duration) {
+				s.sendPlanned(now, pi, j)
 			})
 		}
 	}
+}
+
+// ScheduleAll enqueues every probe, deriving the campaign duration from
+// this scanner's own probe count (the single-shard path). It returns
+// the probe count and the experiment duration.
+func (s *Scanner) ScheduleAll() (int, time.Duration) {
+	total := s.Plan()
+	duration := CampaignDuration(total, s.Cfg.Rate)
+	s.Schedule(duration)
 	return total, duration
 }
 
+// probeIDs derives the transaction ID and source port for a probe from
+// its identity (send time, spoofed source, target, kind): deterministic
+// and shard-invariant, no shared counter or RNG stream.
+func (s *Scanner) probeIDs(now time.Duration, src, dst netip.Addr, kind ProbeKind) (txn uint16, sport uint16) {
+	sh, sl := detrand.AddrWords(src)
+	dh, dl := detrand.AddrWords(dst)
+	h := detrand.Mix(s.seed, uint64(now), sh, sl, dh, dl, uint64(kind))
+	txn = uint16(detrand.Mix(h, saltTxn))
+	sport = uint16(40000 + detrand.Mix(h, saltSport)%20000)
+	return txn, sport
+}
+
+// sendPlanned emits one planned main probe using the precomputed name
+// skeleton, avoiding the per-probe name/message allocations of
+// sendProbe.
+func (s *Scanner) sendPlanned(now time.Duration, pi, j int) {
+	p := &s.plans[pi]
+	t := p.target
+	if p.nameTail == nil {
+		s.sendProbe(now, p.sources[j], t, ProbeMain)
+		return
+	}
+	if s.optedOut(t.Addr) {
+		return
+	}
+	src := p.sources[j]
+	txn, sport := s.probeIDs(now, src, t.Addr, ProbeMain)
+
+	var tsDigits [20]byte
+	ts := strconv.AppendInt(tsDigits[:0], int64(now), 10)
+	label := p.srcLabels[j]
+	nb := append(s.nameBuf[:0], byte(len(ts)))
+	nb = append(nb, ts...)
+	nb = append(nb, byte(len(label)))
+	nb = append(nb, label...)
+	nb = append(nb, p.nameTail...)
+	s.nameBuf = nb
+
+	s.msgBuf = dnswire.AppendQuery(s.msgBuf[:0], txn, nb, dnswire.TypeA)
+	raw, err := packet.BuildUDP(src, t.Addr, sport, 53, 64, s.msgBuf)
+	if err != nil {
+		return
+	}
+	s.Stats.ProbesSent++
+	s.Host.SendRaw(raw)
+}
+
 // sendProbe emits one spoofed-source (or, for the open probe,
-// real-source) DNS query.
+// real-source) DNS query. This is the general path used for follow-up
+// probes; scheduled main probes go through sendPlanned.
 func (s *Scanner) sendProbe(now time.Duration, src netip.Addr, t Target, kind ProbeKind) {
 	if s.optedOut(t.Addr) {
 		return
 	}
 	name := EncodeQName(now, src, t.Addr, t.ASN, s.Cfg.Keyword, kind)
-	q := dnswire.NewQuery(uint16(s.rng.Intn(65536)), name, dnswire.TypeA)
+	txn, sport := s.probeIDs(now, src, t.Addr, kind)
+	q := dnswire.NewQuery(txn, name, dnswire.TypeA)
 	payload, err := q.Pack()
 	if err != nil {
 		return
 	}
-	s.seq++
-	sport := uint16(40000 + s.seq%20000)
 	raw, err := packet.BuildUDP(src, t.Addr, sport, 53, 64, payload)
 	if err != nil {
 		return

@@ -1,7 +1,6 @@
 package scanner
 
 import (
-	"math/rand"
 	"net/netip"
 	"testing"
 	"testing/quick"
@@ -128,6 +127,75 @@ func TestCategorize(t *testing.T) {
 	}
 }
 
+func TestCategorizeMappedV4(t *testing.T) {
+	// IPv4-mapped IPv6 forms must categorize as their embedded IPv4
+	// address would: a decoder upstream may hand back either form.
+	dst := addr("198.51.100.53")
+	cases := []struct {
+		src  string
+		want SourceCategory
+	}{
+		{"::ffff:198.51.100.53", CatDstAsSrc},
+		{"::ffff:192.168.0.10", CatPrivate},
+		{"::ffff:127.0.0.1", CatLoopback},
+		{"::ffff:198.51.100.9", CatSamePrefix},
+		{"::ffff:203.0.113.9", CatOtherPrefix},
+	}
+	for _, c := range cases {
+		if got := Categorize(addr(c.src), dst, nil); got != c.want {
+			t.Errorf("Categorize(%s) = %v, want %v", c.src, got, c.want)
+		}
+	}
+	// A mapped form of the scanner's own address is still not spoofed.
+	scanners := []netip.Addr{addr("223.254.0.10")}
+	if got := Categorize(addr("::ffff:223.254.0.10"), dst, scanners); got != CatNotSpoofed {
+		t.Errorf("mapped scanner addr = %v, want CatNotSpoofed", got)
+	}
+	// And a mapped destination compares equal to its v4 source.
+	if got := Categorize(addr("198.51.100.53"), addr("::ffff:198.51.100.53"), nil); got != CatDstAsSrc {
+		t.Errorf("mapped dst = %v, want CatDstAsSrc", got)
+	}
+}
+
+func TestCategorizeInvalidAddrs(t *testing.T) {
+	// Invalid addresses (upstream decode failures) must not panic and
+	// must not compare equal to each other as dst-as-src.
+	var invalid netip.Addr
+	dst := addr("198.51.100.53")
+	if got := Categorize(invalid, dst, nil); got != CatOtherPrefix {
+		t.Errorf("invalid src = %v, want CatOtherPrefix", got)
+	}
+	if got := Categorize(dst, invalid, nil); got != CatOtherPrefix {
+		t.Errorf("invalid dst = %v, want CatOtherPrefix", got)
+	}
+	if got := Categorize(invalid, invalid, nil); got != CatOtherPrefix {
+		t.Errorf("both invalid = %v, want CatOtherPrefix", got)
+	}
+	// An invalid entry in the scanner list is skipped, not matched.
+	if got := Categorize(invalid, dst, []netip.Addr{invalid}); got != CatOtherPrefix {
+		t.Errorf("invalid scanner entry = %v, want CatOtherPrefix", got)
+	}
+}
+
+func TestCategorizeV6(t *testing.T) {
+	dst := addr("2a00:5::53")
+	cases := []struct {
+		src  string
+		want SourceCategory
+	}{
+		{"::1", CatLoopback},
+		{"fc00::10", CatPrivate},
+		{"2a00:5::53", CatDstAsSrc},
+		{"2a00:5::beef", CatSamePrefix}, // same /64
+		{"2a00:5:0:1::1", CatOtherPrefix},
+	}
+	for _, c := range cases {
+		if got := Categorize(addr(c.src), dst, nil); got != c.want {
+			t.Errorf("Categorize(%s) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
 func newTestScanner(t *testing.T) *Scanner {
 	t.Helper()
 	reg := routing.NewRegistry()
@@ -141,7 +209,7 @@ func newTestScanner(t *testing.T) *Scanner {
 	if err := reg.Add(big); err != nil {
 		t.Fatal(err)
 	}
-	return &Scanner{Reg: reg, Cfg: Config{}.withDefaults(), rng: rand.New(rand.NewSource(1)), followed: map[netip.Addr]bool{}}
+	return &Scanner{Reg: reg, Cfg: Config{}.withDefaults(), seed: 1, followed: map[netip.Addr]bool{}}
 }
 
 func TestSourcesForCategories(t *testing.T) {

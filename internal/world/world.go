@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/authserver"
+	"repro/internal/detrand"
 	"repro/internal/ditl"
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
@@ -23,6 +24,19 @@ import (
 	"repro/internal/packet"
 	"repro/internal/resolver"
 	"repro/internal/routing"
+)
+
+// Domain-separation salts for hash-derived randomness.
+const (
+	saltIDSSample = 21 + iota
+	saltIDSDelay
+	saltIDSTxn
+	saltChurn
+	saltChurnAt
+	saltPubSeed
+	saltPubPorts
+	saltThirdSeed
+	saltThirdPorts
 )
 
 // Infrastructure addressing, far from the ditl block allocator's range.
@@ -81,9 +95,17 @@ type World struct {
 	Auth []*authserver.Server
 	// MainZone is the dns-lab.org zone (for wildcard toggling).
 	MainZone *authserver.Zone
-	// PublicDNS lists the public resolver service addresses (the §3.6.1
-	// middlebox-accounting allowlist).
+	// PublicDNS lists the shared public resolver service addresses.
 	PublicDNS []netip.Addr
+	// ASPublicDNS lists the per-AS public-DNS replica addresses, in AS
+	// build order. Each target AS that forwards to (or is observed via)
+	// public DNS gets private replica instances, so resolver cache and
+	// port-allocator state is consumed in an order that depends only on
+	// that AS's own traffic — the property that makes a sharded survey
+	// produce identical results at any shard count. Together with
+	// PublicDNS these form the §3.6.1 middlebox-accounting allowlist
+	// (AllPublicDNS).
+	ASPublicDNS []netip.Addr
 	// Resolvers indexes built resolvers by address (ground truth for
 	// validation).
 	Resolvers map[netip.Addr]*resolver.Resolver
@@ -93,8 +115,19 @@ type World struct {
 
 	rootZone *authserver.Zone
 
-	analystRng *rand.Rand
-	analysts   map[routing.ASN]*netsim.Host
+	seed              uint64
+	publicAS, thirdAS *routing.AS
+	asPublic          map[routing.ASN][]netip.Addr
+	asThird           map[routing.ASN]netip.Addr
+	analysts          map[routing.ASN]*netsim.Host
+}
+
+// AllPublicDNS returns the full middlebox-accounting allowlist: the
+// shared public resolver addresses plus every per-AS replica.
+func (w *World) AllPublicDNS() []netip.Addr {
+	out := make([]netip.Addr, 0, len(w.PublicDNS)+len(w.ASPublicDNS))
+	out = append(out, w.PublicDNS...)
+	return append(out, w.ASPublicDNS...)
 }
 
 // ScheduleChurn takes a seeded fraction of resolver hosts offline at
@@ -106,7 +139,10 @@ func (w *World) ScheduleChurn(fraction float64, duration time.Duration, seed int
 	if fraction <= 0 || duration <= 0 {
 		return 0
 	}
-	rng := rand.New(rand.NewSource(seed))
+	// Decisions are keyed on each host's identity (its first bound
+	// address), not drawn from a sequential stream, so the churn set and
+	// times are independent of map iteration order and of which survey
+	// shard the host lives in.
 	churned := 0
 	seen := make(map[*netsim.Host]bool)
 	for _, res := range w.Resolvers {
@@ -115,18 +151,23 @@ func (w *World) ScheduleChurn(fraction float64, duration time.Duration, seed int
 			continue
 		}
 		seen[h] = true
-		if rng.Float64() >= fraction {
+		hi, lo := detrand.AddrWords(h.Addrs[0])
+		if detrand.Float64(uint64(seed), hi, lo, saltChurn) >= fraction {
 			continue
 		}
-		at := time.Duration(rng.Int63n(int64(duration)))
+		at := time.Duration(detrand.Mix(uint64(seed), hi, lo, saltChurnAt) % uint64(duration))
 		w.Net.Q.At(at, func(time.Duration) { h.SetDown(true) })
 		churned++
 	}
 	return churned
 }
 
-// Build constructs the world.
-func Build(pop *ditl.Population, opts Options) (*World, error) {
+// BuildRegistry constructs the routing registry for the population:
+// the infrastructure ASes plus every target AS with its filtering
+// policy. The registry is read-only after construction and safe for
+// concurrent lookups, so a sharded survey builds it once and shares it
+// across every shard's network.
+func BuildRegistry(pop *ditl.Population, opts Options) (*routing.Registry, error) {
 	reg := routing.NewRegistry()
 
 	infraAS := &routing.AS{ASN: 10, Prefixes: []netip.Prefix{infraPrefix4, infraPrefix6}}
@@ -155,13 +196,38 @@ func Build(pop *ditl.Population, opts Options) (*World, error) {
 			return nil, err
 		}
 	}
+	return reg, nil
+}
+
+// Build constructs the world with every population AS instantiated.
+func Build(pop *ditl.Population, opts Options) (*World, error) {
+	reg, err := BuildRegistry(pop, opts)
+	if err != nil {
+		return nil, err
+	}
+	return BuildWith(pop, reg, opts, nil)
+}
+
+// BuildWith constructs a world over a pre-built registry, instantiating
+// hosts only for the population ASes whose (global population) indices
+// are listed. asIndices == nil instantiates every AS. The registry
+// always describes the full population, so routing and filtering
+// behave identically no matter how ASes are split across shard worlds;
+// only host instantiation is restricted.
+func BuildWith(pop *ditl.Population, reg *routing.Registry, opts Options, asIndices []int) (*World, error) {
+	infraAS := reg.AS(10)
+	scannerAS := reg.AS(20)
 
 	n := netsim.New(reg, netsim.Config{Seed: opts.Seed, LossRate: opts.LossRate})
 	w := &World{
 		Pop: pop, Net: n, Reg: reg,
 		Resolvers:       make(map[netip.Addr]*resolver.Resolver),
 		analysts:        make(map[routing.ASN]*netsim.Host),
-		analystRng:      rand.New(rand.NewSource(opts.Seed + 1)),
+		asPublic:        make(map[routing.ASN][]netip.Addr),
+		asThird:         make(map[routing.ASN]netip.Addr),
+		seed:            uint64(opts.Seed),
+		publicAS:        reg.AS(30),
+		thirdAS:         reg.AS(40),
 		AnalystDelayMin: time.Minute,
 		AnalystDelayMax: 30 * time.Minute,
 	}
@@ -175,17 +241,20 @@ func Build(pop *ditl.Population, opts Options) (*World, error) {
 	if err := w.buildScanner(scannerAS); err != nil {
 		return nil, err
 	}
-	if err := w.buildPublicDNS(publicAS); err != nil {
-		return nil, err
-	}
-	thirdParty, err := w.buildThirdParty(thirdAS)
-	if err != nil {
+	if err := w.buildPublicDNS(w.publicAS); err != nil {
 		return nil, err
 	}
 
-	for i, spec := range pop.ASes {
+	if asIndices == nil {
+		asIndices = make([]int, len(pop.ASes))
+		for i := range asIndices {
+			asIndices[i] = i
+		}
+	}
+	for _, i := range asIndices {
+		spec := pop.ASes[i]
 		as := reg.AS(spec.ASN)
-		if err := w.buildTargetAS(i, spec, as, thirdParty); err != nil {
+		if err := w.buildTargetAS(i, spec, as); err != nil {
 			return nil, err
 		}
 	}
@@ -392,24 +461,69 @@ func (w *World) buildPublicDNS(as *routing.AS) error {
 	return nil
 }
 
-// buildThirdParty attaches the "unexplained" upstream resolver some
-// forwarders use (the §3.6.1 residual).
-func (w *World) buildThirdParty(as *routing.AS) (netip.Addr, error) {
-	a4 := addrAt4(thirdPrefix4, 1)
-	h, err := w.Net.Attach("third-party-dns", as, a4)
+// publicFor lazily attaches the per-AS public-DNS replica instances for
+// population AS index i. Replicas live in the public-DNS AS at offsets
+// derived from the global AS index, so the same AS gets the same
+// replica addresses in any shard world. Because only AS i's traffic
+// reaches its replicas, their cache and RNG state evolves in an order
+// determined solely by that AS — the per-AS isolation the deterministic
+// sharded survey rests on.
+func (w *World) publicFor(i int, asn routing.ASN) ([]netip.Addr, error) {
+	if got := w.asPublic[asn]; got != nil {
+		return got, nil
+	}
+	addrs := make([]netip.Addr, 0, 4)
+	for j := 0; j < 2; j++ {
+		off := uint64(1000 + 2*i + j)
+		a4 := addrAt4(publicPrefix4, off)
+		a6 := routing.AddrAt(publicPrefix6, off)
+		h, err := w.Net.Attach(fmt.Sprintf("public-dns-as%d-%d", asn, j), w.publicAS, a4, a6)
+		if err != nil {
+			return nil, err
+		}
+		h.OS = oskernel.UbuntuModern
+		h.ScrubFingerprint = true
+		seed := int64(detrand.Mix(w.seed, uint64(asn), uint64(j), saltPubSeed))
+		ports := int64(detrand.Mix(w.seed, uint64(asn), uint64(j), saltPubPorts))
+		_, err = resolver.New(h, w.Roots, resolver.Config{
+			ACL:   resolver.ACL{Open: true},
+			Ports: resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(ports))),
+			Seed:  seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		addrs = append(addrs, a4, a6)
+	}
+	w.asPublic[asn] = addrs
+	w.ASPublicDNS = append(w.ASPublicDNS, addrs...)
+	return addrs, nil
+}
+
+// thirdFor lazily attaches the per-AS replica of the "unexplained"
+// third-party upstream some forwarders use (the §3.6.1 residual).
+func (w *World) thirdFor(i int, asn routing.ASN) (netip.Addr, error) {
+	if got, ok := w.asThird[asn]; ok {
+		return got, nil
+	}
+	a4 := addrAt4(thirdPrefix4, uint64(1000+i))
+	h, err := w.Net.Attach(fmt.Sprintf("third-party-dns-as%d", asn), w.thirdAS, a4)
 	if err != nil {
 		return netip.Addr{}, err
 	}
 	h.OS = oskernel.UbuntuLegacy
 	h.ScrubFingerprint = true
+	seed := int64(detrand.Mix(w.seed, uint64(asn), saltThirdSeed))
+	ports := int64(detrand.Mix(w.seed, uint64(asn), saltThirdPorts))
 	_, err = resolver.New(h, w.Roots, resolver.Config{
 		ACL:   resolver.ACL{Open: true},
-		Ports: resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(990))),
-		Seed:  990,
+		Ports: resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(ports))),
+		Seed:  seed,
 	})
 	if err != nil {
 		return netip.Addr{}, err
 	}
+	w.asThird[asn] = a4
 	return a4, nil
 }
 
@@ -484,7 +598,7 @@ func aclFor(spec *ditl.ResolverSpec, as *routing.AS) resolver.ACL {
 	return acl
 }
 
-func (w *World) buildTargetAS(i int, spec *ditl.ASSpec, as *routing.AS, thirdParty netip.Addr) error {
+func (w *World) buildTargetAS(i int, spec *ditl.ASSpec, as *routing.AS) error {
 	for _, rs := range spec.Resolvers {
 		var addrs []netip.Addr
 		if rs.Addr4.IsValid() {
@@ -512,9 +626,18 @@ func (w *World) buildTargetAS(i int, spec *ditl.ASSpec, as *routing.AS, thirdPar
 		}
 		roots := w.Roots
 		if rs.Forward {
-			up := w.PublicDNS[rs.Index%len(w.PublicDNS)]
+			var up netip.Addr
 			if rs.Upstream == ditl.UpstreamThirdParty {
-				up = thirdParty
+				up, err = w.thirdFor(i, spec.ASN)
+			} else {
+				var pub []netip.Addr
+				pub, err = w.publicFor(i, spec.ASN)
+				if err == nil {
+					up = pub[rs.Index%len(pub)]
+				}
+			}
+			if err != nil {
+				return err
 			}
 			cfg.Forward = []netip.Addr{up}
 			cfg.ForwardFraction = rs.ForwardFraction
@@ -538,6 +661,10 @@ func (w *World) buildTargetAS(i int, spec *ditl.ASSpec, as *routing.AS, thirdPar
 		a := routing.RandomHostAddr(routing.EnumerateSubnets(spec.V4Prefixes[0], 1)[0],
 			rand.New(rand.NewSource(int64(i)+555)))
 		if w.Net.HostAt(a) == nil {
+			pub, err := w.publicFor(i, spec.ASN)
+			if err != nil {
+				return err
+			}
 			h, err := w.Net.Attach(fmt.Sprintf("mbox-as%d", spec.ASN), as, a)
 			if err != nil {
 				return err
@@ -547,7 +674,7 @@ func (w *World) buildTargetAS(i int, spec *ditl.ASSpec, as *routing.AS, thirdPar
 			mb, err := resolver.New(h, nil, resolver.Config{
 				ACL:     resolver.ACL{Open: true},
 				Ports:   resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(int64(i)+556))),
-				Forward: []netip.Addr{w.PublicDNS[0]},
+				Forward: []netip.Addr{pub[0]},
 				Seed:    int64(i) + 557,
 			})
 			if err != nil {
@@ -564,8 +691,12 @@ func (w *World) buildTargetAS(i int, spec *ditl.ASSpec, as *routing.AS, thirdPar
 		}
 	}
 
-	// IDS analyst host (§3.6.3).
+	// IDS analyst host (§3.6.3). The analyst resolves via the AS's own
+	// public-DNS replica, so its queries perturb no other AS's state.
 	if spec.IDS {
+		if _, err := w.publicFor(i, spec.ASN); err != nil {
+			return err
+		}
 		rng := rand.New(rand.NewSource(int64(i) + 777))
 		sub := routing.EnumerateSubnets(spec.V4Prefixes[len(spec.V4Prefixes)-1], 4)
 		for tries := 0; tries < 8; tries++ {
@@ -585,8 +716,12 @@ func (w *World) buildTargetAS(i int, spec *ditl.ASSpec, as *routing.AS, thirdPar
 
 // wireIDS installs the drop hook that models §3.6.3: when a spoofed
 // query is dropped at an IDS-equipped border, an analyst later resolves
-// the logged name through public DNS, producing an auth-side query with
-// a lifetime far beyond the 10-second threshold.
+// the logged name through the AS's public-DNS replica, producing an
+// auth-side query with a lifetime far beyond the 10-second threshold.
+// Whether and when an analyst reacts is hashed from the dropped query's
+// identity (AS, name, drop time), not drawn from a shared stream, so
+// the reaction set is the same for an AS no matter what other ASes
+// share its simulation.
 func (w *World) wireIDS() {
 	w.Net.SetDropHook(func(now time.Duration, reason netsim.DropReason, pkt *packet.Packet, dstAS *routing.AS) {
 		if reason != netsim.DropDSAV && reason != netsim.DropBogonSource {
@@ -599,6 +734,10 @@ func (w *World) wireIDS() {
 		if analyst == nil {
 			return
 		}
+		pub := w.asPublic[dstAS.ASN]
+		if len(pub) == 0 {
+			return
+		}
 		msg, err := dnswire.Unpack(pkt.Data)
 		if err != nil || msg.QR || len(msg.Question) == 0 {
 			return
@@ -607,18 +746,21 @@ func (w *World) wireIDS() {
 		if !name.IsSubdomainOf(Zone) {
 			return
 		}
-		if w.analystRng.Float64() > 0.25 {
+		key := detrand.Mix(w.seed, uint64(dstAS.ASN),
+			detrand.HashBytes(w.seed, []byte(name)), uint64(now))
+		if detrand.Float64(key, saltIDSSample) > 0.25 {
 			return
 		}
 		delay := w.AnalystDelayMin +
-			time.Duration(w.analystRng.Int63n(int64(w.AnalystDelayMax-w.AnalystDelayMin)))
+			time.Duration(detrand.Mix(key, saltIDSDelay)%uint64(w.AnalystDelayMax-w.AnalystDelayMin))
+		upstream := pub[0]
 		w.Net.Q.After(delay, func(time.Duration) {
-			q := dnswire.NewQuery(uint16(w.analystRng.Intn(65536)), name, dnswire.TypeA)
+			q := dnswire.NewQuery(uint16(detrand.Mix(key, saltIDSTxn)), name, dnswire.TypeA)
 			payload, err := q.Pack()
 			if err != nil {
 				return
 			}
-			analyst.SendUDP(analyst.Addrs[0], 40000, w.PublicDNS[0], 53, payload)
+			analyst.SendUDP(analyst.Addrs[0], 40000, upstream, 53, payload)
 		})
 	})
 }

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Runs the headline benchmarks and records them as JSON (default
+# BENCH_1.json in the repo root): the event-queue hot path and the
+# full-survey wall clock, single-shard vs one-shard-per-CPU. On a
+# single-CPU machine the sharded numbers match the serial ones; the
+# speedup shows up with GOMAXPROCS > 1.
+set -e
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_1.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkQueue$' -benchmem -count=1 ./internal/eventq | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkHeadlineReachability' -benchmem -count=1 -benchtime 3x -timeout 30m . | tee -a "$tmp"
+
+awk -v cpus="$(go env GOMAXPROCS 2>/dev/null || nproc)" '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ && NF >= 8 {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, $2, $3, $5, $7
+}
+END { print "\n}" }' "$tmp" > "$out"
+
+echo "wrote $out"

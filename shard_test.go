@@ -1,0 +1,111 @@
+package doors
+
+// Shard-invariance tests for the parallel survey engine: the same
+// seeds must produce the same survey — targets, hits, report, tables —
+// at any shard count, including the single-shard path.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ditl"
+	"repro/internal/report"
+	"repro/internal/scanner"
+)
+
+func shardConfig(shards int) SurveyConfig {
+	return SurveyConfig{
+		Population: ditl.Params{Seed: 7, ASes: 40},
+		Scanner:    scanner.Config{Seed: 8, Rate: 10000},
+		Shards:     shards,
+	}
+}
+
+func TestShardedSurveyIsDeterministic(t *testing.T) {
+	base, err := RunSurvey(shardConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Report.V4.ReachableAddrs == 0 {
+		t.Fatal("baseline survey reached nothing")
+	}
+	for _, k := range []int{2, 8} {
+		s, err := RunSurvey(shardConfig(k))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", k, err)
+		}
+		if len(s.Worlds) != k {
+			t.Fatalf("shards=%d: got %d worlds", k, len(s.Worlds))
+		}
+		if s.Probes != base.Probes || s.Duration != base.Duration {
+			t.Fatalf("shards=%d: probes/duration %d/%v, want %d/%v",
+				k, s.Probes, s.Duration, base.Probes, base.Duration)
+		}
+		if !reflect.DeepEqual(s.Scanner.Targets, base.Scanner.Targets) {
+			t.Fatalf("shards=%d: merged target list differs", k)
+		}
+		if !reflect.DeepEqual(s.Scanner.Hits, base.Scanner.Hits) {
+			t.Fatalf("shards=%d: merged hits differ (%d vs %d)",
+				k, len(s.Scanner.Hits), len(base.Scanner.Hits))
+		}
+		if !reflect.DeepEqual(s.Scanner.Partials, base.Scanner.Partials) {
+			t.Fatalf("shards=%d: merged partials differ", k)
+		}
+		if s.Scanner.Stats != base.Scanner.Stats {
+			t.Fatalf("shards=%d: stats differ: %+v vs %+v", k, s.Scanner.Stats, base.Scanner.Stats)
+		}
+		if !reflect.DeepEqual(s.PublicDNS, base.PublicDNS) {
+			t.Fatalf("shards=%d: merged public-DNS allowlist differs", k)
+		}
+		if !reflect.DeepEqual(s.Report, base.Report) {
+			t.Fatalf("shards=%d: report differs", k)
+		}
+		// The rendered tables are the user-visible artifact; they must
+		// be byte-identical, not merely statistically close.
+		for name, render := range map[string]func(*Survey) string{
+			"table1": func(s *Survey) string { return report.Table1(s.Report) },
+			"table2": func(s *Survey) string { return report.Table2(s.Report) },
+			"table3": func(s *Survey) string { return report.Table3(s.Report) },
+		} {
+			if got, want := render(s), render(base); got != want {
+				t.Errorf("shards=%d: %s differs:\n got: %s\nwant: %s", k, name, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedSurveyWithChurnIsDeterministic exercises the churn path:
+// churn decisions are keyed on host identity, so the offline set is
+// shard-invariant too.
+func TestShardedSurveyWithChurnIsDeterministic(t *testing.T) {
+	cfg := shardConfig(1)
+	cfg.ChurnFraction = 0.3
+	base, err := RunSurvey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 4
+	s, err := RunSurvey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Report, base.Report) {
+		t.Fatal("churned report differs across shard counts")
+	}
+	if !reflect.DeepEqual(s.Scanner.Hits, base.Scanner.Hits) {
+		t.Fatal("churned hits differ across shard counts")
+	}
+}
+
+// TestShardCountResolution pins the Shards knob semantics.
+func TestShardCountResolution(t *testing.T) {
+	if got := (SurveyConfig{}).shardCount(); got != 1 {
+		t.Fatalf("default shards = %d, want 1", got)
+	}
+	if got := (SurveyConfig{Shards: 3}).shardCount(); got != 3 {
+		t.Fatalf("explicit shards = %d, want 3", got)
+	}
+	if got := (SurveyConfig{Shards: -1}).shardCount(); got < 1 {
+		t.Fatalf("auto shards = %d, want >= 1", got)
+	}
+}
