@@ -1,10 +1,12 @@
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race fuzz bench
 
 # Tier-1 verification: build + vet + full tests + race detector over
-# the parallel sharded engine.
-check: build vet test race
+# the parallel sharded engine + a short fuzz smoke over the wire
+# parsers.
+check: build vet test race fuzz
 
 build:
 	$(GO) build ./...
@@ -17,6 +19,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short native-fuzz smoke over the wire parsers (one -fuzz target per
+# invocation is a go tool limitation). Raise FUZZTIME for a real hunt.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzUnpack -fuzztime=$(FUZZTIME) ./internal/dnswire
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/packet
 
 # Headline performance numbers (event-queue allocations, survey
 # wall-clock single-shard vs sharded), recorded as BENCH_1.json.

@@ -5,6 +5,7 @@
 //
 //	dsavsurvey [-ases N] [-seed N] [-rate QPS] [-loss P] [-shards K]
 //	           [-wildcard] [-alldsav] [-nodsav] [-figures]
+//	           [-chaos] [-invariants=false]
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"os"
 
 	doors "repro"
+	"repro/internal/chaos"
 	"repro/internal/ditl"
 	"repro/internal/report"
 	"repro/internal/scanner"
@@ -30,18 +32,25 @@ func main() {
 		noDSAV   = flag.Bool("nodsav", false, "counterfactual: no AS deploys DSAV")
 		figures  = flag.Bool("figures", false, "print Figure 2 histograms")
 		shards   = flag.Int("shards", -1, "parallel simulation shards (-1 = one per CPU, 1 = serial); results are identical at any value")
+		chaosOn  = flag.Bool("chaos", false, "inject the deterministic fault schedule (link flap, dup/reorder/corrupt, resolver crashes, clock skew)")
+		invar    = flag.Bool("invariants", true, "check simulation invariants on every delivery and cache event")
 	)
 	flag.Parse()
 
-	s, err := doors.RunSurvey(doors.SurveyConfig{
+	cfg := doors.SurveyConfig{
 		Population: ditl.Params{Seed: *seed, ASes: *ases},
 		World: world.Options{
 			Seed: *seed + 1, LossRate: *loss,
 			Wildcard: *wildcard, AllDSAV: *allDSAV, NoDSAV: *noDSAV,
 		},
-		Scanner: scanner.Config{Seed: *seed + 2, Rate: *rate},
-		Shards:  *shards,
-	})
+		Scanner:           scanner.Config{Seed: *seed + 2, Rate: *rate},
+		Shards:            *shards,
+		DisableInvariants: !*invar,
+	}
+	if *chaosOn {
+		cfg.Chaos = chaos.Default(uint64(*seed) + 3)
+	}
+	s, err := doors.RunSurvey(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsavsurvey:", err)
 		os.Exit(1)
@@ -49,6 +58,14 @@ func main() {
 
 	fmt.Printf("Survey: %d probes over %v of virtual time; %d hits, %d partial (QNAME-minimized) hits\n\n",
 		s.Probes, s.Duration, len(s.Scanner.Hits), len(s.Scanner.Partials))
+	if *chaosOn {
+		fmt.Printf("Chaos: %d resolver crashes injected\n", s.ChaosCrashes)
+	}
+	if s.Invariants != nil {
+		fmt.Printf("Invariants: %d deliveries, %d responses, %d cache serves checked; %d violations\n\n",
+			s.Invariants.DeliveriesChecked, s.Invariants.ResponsesChecked,
+			s.Invariants.CacheServes, s.Invariants.ViolationCount)
+	}
 	r := s.Report
 	fmt.Println(report.Headline(r))
 	fmt.Println(report.Table1(r))

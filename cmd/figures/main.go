@@ -6,6 +6,7 @@
 // Usage:
 //
 //	figures [-ases N] [-seed N] [-labqueries N] [-shards K] [-o DIR]
+//	        [-chaos] [-invariants=false]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	doors "repro"
+	"repro/internal/chaos"
 	"repro/internal/ditl"
 	"repro/internal/labexp"
 	"repro/internal/scanner"
@@ -78,6 +80,8 @@ func main() {
 		labQueries = flag.Int("labqueries", 10000, "lab queries per configuration")
 		out        = flag.String("o", "figures-out", "output directory")
 		shards     = flag.Int("shards", -1, "parallel simulation shards (-1 = one per CPU, 1 = serial); results are identical at any value")
+		chaosOn    = flag.Bool("chaos", false, "inject the deterministic fault schedule (link flap, dup/reorder/corrupt, resolver crashes, clock skew)")
+		invar      = flag.Bool("invariants", true, "check simulation invariants on every delivery and cache event")
 	)
 	flag.Parse()
 
@@ -87,14 +91,23 @@ func main() {
 	}
 	header := "range_bin,open,closed,model_windows,model_freebsd,model_linux,model_full"
 
-	s, err := doors.RunSurvey(doors.SurveyConfig{
-		Population: ditl.Params{Seed: *seed, ASes: *ases},
-		Scanner:    scanner.Config{Seed: *seed + 2, Rate: 20000},
-		Shards:     *shards,
-	})
+	cfg := doors.SurveyConfig{
+		Population:        ditl.Params{Seed: *seed, ASes: *ases},
+		Scanner:           scanner.Config{Seed: *seed + 2, Rate: 20000},
+		Shards:            *shards,
+		DisableInvariants: !*invar,
+	}
+	if *chaosOn {
+		cfg.Chaos = chaos.Default(uint64(*seed) + 3)
+	}
+	s, err := doors.RunSurvey(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
+	}
+	if s.Invariants != nil {
+		fmt.Printf("invariants: %d deliveries checked, %d violations\n",
+			s.Invariants.DeliveriesChecked, s.Invariants.ViolationCount)
 	}
 	p := s.Report.Ports
 	if err := writeCSV(*out, "figure2_upper.csv", header, histRows(p.HistFullOpen, p.HistFullClosed)); err != nil {

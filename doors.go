@@ -18,12 +18,14 @@
 package doors
 
 import (
+	"fmt"
 	"net/netip"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/chaos"
 	"repro/internal/ditl"
 	"repro/internal/geo"
 	"repro/internal/routing"
@@ -53,6 +55,19 @@ type SurveyConfig struct {
 	// identity rather than drawn from shared streams, so the merged
 	// survey — targets, hits, report — is identical at any shard count.
 	Shards int
+	// Chaos, when Enabled, subjects the survey to a deterministic fault
+	// schedule (link flap, duplication, reordering, corruption, resolver
+	// crashes, clock skew) keyed on causal identity, so chaotic runs are
+	// as reproducible — and as shard-invariant — as clean ones. The
+	// experiment's own infrastructure (roots, scanner, public DNS) is
+	// exempt; chaos stresses the measured paths.
+	Chaos chaos.Config
+	// DisableInvariants turns off the always-on invariant checker
+	// (border-policy re-assertion, DNS transaction-ID conservation,
+	// cache TTL/crash safety on every delivery and cache event). When
+	// the checker is on and any invariant is violated, RunSurveyOn
+	// returns the completed Survey together with a non-nil error.
+	DisableInvariants bool
 }
 
 // shardCount resolves the configured shard count.
@@ -88,6 +103,13 @@ type Survey struct {
 	// virtual experiment duration they were spread over.
 	Probes   int
 	Duration time.Duration
+
+	// Invariants is the merged invariant-checker report (nil when the
+	// checker was disabled).
+	Invariants *world.InvariantReport
+	// ChaosCrashes is the number of resolver crashes the chaos schedule
+	// injected across all shards (0 without chaos).
+	ChaosCrashes int
 }
 
 // CandidateAddrs lists every DITL-derived candidate target (live
@@ -178,6 +200,7 @@ func RunSurveyOn(pop *ditl.Population, cfg SurveyConfig) (*Survey, error) {
 	if cfg.Scanner.V6HitList == nil {
 		cfg.Scanner.V6HitList = V6HitList(pop)
 	}
+	cfg.World.Invariants = !cfg.DisableInvariants
 	reg, err := world.BuildRegistry(pop, cfg.World)
 	if err != nil {
 		return nil, err
@@ -209,12 +232,25 @@ func RunSurveyOn(pop *ditl.Population, cfg SurveyConfig) (*Survey, error) {
 
 	// Phase 2: the campaign duration depends only on the survey-wide
 	// probe total and rate, so per-probe timestamps are identical no
-	// matter how the targets were partitioned.
+	// matter how the targets were partitioned. The chaos injector's
+	// fault window is likewise the survey-wide duration, and one
+	// read-only injector is shared by every shard, so the fault schedule
+	// is shard-invariant too.
 	duration := scanner.CampaignDuration(probes, scanners[0].Cfg.Rate)
+	chaosCrashes := 0
+	var inj *chaos.Injector
+	if cfg.Chaos.Enabled {
+		inj = chaos.NewInjector(cfg.Chaos)
+		inj.SetWindow(duration)
+		inj.SetEligible(isTargetAS)
+	}
 	for k := range worlds {
 		scanners[k].Schedule(duration)
 		if cfg.ChurnFraction > 0 {
 			worlds[k].ScheduleChurn(cfg.ChurnFraction, duration, cfg.Scanner.Seed+99)
+		}
+		if inj != nil {
+			chaosCrashes += worlds[k].ScheduleChaos(inj)
 		}
 	}
 
@@ -251,6 +287,15 @@ func RunSurveyOn(pop *ditl.Population, cfg SurveyConfig) (*Survey, error) {
 	scanner.SortPartials(sc.Partials)
 	publicDNS := mergedPublicDNS(worlds)
 
+	var inv *world.InvariantReport
+	if !cfg.DisableInvariants {
+		merged := world.InvariantReport{}
+		for _, w := range worlds {
+			merged.Add(w.Invariants.Report())
+		}
+		inv = &merged
+	}
+
 	gdb := GeoDB(pop)
 	report := analysis.Analyze(analysis.Input{
 		Hits:              sc.Hits,
@@ -263,11 +308,29 @@ func RunSurveyOn(pop *ditl.Population, cfg SurveyConfig) (*Survey, error) {
 		LifetimeThreshold: cfg.LifetimeThreshold,
 		FollowUpCount:     cfg.Scanner.FollowUpCount,
 	})
-	return &Survey{
+	survey := &Survey{
 		Population: pop, World: worlds[0], Worlds: worlds,
 		Scanner: sc, Report: report, Geo: gdb, PublicDNS: publicDNS,
 		Probes: probes, Duration: duration,
-	}, nil
+		Invariants: inv, ChaosCrashes: chaosCrashes,
+	}
+	if inv != nil && !inv.Ok() {
+		return survey, fmt.Errorf("doors: %d simulation invariant violation(s); first: %s",
+			inv.ViolationCount, inv.Violations[0])
+	}
+	return survey, nil
+}
+
+// isTargetAS reports whether asn belongs to the measured population
+// rather than the experiment's own infrastructure (root/auth servers,
+// scanner, public DNS, third-party upstreams) — the chaos layer's
+// eligibility predicate.
+func isTargetAS(asn routing.ASN) bool {
+	switch asn {
+	case 10, 20, 30, 40:
+		return false
+	}
+	return true
 }
 
 // mergedPublicDNS unions the public-DNS allowlist across shard worlds:

@@ -1,0 +1,75 @@
+package doors_test
+
+// Golden-report regression test: the full serialized Report from a
+// small seeded survey is diffed against a checked-in fixture, so ANY
+// behavioural drift — a changed counter, a reordered table row, a new
+// field defaulting wrong — fails loudly instead of slipping past the
+// spot checks in ExampleRunSurvey.
+//
+// To regenerate after an intentional change:
+//
+//	UPDATE_GOLDEN=1 go test -run TestGoldenReport .
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	doors "repro"
+	"repro/internal/ditl"
+	"repro/internal/scanner"
+)
+
+const goldenPath = "testdata/golden_report.json"
+
+func TestGoldenReport(t *testing.T) {
+	survey, err := doors.RunSurvey(doors.SurveyConfig{
+		Population: ditl.Params{Seed: 7, ASes: 40},
+		Scanner:    scanner.Config{Seed: 8, Rate: 10000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(survey.Report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create the fixture)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report drifted from %s:\n%s\n\nIf the change is intentional, "+
+			"regenerate with UPDATE_GOLDEN=1 go test -run TestGoldenReport .",
+			goldenPath, firstDiff(got, want))
+	}
+}
+
+// firstDiff renders the first divergent line pair, enough to orient
+// without dumping two full reports.
+func firstDiff(got, want []byte) string {
+	gl := bytes.Split(got, []byte("\n"))
+	wl := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			return fmt.Sprintf("line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+		}
+	}
+	return fmt.Sprintf("length differs: got %d lines, want %d", len(gl), len(wl))
+}

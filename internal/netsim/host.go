@@ -106,7 +106,10 @@ func (h *Host) SetDown(down bool) { h.down = down }
 func (h *Host) Down() bool { return h.down }
 
 // deliver dispatches an accepted packet to the matching socket.
-func (h *Host) deliver(pkt *packet.Packet) {
+// crossedBorder records whether the packet entered the host's AS from
+// outside (the fact the invariant checker needs to re-assert border
+// policy on every delivery).
+func (h *Host) deliver(pkt *packet.Packet, crossedBorder bool) {
 	if h.down {
 		h.net.drop(DropNoHost, pkt, h.AS)
 		return
@@ -119,10 +122,10 @@ func (h *Host) deliver(pkt *packet.Packet) {
 			return
 		}
 		h.net.delivered++
-		h.net.traceDelivery(pkt, h.AS)
+		h.net.traceDelivery(pkt, h.AS, crossedBorder)
 		fn(h.net.Q.Now(), pkt.Src(), pkt.UDP.SrcPort, pkt.Dst(), pkt.UDP.DstPort, pkt.Data)
 	case pkt.TCP != nil:
-		h.deliverTCP(pkt)
+		h.deliverTCP(pkt, crossedBorder)
 	default:
 		h.net.drop(DropNoListener, pkt, h.AS)
 	}

@@ -56,6 +56,7 @@ const (
 	DropNoHost                 // destination address not bound to a host
 	DropKernelSpoof            // kernel refused dst-as-src/loopback source
 	DropNoListener             // no socket bound to the destination port
+	DropChaos                  // injected fault (link flap, induced loss)
 )
 
 // String names the drop reason.
@@ -83,6 +84,8 @@ func (r DropReason) String() string {
 		return "kernel-spoof"
 	case DropNoListener:
 		return "no-listener"
+	case DropChaos:
+		return "chaos"
 	default:
 		return fmt.Sprintf("drop(%d)", int(r))
 	}
@@ -96,6 +99,37 @@ type Interceptor func(now time.Duration, pkt *packet.Packet) bool
 // DropHook observes discarded packets (used to model IDS logging and the
 // resulting delayed "human analyst" queries of §3.6.3).
 type DropHook func(now time.Duration, reason DropReason, pkt *packet.Packet, dstAS *routing.AS)
+
+// DeliveryHook observes every packet accepted by a socket (or consumed
+// by a transparent middlebox), with the border-crossing fact the
+// ingress filters saw — the observation point the simulation invariant
+// checker (internal/world.Invariants) attaches to.
+type DeliveryHook func(now time.Duration, pkt *packet.Packet, dstAS *routing.AS, crossedBorder bool)
+
+// TransitFault is a fault layer's verdict for one packet in transit.
+// The zero value leaves the packet untouched.
+type TransitFault struct {
+	// Drop discards the packet (link flap, induced loss).
+	Drop bool
+	// ExtraDelay adds latency on top of base latency and jitter
+	// (reordering relative to other flows, per-AS clock skew).
+	ExtraDelay time.Duration
+	// Duplicate delivers a second copy of the packet DupDelay after the
+	// first.
+	Duplicate bool
+	DupDelay  time.Duration
+	// Corrupt flips bit CorruptBit (mod the packet length) in the
+	// delivered bytes; the receiver-side decode then rejects the packet
+	// on its transport checksum, as real corruption would surface.
+	Corrupt    bool
+	CorruptBit int
+}
+
+// FaultHook is a deterministic fault-injection layer consulted once per
+// injected packet after routing and loss. Implementations must derive
+// their verdict from the packet's own identity (bytes, time, ASes) so a
+// fault schedule is reproducible at any shard count (internal/chaos).
+type FaultHook func(now time.Duration, raw []byte, pkt *packet.Packet, srcAS, dstAS *routing.AS) TransitFault
 
 // Config tunes the simulated transit characteristics.
 type Config struct {
@@ -119,6 +153,8 @@ type Network struct {
 	hosts        map[netip.Addr]*Host
 	interceptors map[routing.ASN]Interceptor
 	dropHook     DropHook
+	deliveryHook DeliveryHook
+	faults       FaultHook
 	drops        map[DropReason]uint64
 	delivered    uint64
 	tracer       *Tracer
@@ -170,6 +206,12 @@ func (n *Network) SetInterceptor(asn routing.ASN, f Interceptor) { n.interceptor
 // SetDropHook installs an observer for dropped packets.
 func (n *Network) SetDropHook(h DropHook) { n.dropHook = h }
 
+// SetDeliveryHook installs an observer for delivered packets.
+func (n *Network) SetDeliveryHook(h DeliveryHook) { n.deliveryHook = h }
+
+// SetFaultHook installs a deterministic fault-injection layer.
+func (n *Network) SetFaultHook(h FaultHook) { n.faults = h }
+
 // HostAt returns the host bound to addr, or nil.
 func (n *Network) HostAt(addr netip.Addr) *Host { return n.hosts[addr] }
 
@@ -204,10 +246,14 @@ func (n *Network) drop(reason DropReason, pkt *packet.Packet, dstAS *routing.AS)
 	}
 }
 
-// traceDelivery records a successful socket delivery.
-func (n *Network) traceDelivery(pkt *packet.Packet, dstAS *routing.AS) {
+// traceDelivery records a successful socket delivery and feeds the
+// delivery observer (invariant checking).
+func (n *Network) traceDelivery(pkt *packet.Packet, dstAS *routing.AS, crossedBorder bool) {
 	if n.tracer != nil {
 		n.tracer.record(traceEventFor(n.Q.Now(), pkt, true, DropNone, dstAS))
+	}
+	if n.deliveryHook != nil {
+		n.deliveryHook(n.Q.Now(), pkt, dstAS, crossedBorder)
 	}
 }
 
@@ -284,6 +330,19 @@ func (n *Network) inject(origin *Host, raw []byte) {
 		return
 	}
 
+	// Fault-injection layer (chaos): the verdict is a pure function of
+	// the packet's pre-transit bytes, send time, and endpoint ASes, so
+	// injected faults are reproducible at any shard count.
+	var fault TransitFault
+	if n.faults != nil {
+		fault = n.faults(n.Q.Now(), raw, pkt, origin.AS, dstAS)
+		if fault.Drop {
+			n.drop(DropChaos, pkt, dstAS)
+			return
+		}
+		latency += fault.ExtraDelay
+	}
+
 	// Transit TTL decrement, applied to the serialized packet so the
 	// receiver observes a hop-decremented TTL (what p0f sees).
 	if crossesBorder {
@@ -295,10 +354,22 @@ func (n *Network) inject(origin *Host, raw []byte) {
 			return
 		}
 	}
+	if fault.Corrupt && len(raw) > 0 {
+		out := make([]byte, len(raw))
+		copy(out, raw)
+		bit := fault.CorruptBit % (len(out) * 8)
+		out[bit/8] ^= 1 << (bit % 8)
+		raw = out
+	}
 
 	n.Q.After(latency, func(now time.Duration) {
 		n.arrive(raw, dstAS, crossesBorder)
 	})
+	if fault.Duplicate {
+		n.Q.After(latency+fault.DupDelay, func(now time.Duration) {
+			n.arrive(raw, dstAS, crossesBorder)
+		})
+	}
 }
 
 // arrive runs the destination-side pipeline: border filters, middlebox
@@ -327,6 +398,7 @@ func (n *Network) arrive(raw []byte, dstAS *routing.AS, crossedBorder bool) {
 
 	if ic := n.interceptors[dstAS.ASN]; ic != nil && ic(n.Q.Now(), pkt) {
 		n.delivered++
+		n.traceDelivery(pkt, dstAS, crossedBorder)
 		return
 	}
 
@@ -346,7 +418,7 @@ func (n *Network) arrive(raw []byte, dstAS *routing.AS, crossedBorder bool) {
 		}
 	}
 
-	host.deliver(pkt)
+	host.deliver(pkt, crossedBorder)
 }
 
 // decrementTTL rewrites the TTL/hop-limit field in place, fixing the

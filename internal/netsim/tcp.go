@@ -181,14 +181,14 @@ func (c *TCPConn) Close() {
 }
 
 // deliverTCP is the host-side TCP demux.
-func (h *Host) deliverTCP(pkt *packet.Packet) {
+func (h *Host) deliverTCP(pkt *packet.Packet, crossedBorder bool) {
 	t := pkt.TCP
 	key := tcpKey{local: pkt.Dst(), localPort: t.DstPort, remote: pkt.Src(), remotePort: t.SrcPort}
 	now := h.net.Q.Now()
 
 	if c, ok := h.tcpConn[key]; ok {
 		h.net.delivered++
-		h.net.traceDelivery(pkt, h.AS)
+		h.net.traceDelivery(pkt, h.AS, crossedBorder)
 		c.handleSegment(now, pkt)
 		return
 	}
@@ -201,7 +201,7 @@ func (h *Host) deliverTCP(pkt *packet.Packet) {
 			return
 		}
 		h.net.delivered++
-		h.net.traceDelivery(pkt, h.AS)
+		h.net.traceDelivery(pkt, h.AS, crossedBorder)
 		c := &TCPConn{host: h, key: key, state: tcpSynReceived, server: true, SYN: pkt}
 		c.seq = h.net.isn(key.local, key.localPort, key.remote, key.remotePort)
 		c.ack = t.Seq + 1

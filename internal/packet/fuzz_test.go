@@ -1,0 +1,72 @@
+package packet
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+// FuzzDecode asserts the datagram parser's safety properties on
+// arbitrary bytes: Decode never panics; an accepted packet has exactly
+// one network and at most one transport layer, valid addresses, and
+// decodes identically a second time (acceptance is deterministic and
+// Raw preserves the input).
+func FuzzDecode(f *testing.F) {
+	v4a, v4b := netip.MustParseAddr("203.0.113.5"), netip.MustParseAddr("198.51.100.9")
+	v6a, v6b := netip.MustParseAddr("2001:db8::5"), netip.MustParseAddr("2001:db8::9")
+
+	udp4, err := BuildUDP(v4a, v4b, 40000, 53, 64, []byte("\x12\x34\x01\x00\x00\x01payload"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	udp6, err := BuildUDP(v6a, v6b, 53, 53, 255, []byte("dns"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	syn := &TCP{SrcPort: 1234, DstPort: 53, Seq: 0xdeadbeef, SYN: true, Window: 16384,
+		Options: []TCPOption{{Kind: TCPOptMSS, Data: []byte{0x05, 0xb4}}, {Kind: TCPOptSACKPermit}}}
+	tcp4, err := BuildTCP(v4a, v4b, syn, 128, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	psh := &TCP{SrcPort: 53, DstPort: 1234, Seq: 7, Ack: 9, ACK: true, PSH: true, Window: 65535}
+	tcp6, err := BuildTCP(v6a, v6b, psh, 64, []byte("\x00\x03abc"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range [][]byte{udp4, udp6, tcp4, tcp6, udp4[:20], {0x45}, {0x60}, nil} {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if (p.V4 == nil) == (p.V6 == nil) {
+			t.Fatalf("accepted packet must have exactly one IP layer: %+v", p)
+		}
+		if p.UDP != nil && p.TCP != nil {
+			t.Fatalf("accepted packet has two transport layers")
+		}
+		if !p.Src().IsValid() || !p.Dst().IsValid() {
+			t.Fatalf("accepted packet has invalid addresses: %v -> %v", p.Src(), p.Dst())
+		}
+		if !bytes.Equal(p.Raw, data) {
+			t.Fatalf("Raw does not preserve input")
+		}
+		p2, err := Decode(p.Raw)
+		if err != nil {
+			t.Fatalf("re-decode of accepted packet rejected: %v", err)
+		}
+		if p2.Src() != p.Src() || p2.Dst() != p.Dst() ||
+			p2.SrcPort() != p.SrcPort() || p2.DstPort() != p.DstPort() {
+			t.Fatalf("re-decode disagrees: %v:%d->%v:%d vs %v:%d->%v:%d",
+				p.Src(), p.SrcPort(), p.Dst(), p.DstPort(),
+				p2.Src(), p2.SrcPort(), p2.Dst(), p2.DstPort())
+		}
+		if !bytes.Equal(p2.Data, p.Data) {
+			t.Fatalf("re-decode payload disagrees")
+		}
+	})
+}

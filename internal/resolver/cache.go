@@ -13,18 +13,36 @@ type cacheKey struct {
 	typ  dnswire.Type
 }
 
+// CacheObserver receives cache lifecycle events. The world's invariant
+// checker implements it to assert that no entry is served past its
+// expiry and that no entry survives a crash-induced flush. owner is the
+// resolver's primary address, a stable identity across events.
+type CacheObserver interface {
+	CachePut(owner netip.Addr, insertedAt, expiry time.Duration)
+	CacheServe(owner netip.Addr, insertedAt, expiry, now time.Duration)
+	CacheFlush(owner netip.Addr, now time.Duration)
+}
+
 // posEntry is a cached RRset.
 type posEntry struct {
-	rrs    []dnswire.RR
-	expiry time.Duration
+	rrs        []dnswire.RR
+	insertedAt time.Duration
+	expiry     time.Duration
+}
+
+// negEntry is a cached NXDOMAIN.
+type negEntry struct {
+	insertedAt time.Duration
+	expiry     time.Duration
 }
 
 // delegation is cached zone-cut knowledge: the nameserver addresses for
 // a zone apex.
 type delegation struct {
-	apex   dnswire.Name
-	addrs  []netip.Addr
-	expiry time.Duration
+	apex       dnswire.Name
+	addrs      []netip.Addr
+	insertedAt time.Duration
+	expiry     time.Duration
 }
 
 // cache holds positive answers, NXDOMAIN results, and delegations, all
@@ -32,23 +50,30 @@ type delegation struct {
 type cache struct {
 	now   func() time.Duration
 	pos   map[cacheKey]posEntry
-	neg   map[dnswire.Name]time.Duration // NXDOMAIN expiry
+	neg   map[dnswire.Name]negEntry
 	deleg map[dnswire.Name]delegation
+	owner netip.Addr
+	obs   CacheObserver
 }
 
 func newCache(now func() time.Duration) *cache {
 	return &cache{
 		now:   now,
 		pos:   make(map[cacheKey]posEntry),
-		neg:   make(map[dnswire.Name]time.Duration),
+		neg:   make(map[dnswire.Name]negEntry),
 		deleg: make(map[dnswire.Name]delegation),
 	}
 }
 
 func (c *cache) putPositive(name dnswire.Name, typ dnswire.Type, rrs []dnswire.RR, ttl uint32) {
-	c.pos[cacheKey{name.Canonical(), typ}] = posEntry{
-		rrs:    rrs,
-		expiry: c.now() + time.Duration(ttl)*time.Second,
+	e := posEntry{
+		rrs:        rrs,
+		insertedAt: c.now(),
+		expiry:     c.now() + time.Duration(ttl)*time.Second,
+	}
+	c.pos[cacheKey{name.Canonical(), typ}] = e
+	if c.obs != nil {
+		c.obs.CachePut(c.owner, e.insertedAt, e.expiry)
 	}
 }
 
@@ -57,11 +82,32 @@ func (c *cache) getPositive(name dnswire.Name, typ dnswire.Type) ([]dnswire.RR, 
 	if !ok || e.expiry <= c.now() {
 		return nil, false
 	}
+	if c.obs != nil {
+		c.obs.CacheServe(c.owner, e.insertedAt, e.expiry, c.now())
+	}
 	return e.rrs, true
 }
 
+// flush discards every cached entry — the cold cache a resolver restarts
+// with after a crash.
+func (c *cache) flush() {
+	c.pos = make(map[cacheKey]posEntry)
+	c.neg = make(map[dnswire.Name]negEntry)
+	c.deleg = make(map[dnswire.Name]delegation)
+	if c.obs != nil {
+		c.obs.CacheFlush(c.owner, c.now())
+	}
+}
+
 func (c *cache) putNegative(name dnswire.Name, ttl uint32) {
-	c.neg[name.Canonical()] = c.now() + time.Duration(ttl)*time.Second
+	e := negEntry{
+		insertedAt: c.now(),
+		expiry:     c.now() + time.Duration(ttl)*time.Second,
+	}
+	c.neg[name.Canonical()] = e
+	if c.obs != nil {
+		c.obs.CachePut(c.owner, e.insertedAt, e.expiry)
+	}
 }
 
 // getNegative reports a cached NXDOMAIN for name, including the RFC 8020
@@ -70,7 +116,10 @@ func (c *cache) putNegative(name dnswire.Name, ttl uint32) {
 func (c *cache) getNegative(name dnswire.Name) bool {
 	n := name.Canonical()
 	for {
-		if exp, ok := c.neg[n]; ok && exp > c.now() {
+		if e, ok := c.neg[n]; ok && e.expiry > c.now() {
+			if c.obs != nil {
+				c.obs.CacheServe(c.owner, e.insertedAt, e.expiry, c.now())
+			}
 			return true
 		}
 		if n == dnswire.Root {
@@ -81,10 +130,15 @@ func (c *cache) getNegative(name dnswire.Name) bool {
 }
 
 func (c *cache) putDelegation(apex dnswire.Name, addrs []netip.Addr, ttl uint32) {
-	c.deleg[apex.Canonical()] = delegation{
-		apex:   apex,
-		addrs:  addrs,
-		expiry: c.now() + time.Duration(ttl)*time.Second,
+	e := delegation{
+		apex:       apex,
+		addrs:      addrs,
+		insertedAt: c.now(),
+		expiry:     c.now() + time.Duration(ttl)*time.Second,
+	}
+	c.deleg[apex.Canonical()] = e
+	if c.obs != nil {
+		c.obs.CachePut(c.owner, e.insertedAt, e.expiry)
 	}
 }
 
@@ -94,6 +148,9 @@ func (c *cache) closestDelegation(name dnswire.Name) (delegation, bool) {
 	n := name.Canonical()
 	for {
 		if d, ok := c.deleg[n]; ok && d.expiry > c.now() {
+			if c.obs != nil {
+				c.obs.CacheServe(c.owner, d.insertedAt, d.expiry, c.now())
+			}
 			return d, true
 		}
 		if n == dnswire.Root {

@@ -71,6 +71,10 @@ type Config struct {
 	// Seed seeds the resolver's private RNG (transaction IDs, server
 	// selection, port randomness).
 	Seed int64
+	// CacheObserver, when set, receives cache put/serve/flush events —
+	// the hook the world's invariant checker uses to assert TTL safety
+	// under churn and crash.
+	CacheObserver CacheObserver
 }
 
 // Stats counts resolver activity.
@@ -83,6 +87,7 @@ type Stats struct {
 	Forwarded       uint64
 	Timeouts        uint64
 	ServFail        uint64
+	Crashes         uint64
 }
 
 // Resolver is a recursive DNS resolver (or forwarder) bound to a
@@ -157,6 +162,10 @@ func New(host *netsim.Host, roots []netip.Addr, cfg Config) (*Resolver, error) {
 		pending: make(map[pendKey]*outstanding),
 		portRef: make(map[uint16]int),
 	}
+	if len(host.Addrs) > 0 {
+		r.cache.owner = host.Addrs[0]
+	}
+	r.cache.obs = cfg.CacheObserver
 	if err := host.BindUDP(53, r.dispatch); err != nil {
 		return nil, err
 	}
@@ -644,6 +653,23 @@ func negativeTTL(msg *dnswire.Message) uint32 {
 // attack simulator's verification step and by tests.
 func (r *Resolver) CachedAnswer(name dnswire.Name, typ dnswire.Type) ([]dnswire.RR, bool) {
 	return r.cache.getPositive(name, typ)
+}
+
+// Crash simulates a process crash and immediate restart: the cache is
+// lost, every in-flight upstream query is abandoned (its response, if it
+// arrives, no longer matches any pending state), and ephemeral ports are
+// released. Clients whose queries were in flight simply never hear back
+// — exactly what a restarted resolver looks like from outside. The port-
+// 53 service binding survives because the supervisor restarts the
+// process instantly in virtual time.
+func (r *Resolver) Crash(now time.Duration) {
+	r.Stats.Crashes++
+	r.cache.flush()
+	for key, out := range r.pending {
+		out.done = true
+		delete(r.pending, key)
+		r.releasePort(key.port)
+	}
 }
 
 // randomizeCase flips each letter of name to a random case (DNS 0x20).

@@ -1,0 +1,174 @@
+package spoofer
+
+// Edge-case probes from the paper's §5 follow-ups: sources spoofed as
+// the destination itself, as loopback, and as IPv4-mapped IPv6. Each
+// case pins which layer disposes of the probe — the border (bogon
+// filter, DSAV) or the destination kernel (Table 6) — and which OS
+// profiles deliver it anyway.
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/oskernel"
+	"repro/internal/packet"
+	"repro/internal/routing"
+)
+
+// edgeWorld is a two-AS lab: a receiver AS (dual-stack, configurable
+// filtering posture and victim OS) and an unfiltered client AS the
+// spoofed probes are launched from.
+type edgeWorld struct {
+	n       *netsim.Network
+	rx      *Receiver
+	outside *netsim.Host // sender in the client AS (probes cross the border)
+	inside  *netsim.Host // sender in the receiver AS (probes stay internal)
+}
+
+var (
+	rxV4 = addr("30.1.0.1")
+	rxV6 = addr("2400:30::1")
+)
+
+func buildEdge(t *testing.T, filterBogons, dsav bool, os *oskernel.Profile) edgeWorld {
+	t.Helper()
+	reg := routing.NewRegistry()
+	rxAS := &routing.AS{ASN: 1,
+		Prefixes:     []netip.Prefix{prefix("30.1.0.0/16"), prefix("2400:30::/32")},
+		FilterBogons: filterBogons, DSAV: dsav}
+	clAS := &routing.AS{ASN: 2, Prefixes: []netip.Prefix{prefix("30.2.0.0/16")}}
+	for _, as := range []*routing.AS{rxAS, clAS} {
+		if err := reg.Add(as); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := netsim.New(reg, netsim.Config{Seed: 5})
+	rxHost, err := n.Attach("receiver", rxAS, rxV4, rxV6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxHost.OS = os
+	rx, err := NewReceiver(rxHost, rxV4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outside, err := n.Attach("outside", clAS, addr("30.2.0.10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside, err := n.Attach("inside", rxAS, addr("30.1.0.99"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return edgeWorld{n: n, rx: rx, outside: outside, inside: inside}
+}
+
+func TestSpoofedSourceEdgeCases(t *testing.T) {
+	cases := []struct {
+		name         string
+		src, dst     netip.Addr
+		sameAS       bool // launch from inside the receiver AS
+		filterBogons bool
+		dsav         bool
+		os           *oskernel.Profile
+		wantSeen     bool
+		wantDrop     netsim.DropReason // checked when !wantSeen
+	}{
+		// Destination-as-source (§5.3.2): the kernel, not the network,
+		// decides — and modern Linux splits by family.
+		{name: "dst-as-src v4 dropped by modern linux kernel",
+			src: rxV4, dst: rxV4, os: oskernel.UbuntuModern,
+			wantDrop: netsim.DropKernelSpoof},
+		{name: "dst-as-src v4 delivered by freebsd",
+			src: rxV4, dst: rxV4, os: oskernel.FreeBSD12, wantSeen: true},
+		{name: "dst-as-src v6 delivered by modern linux",
+			src: rxV6, dst: rxV6, os: oskernel.UbuntuModern, wantSeen: true},
+		{name: "dst-as-src v4 delivered when kernel unknown",
+			src: rxV4, dst: rxV4, os: nil, wantSeen: true},
+		{name: "dst-as-src stopped at the border by DSAV",
+			src: rxV4, dst: rxV4, dsav: true, os: oskernel.FreeBSD12,
+			wantDrop: netsim.DropDSAV},
+		{name: "dst-as-src from inside the AS bypasses DSAV",
+			src: rxV4, dst: rxV4, sameAS: true, dsav: true,
+			os: oskernel.FreeBSD12, wantSeen: true},
+
+		// Loopback sources: bogons to a filtering border, a kernel
+		// question otherwise — only Windows Server 2003 delivers the
+		// IPv4 variant, only pre-4.15-ish Linux the IPv6 one.
+		{name: "loopback v4 dropped by bogon filter",
+			src: addr("127.0.0.1"), dst: rxV4, filterBogons: true,
+			os: oskernel.WindowsLegacy, wantDrop: netsim.DropBogonSource},
+		{name: "loopback v4 delivered by legacy windows",
+			src: addr("127.0.0.1"), dst: rxV4, os: oskernel.WindowsLegacy,
+			wantSeen: true},
+		{name: "loopback v4 dropped by modern linux kernel",
+			src: addr("127.0.0.1"), dst: rxV4, os: oskernel.UbuntuModern,
+			wantDrop: netsim.DropKernelSpoof},
+		{name: "loopback v6 delivered by legacy linux",
+			src: addr("::1"), dst: rxV6, os: oskernel.UbuntuLegacy,
+			wantSeen: true},
+		{name: "loopback v6 dropped by modern linux kernel",
+			src: addr("::1"), dst: rxV6, os: oskernel.UbuntuModern,
+			wantDrop: netsim.DropKernelSpoof},
+
+		// IPv4-mapped IPv6 sources (::ffff:0:0/96): special-purpose
+		// space, so filtering borders treat them as bogons; without
+		// filtering they sail through — the kernel spoof check only
+		// cares about dst-as-src and loopback.
+		{name: "mapped-v4 source dropped by bogon filter",
+			src: addr("::ffff:30.2.0.10"), dst: rxV6, filterBogons: true,
+			os: oskernel.UbuntuModern, wantDrop: netsim.DropBogonSource},
+		{name: "mapped-v4 source delivered without filtering",
+			src: addr("::ffff:30.2.0.10"), dst: rxV6,
+			os: oskernel.UbuntuModern, wantSeen: true},
+		// A mapped loopback is still loopback to the kernel, and it
+		// arrived over v6, so the v6 acceptance knob governs.
+		{name: "mapped loopback dropped by modern linux kernel",
+			src: addr("::ffff:127.0.0.1"), dst: rxV6,
+			os: oskernel.UbuntuModern, wantDrop: netsim.DropKernelSpoof},
+		{name: "mapped loopback delivered by legacy linux",
+			src: addr("::ffff:127.0.0.1"), dst: rxV6,
+			os: oskernel.UbuntuLegacy, wantSeen: true},
+	}
+
+	for i, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := buildEdge(t, c.filterBogons, c.dsav, c.os)
+			nonce := uint64(1000 + i)
+			raw, err := packet.BuildUDP(c.src, c.dst, probePort, probePort, 64, encodeNonce(nonce))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sender := w.outside
+			if c.sameAS {
+				sender = w.inside
+			}
+			sender.SendRaw(raw)
+			w.n.Run()
+
+			if got := w.rx.Saw(nonce); got != c.wantSeen {
+				t.Fatalf("probe seen = %v, want %v (drops: %v)", got, c.wantSeen, w.n.Drops())
+			}
+			if !c.wantSeen {
+				if got := w.n.Drops()[c.wantDrop]; got != 1 {
+					t.Fatalf("drops[%v] = %d, want 1 (all drops: %v)", c.wantDrop, got, w.n.Drops())
+				}
+			}
+		})
+	}
+}
+
+// TestMappedV4SourceCannotMixFamilies pins the raw-socket boundary: a
+// 4-in-6 source is an IPv6 address, so pairing it with an IPv4
+// destination is a malformed probe the builder refuses to serialize.
+func TestMappedV4SourceCannotMixFamilies(t *testing.T) {
+	_, err := packet.BuildUDP(addr("::ffff:30.2.0.10"), rxV4, probePort, probePort, 64, encodeNonce(1))
+	if err == nil {
+		t.Fatal("BuildUDP accepted a mapped-v4 source with a v4 destination")
+	}
+	if !strings.Contains(err.Error(), "families") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

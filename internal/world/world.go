@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/authserver"
+	"repro/internal/chaos"
 	"repro/internal/detrand"
 	"repro/internal/ditl"
 	"repro/internal/dnswire"
@@ -75,6 +76,11 @@ type Options struct {
 	AllDSAV bool
 	// NoDSAV forces DSAV off everywhere.
 	NoDSAV bool
+	// Invariants attaches an always-on invariant checker to the world:
+	// every delivered packet is re-checked against border policy and DNS
+	// transaction-ID conservation, and every resolver cache event against
+	// TTL and crash-flush safety. Read the result from World.Invariants.
+	Invariants bool
 }
 
 // World is the built simulation.
@@ -109,6 +115,9 @@ type World struct {
 	// Resolvers indexes built resolvers by address (ground truth for
 	// validation).
 	Resolvers map[netip.Addr]*resolver.Resolver
+	// Invariants is the world's invariant checker (nil unless
+	// Options.Invariants was set).
+	Invariants *Invariants
 
 	// AnalystDelay bounds the IDS human-analyst reaction time.
 	AnalystDelayMin, AnalystDelayMax time.Duration
@@ -160,6 +169,39 @@ func (w *World) ScheduleChurn(fraction float64, duration time.Duration, seed int
 		churned++
 	}
 	return churned
+}
+
+// ScheduleChaos installs inj as the world's transit fault layer and
+// schedules the resolver crashes its schedule selects: at the crash
+// time the resolver loses its cache and in-flight queries and its host
+// goes down for the injector's outage duration, then comes back up
+// (restart with a cold cache). Crash selection and timing are keyed on
+// each resolver's primary address, so the same resolvers crash at the
+// same virtual times at any shard count. Returns the number of crashes
+// scheduled in this world.
+func (w *World) ScheduleChaos(inj *chaos.Injector) int {
+	w.Net.SetFaultHook(inj.Transit)
+	outage := inj.Config().OutageDuration
+	crashes := 0
+	seen := make(map[*resolver.Resolver]bool)
+	for _, res := range w.Resolvers {
+		if seen[res] {
+			continue
+		}
+		seen[res] = true
+		at, ok := inj.CrashTime(res.Host.Addrs[0])
+		if !ok {
+			continue
+		}
+		r := res
+		w.Net.Q.At(at, func(now time.Duration) {
+			r.Crash(now)
+			r.Host.SetDown(true)
+		})
+		w.Net.Q.At(at+outage, func(time.Duration) { r.Host.SetDown(false) })
+		crashes++
+	}
+	return crashes
 }
 
 // BuildRegistry constructs the routing registry for the population:
@@ -232,6 +274,11 @@ func BuildWith(pop *ditl.Population, reg *routing.Registry, opts Options, asIndi
 		AnalystDelayMax: 30 * time.Minute,
 	}
 
+	if opts.Invariants {
+		w.Invariants = NewInvariants()
+		n.SetDeliveryHook(w.Invariants.OnDelivery)
+	}
+
 	if err := w.buildInfra(infraAS, opts); err != nil {
 		return nil, err
 	}
@@ -260,6 +307,15 @@ func BuildWith(pop *ditl.Population, reg *routing.Registry, opts Options, asIndi
 	}
 	w.wireIDS()
 	return w, nil
+}
+
+// cacheObs returns the cache observer every resolver in the world is
+// built with (nil when invariant checking is off).
+func (w *World) cacheObs() resolver.CacheObserver {
+	if w.Invariants == nil {
+		return nil
+	}
+	return w.Invariants
 }
 
 // addr4 and addr6 derive stable infrastructure addresses.
@@ -449,9 +505,10 @@ func (w *World) buildPublicDNS(as *routing.AS) error {
 		h.OS = oskernel.UbuntuModern
 		h.ScrubFingerprint = true
 		_, err = resolver.New(h, w.Roots, resolver.Config{
-			ACL:   resolver.ACL{Open: true},
-			Ports: resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(900+int64(i)))),
-			Seed:  900 + int64(i),
+			ACL:           resolver.ACL{Open: true},
+			Ports:         resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(900+int64(i)))),
+			Seed:          900 + int64(i),
+			CacheObserver: w.cacheObs(),
 		})
 		if err != nil {
 			return err
@@ -486,9 +543,10 @@ func (w *World) publicFor(i int, asn routing.ASN) ([]netip.Addr, error) {
 		seed := int64(detrand.Mix(w.seed, uint64(asn), uint64(j), saltPubSeed))
 		ports := int64(detrand.Mix(w.seed, uint64(asn), uint64(j), saltPubPorts))
 		_, err = resolver.New(h, w.Roots, resolver.Config{
-			ACL:   resolver.ACL{Open: true},
-			Ports: resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(ports))),
-			Seed:  seed,
+			ACL:           resolver.ACL{Open: true},
+			Ports:         resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(ports))),
+			Seed:          seed,
+			CacheObserver: w.cacheObs(),
 		})
 		if err != nil {
 			return nil, err
@@ -516,9 +574,10 @@ func (w *World) thirdFor(i int, asn routing.ASN) (netip.Addr, error) {
 	seed := int64(detrand.Mix(w.seed, uint64(asn), saltThirdSeed))
 	ports := int64(detrand.Mix(w.seed, uint64(asn), saltThirdPorts))
 	_, err = resolver.New(h, w.Roots, resolver.Config{
-		ACL:   resolver.ACL{Open: true},
-		Ports: resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(ports))),
-		Seed:  seed,
+		ACL:           resolver.ACL{Open: true},
+		Ports:         resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(ports))),
+		Seed:          seed,
+		CacheObserver: w.cacheObs(),
 	})
 	if err != nil {
 		return netip.Addr{}, err
@@ -623,6 +682,7 @@ func (w *World) buildTargetAS(i int, spec *ditl.ASSpec, as *routing.AS) error {
 			QnameMin:        rs.QnameMin,
 			QnameMinLenient: rs.QnameMin && !rs.QnameMinStrict,
 			Seed:            rs.Seed,
+			CacheObserver:   w.cacheObs(),
 		}
 		roots := w.Roots
 		if rs.Forward {
@@ -672,10 +732,11 @@ func (w *World) buildTargetAS(i int, spec *ditl.ASSpec, as *routing.AS) error {
 			h.OS = oskernel.UbuntuModern
 			h.ScrubFingerprint = true
 			mb, err := resolver.New(h, nil, resolver.Config{
-				ACL:     resolver.ACL{Open: true},
-				Ports:   resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(int64(i)+556))),
-				Forward: []netip.Addr{pub[0]},
-				Seed:    int64(i) + 557,
+				ACL:           resolver.ACL{Open: true},
+				Ports:         resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(int64(i)+556))),
+				Forward:       []netip.Addr{pub[0]},
+				Seed:          int64(i) + 557,
+				CacheObserver: w.cacheObs(),
 			})
 			if err != nil {
 				return err
