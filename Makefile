@@ -1,18 +1,33 @@
 GO ?= go
 FUZZTIME ?= 5s
+BIN ?= bin
 
-.PHONY: check build vet test race fuzz bench
+.PHONY: check build vet lint test race fuzz bench
 
-# Tier-1 verification: build + vet + full tests + race detector over
-# the parallel sharded engine + a short fuzz smoke over the wire
-# parsers.
-check: build vet test race fuzz
+# Tier-1 verification: build + vet + determinism lint + full tests +
+# race detector over the parallel sharded engine + a short fuzz smoke
+# over the wire parsers.
+check: build vet lint test race fuzz
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Determinism lint: the doorsvet analyzer suite (internal/lint) run as
+# a vet tool, so findings come through the same unit-at-a-time cached
+# pipeline as go vet. The -vettool path must be absolute — vet runs
+# the tool with the package directory as its working directory.
+lint: $(BIN)/doorsvet
+	$(GO) vet -vettool=$(abspath $(BIN)/doorsvet) ./...
+
+# Rebuild only when the suite's sources change, so a cached binary
+# (CI restores bin/doorsvet keyed on these files) is reused as-is.
+DOORSVET_SRCS := $(shell find cmd/doorsvet internal/lint -name '*.go' -not -path '*/testdata/*')
+
+$(BIN)/doorsvet: $(DOORSVET_SRCS)
+	$(GO) build -o $@ ./cmd/doorsvet
 
 test:
 	$(GO) test ./...

@@ -13,10 +13,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"repro/internal/attack"
+	"repro/internal/detrand"
 	"repro/internal/oskernel"
 	"repro/internal/resolver"
 )
@@ -59,11 +59,11 @@ func main() {
 		Victim0x20: true,
 	})
 	run("small pool (40 ports, §5.2.3)", attack.Config{
-		Ports:       resolver.NewUniform(oskernel.PortPool{Lo: 30000, Hi: 30040}, rand.New(rand.NewSource(*seed))),
+		Ports:       resolver.NewUniform(oskernel.PortPool{Lo: 30000, Hi: 30040}, detrand.Rand(uint64(*seed))),
 		PortGuessLo: 30000, PortGuessHi: 30040,
 	})
 	run("Linux default pool (28,232 ports)", attack.Config{
-		Ports:       resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(*seed))),
+		Ports:       resolver.NewUniform(oskernel.PoolLinux, detrand.Rand(uint64(*seed))),
 		PortGuessLo: oskernel.PoolLinux.Lo, PortGuessHi: oskernel.PoolLinux.Hi,
 	})
 

@@ -1,0 +1,44 @@
+// Command doorsvet runs the determinism lint suite (internal/lint):
+// detrandonly, saltbands, sortedemit and wallclock.
+//
+// It speaks the go vet vettool protocol, which is how `make lint`
+// invokes it:
+//
+//	go build -o bin/doorsvet ./cmd/doorsvet
+//	go vet -vettool=$(pwd)/bin/doorsvet ./...
+//
+// Given package patterns instead of a vet config file, it loads and
+// checks them standalone, which is convenient during development:
+//
+//	doorsvet ./...
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/loader"
+	"repro/internal/lint/unitchecker"
+)
+
+func main() {
+	// Package patterns (no flags, no *.cfg) select standalone mode;
+	// everything else follows the vettool protocol.
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") && !strings.HasSuffix(os.Args[1], ".cfg") {
+		diags, err := loader.Run(".", os.Args[1:], lint.Suite())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doorsvet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Position, d.Message, d.Analyzer)
+		}
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	unitchecker.Main(lint.Suite()...)
+}

@@ -23,7 +23,7 @@ func ExampleRunSurvey() {
 	fmt.Printf("v4 reachable: %d\n", r.V4.ReachableAddrs)
 	fmt.Printf("ASes flagged: %d of %d\n", r.V4.ReachableASes, r.V4.ASes)
 	// Output:
-	// v4 targets: 1980
-	// v4 reachable: 66
-	// ASes flagged: 19 of 40
+	// v4 targets: 1712
+	// v4 reachable: 55
+	// ASes flagged: 17 of 40
 }

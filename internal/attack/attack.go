@@ -21,11 +21,23 @@ import (
 	"time"
 
 	"repro/internal/authserver"
+	"repro/internal/detrand"
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
 	"repro/internal/oskernel"
 	"repro/internal/resolver"
 	"repro/internal/routing"
+)
+
+// Salt constants for the attack package's detrand domains (band 81+;
+// the saltbands analyzer in internal/lint registers every `salt* = N +
+// iota` block and rejects overlaps between packages).
+const (
+	// saltAttackRace keys the attacker's per-run draw stream (trigger
+	// txn IDs, forgery port/ID guesses).
+	saltAttackRace = 81 + iota
+	// saltAllocStartup keys the victim allocator RNG built by newRand.
+	saltAllocStartup
 )
 
 // Config parameterizes an attack run.
@@ -162,7 +174,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	rng := detrand.Rand(uint64(cfg.Seed), saltAttackRace)
 	res := &Result{}
 
 	for race := 1; race <= cfg.Races && !res.Poisoned; race++ {

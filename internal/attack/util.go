@@ -4,6 +4,7 @@ import (
 	mrand "math/rand"
 	"net/netip"
 
+	"repro/internal/detrand"
 	"repro/internal/packet"
 )
 
@@ -13,4 +14,4 @@ func rawUDP(src, dst netip.Addr, sport, dport uint16, payload []byte) ([]byte, e
 }
 
 // newRand builds a seeded RNG for allocator construction in tests.
-func newRand(seed int64) *mrand.Rand { return mrand.New(mrand.NewSource(seed)) }
+func newRand(seed int64) *mrand.Rand { return detrand.Rand(uint64(seed), saltAllocStartup) }

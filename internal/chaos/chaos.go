@@ -31,8 +31,9 @@ import (
 	"repro/internal/routing"
 )
 
-// Domain-separation salts (band 41+; netsim uses 1+, scanner 11+,
-// world 21+).
+// Domain-separation salts (band 41+; the saltbands analyzer in
+// internal/lint registers every `salt* = N + iota` block and rejects
+// overlaps between packages).
 const (
 	saltFlapSel = 41 + iota
 	saltFlapAt

@@ -1,9 +1,9 @@
 package ditl
 
 import (
-	"math/rand"
 	"net/netip"
 
+	"repro/internal/detrand"
 	"repro/internal/oskernel"
 )
 
@@ -20,7 +20,7 @@ type PassiveSample struct {
 // fixed-port in 2018 show a single port; resolvers that regressed show
 // randomized ports; absent resolvers have no entry.
 func Passive2018(pop *Population, seed int64) map[netip.Addr]PassiveSample {
-	rng := rand.New(rand.NewSource(seed))
+	rng := detrand.Rand(uint64(seed), saltPassive)
 	out := make(map[netip.Addr]PassiveSample)
 	for _, as := range pop.ASes {
 		for _, r := range as.Resolvers {

@@ -4,9 +4,23 @@ import (
 	"math/rand"
 	"net/netip"
 
+	"repro/internal/detrand"
 	"repro/internal/oskernel"
 	"repro/internal/resolver"
 	"repro/internal/routing"
+)
+
+// Salt constants for the ditl package's detrand domains (band 71+; the
+// saltbands analyzer in internal/lint registers every `salt* = N +
+// iota` block and rejects overlaps between packages).
+const (
+	// saltPopulation keys the population generator's draw stream.
+	saltPopulation = 71 + iota
+	// saltAllocator keys each resolver's port-allocator stream on its
+	// per-resolver seed.
+	saltAllocator
+	// saltPassive keys the synthesized 2018 DITL passive view.
+	saltPassive
 )
 
 // ACLScope classifies a resolver's client ACL (§5.1): the scope
@@ -227,7 +241,7 @@ func carvePrefixes(block netip.Prefix, rng *rand.Rand) []netip.Prefix {
 // Generate builds a population.
 func Generate(p Params) *Population {
 	p = p.withDefaults()
-	rng := rand.New(rand.NewSource(p.Seed))
+	rng := detrand.Rand(uint64(p.Seed), saltPopulation)
 	pop := &Population{Params: p}
 	resolverIdx := 0
 	for i := 0; i < p.ASes; i++ {
@@ -583,7 +597,7 @@ func genDirect(rng *rand.Rand, spec *ResolverSpec, country countryProfile) {
 
 // Allocator builds the resolver's port allocator from its spec.
 func (r *ResolverSpec) Allocator() resolver.PortAllocator {
-	rng := rand.New(rand.NewSource(r.Seed))
+	rng := detrand.Rand(uint64(r.Seed), saltAllocator)
 	if r.FixedPortOverride != 0 {
 		return &resolver.FixedPort{Port: r.FixedPortOverride}
 	}

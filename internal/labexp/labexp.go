@@ -16,18 +16,26 @@ package labexp
 
 import (
 	"fmt"
-	"math/rand"
 	"net/netip"
 	"sort"
 	"time"
 
 	"repro/internal/authserver"
+	"repro/internal/detrand"
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
 	"repro/internal/oskernel"
 	"repro/internal/resolver"
 	"repro/internal/routing"
 	"repro/internal/stats"
+)
+
+// Salt constants for the labexp package's detrand domains (band 91+;
+// the saltbands analyzer in internal/lint registers every `salt* = N +
+// iota` block and rejects overlaps between packages).
+const (
+	// saltLabPorts keys the lab resolver's port-allocator stream.
+	saltLabPorts = 91 + iota
 )
 
 // PortPoolResult is one Table 5 row plus the raw observations.
@@ -91,7 +99,7 @@ func buildLab(sw resolver.Software, osProf *oskernel.Profile, seed int64) (*labW
 		return nil, err
 	}
 	resHost.OS = osProf
-	rng := rand.New(rand.NewSource(seed + 1))
+	rng := detrand.Rand(uint64(seed), saltLabPorts)
 	res, err := resolver.New(resHost, []netip.Addr{rootAddr}, resolver.Config{
 		ACL:   resolver.ACL{Open: true},
 		Ports: resolver.NewAllocator(sw, osProf, rng),

@@ -1,0 +1,96 @@
+// Package analysis is a minimal, dependency-free subset of
+// golang.org/x/tools/go/analysis: just enough surface for the doorsvet
+// suite to define modular per-package checks and for the drivers in
+// internal/lint/unitchecker (go vet -vettool protocol) and
+// internal/lint/loader (standalone package patterns) to run them.
+//
+// The container this repo builds in has no module proxy access, so the
+// real x/tools module cannot be fetched; the types here mirror its API
+// shape (Analyzer, Pass, Diagnostic) so that a future PR can swap the
+// import paths for golang.org/x/tools/go/analysis without touching the
+// analyzers themselves.
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis function and its options.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation; the first line is used as a
+	// summary.
+	Doc string
+
+	// Flags defines any flags accepted by the analyzer.
+	Flags flag.FlagSet
+
+	// Run applies the analyzer to a package.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides information to an Analyzer's Run function about the
+// single package under analysis, and exposes the Report function for
+// emitting diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Module is the path of the module containing this package, and
+	// Dir the package directory ("" when unknown).
+	Module string
+	Dir    string
+
+	// Report emits a diagnostic about a problem in the package.
+	Report func(Diagnostic)
+}
+
+// Reportf formats a diagnostic message and reports it at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+func (p *Pass) String() string {
+	return fmt.Sprintf("%s@%s", p.Analyzer.Name, p.Pkg.Path())
+}
+
+// A Diagnostic is a message associated with a source location.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Validate reports an error if any analyzer is misconfigured (nil Run,
+// empty or duplicate names).
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		if a == nil {
+			return fmt.Errorf("nil *Analyzer")
+		}
+		if a.Name == "" {
+			return fmt.Errorf("analyzer has no name")
+		}
+		if a.Run == nil {
+			return fmt.Errorf("analyzer %q has nil Run", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}

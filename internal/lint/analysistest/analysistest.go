@@ -1,0 +1,187 @@
+// Package analysistest runs a doorsvet analyzer over golden fixture
+// packages and checks its diagnostics against expectations written in
+// the fixture source, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	rand.New(rand.NewSource(1)) // want `sequential math/rand stream`
+//
+// Fixtures live in a GOPATH-style tree <root>/src/<importpath>/*.go so
+// that fixture packages can import stub dependencies (for example a
+// fake repro/internal/detrand) placed in the same tree. Standard
+// library imports are type-checked from $GOROOT source, so the harness
+// needs no network and no pre-built export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// Run applies a to each fixture package under root/src and reports
+// unexpected or missing diagnostics through t.
+func Run(t *testing.T, root string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := &fixtureLoader{
+		src:    filepath.Join(absRoot, "src"),
+		fset:   token.NewFileSet(),
+		loaded: make(map[string]*fixturePkg),
+	}
+	ld.source = importer.ForCompiler(ld.fset, "source", nil)
+
+	for _, pkgPath := range pkgs {
+		fp, err := ld.load(pkgPath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		}
+
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      ld.fset,
+			Files:     fp.files,
+			Pkg:       fp.pkg,
+			TypesInfo: fp.info,
+			Dir:       filepath.Join(ld.src, filepath.FromSlash(pkgPath)),
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pkgPath, err)
+		}
+		check(t, ld.fset, fp.files, diags, a.Name, pkgPath)
+	}
+}
+
+type fixturePkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// fixtureLoader type-checks fixture packages, resolving imports first
+// against the fixture tree and then against $GOROOT source.
+type fixtureLoader struct {
+	src    string
+	fset   *token.FileSet
+	source types.Importer
+	loaded map[string]*fixturePkg
+}
+
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if fp, err := l.load(path); err == nil {
+		return fp.pkg, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return l.source.Import(path)
+}
+
+func (l *fixtureLoader) load(path string) (*fixturePkg, error) {
+	if fp, ok := l.loaded[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no Go files in %s", path, dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{Importer: l}
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{pkg: pkg, files: files, info: info}
+	l.loaded[path] = fp
+	return fp, nil
+}
+
+// expectation is one `// want ...` comment in a fixture file.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("// want (?:`([^`]*)`|\"([^\"]*)\")")
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic, analyzer, pkgPath string) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", fset.Position(c.Pos()), pat, err)
+					}
+					pos := fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: %s/%s: unexpected diagnostic: %s", pos, analyzer, pkgPath, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: %s/%s: no diagnostic matching %q", w.file, w.line, analyzer, pkgPath, w.re)
+		}
+	}
+}

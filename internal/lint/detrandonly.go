@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// DetrandOnly flags randomness drawn from math/rand (and math/rand/v2)
+// instead of derived from causal identity via internal/detrand.
+//
+// The sharded survey engine merges into a bit-identical report only
+// because every draw is keyed on *what* is being decided, never on the
+// global order in which draws happen. Constructing a raw sequential
+// stream (rand.New, rand.NewSource, rand.Seed) or consuming the global
+// source (rand.Intn, rand.Float64, ...) reintroduces order dependence.
+//
+// Referring to math/rand *types* (a *rand.Rand parameter or field, and
+// method calls on such values) stays legal: generators must merely
+// originate from detrand.Rand, which hands ordinary *rand.Rand values
+// to code that needs a stream per causal domain. internal/detrand
+// itself is the one package allowed to touch the generator directly.
+var DetrandOnly = &analysis.Analyzer{
+	Name: "detrandonly",
+	Doc:  "flag math/rand streams not derived from detrand causal identity",
+	Run:  runDetrandOnly,
+}
+
+func runDetrandOnly(pass *analysis.Pass) (interface{}, error) {
+	if pathHasSuffix(pass.Pkg.Path(), "internal/detrand") {
+		return nil, nil // the one package allowed to build generators
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		allow := allowsFor(pass, f, "seqrand")
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(pass, sel.X)
+			if pn == nil {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Type references (rand.Rand, rand.Source) are the allowed
+			// way to pass detrand-originated generators around.
+			if _, isType := pass.TypesInfo.Uses[sel.Sel].(*types.TypeName); isType {
+				return true
+			}
+			if allow.at(pass, sel.Pos()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"rand.%s: sequential %s stream; derive generators from detrand.Rand keyed on causal identity (or annotate //lint:allow seqrand -- <why>)",
+				sel.Sel.Name, path)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,112 @@
+// Package lint is the doorsvet analyzer suite: four checks that turn
+// the repository's determinism discipline — the conventions that make
+// the sharded survey engine merge into a bit-identical analysis.Report
+// at any shard count — from reviewer lore into compiler-checked rules.
+//
+//   - detrandonly: randomness must be derived from causal identity via
+//     internal/detrand, never drawn from raw math/rand streams.
+//   - saltbands: detrand domain-separation salts must come from
+//     registered, non-overlapping per-package const bands.
+//   - sortedemit: merge/emit paths must not iterate maps without
+//     sorting what they collect.
+//   - wallclock: event-driven packages must take time from the event
+//     queue, not the wall clock.
+//
+// Every check honors a line-scoped escape hatch:
+//
+//	//lint:allow <check> -- <reason>
+//
+// placed on (or immediately above) the offending line. The reason is
+// mandatory; an allow pragma without one is itself a finding. Files
+// ending in _test.go are exempt from all checks.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Suite returns the full doorsvet analyzer suite.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		DetrandOnly,
+		SaltBands,
+		SortedEmit,
+		WallClock,
+	}
+}
+
+var pragmaRE = regexp.MustCompile(`^//lint:allow\s+([a-z]+)\s*(?:--\s*(.*))?$`)
+
+// allowed records which source lines carry a //lint:allow pragma for
+// one check, within one file.
+type allowed struct {
+	lines map[int]bool
+}
+
+// allowsFor scans f's comments for pragmas naming check. A pragma
+// covers its own line and the next one, so it works both trailing the
+// offending statement and on a line of its own above it. Pragmas
+// without a reason string are reported immediately.
+func allowsFor(pass *analysis.Pass, f *ast.File, check string) allowed {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := pragmaRE.FindStringSubmatch(c.Text)
+			if m == nil || m[1] != check {
+				continue
+			}
+			if strings.TrimSpace(m[2]) == "" {
+				pass.Reportf(c.Pos(), "lint:allow %s pragma requires a reason: //lint:allow %s -- <why>", check, check)
+				continue
+			}
+			line := pass.Fset.Position(c.Pos()).Line
+			lines[line] = true
+			lines[line+1] = true
+		}
+	}
+	return allowed{lines: lines}
+}
+
+func (a allowed) at(pass *analysis.Pass, pos token.Pos) bool {
+	return a.lines[pass.Fset.Position(pos).Line]
+}
+
+// isTestFile reports whether the file is a _test.go file.
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	name := pass.Fset.Position(f.Pos()).Filename
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// pkgNameOf resolves expr to the *types.PkgName it names, or nil.
+func pkgNameOf(pass *analysis.Pass, expr ast.Expr) *types.PkgName {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return pn
+}
+
+// importsPathSuffix reports whether expr names an imported package
+// whose path is path or ends in "/"+path (so fixture stubs like
+// "repro/internal/detrand" match the real package).
+func importsPathSuffix(pass *analysis.Pass, expr ast.Expr, path string) bool {
+	pn := pkgNameOf(pass, expr)
+	if pn == nil {
+		return false
+	}
+	got := pn.Imported().Path()
+	return got == path || strings.HasSuffix(got, "/"+path)
+}
+
+// pathHasSuffix reports whether pkg path is suffix or ends in
+// "/"+suffix.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestDetrandOnly(t *testing.T) {
+	analysistest.Run(t, "testdata/detrandonly", lint.DetrandOnly, "a")
+}
+
+func TestSaltBands(t *testing.T) {
+	analysistest.Run(t, "testdata/saltbands", lint.SaltBands, "b", "collide/p1", "collide/p2")
+}
+
+func TestSortedEmit(t *testing.T) {
+	analysistest.Run(t, "testdata/sortedemit", lint.SortedEmit, "report", "other")
+}
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, "testdata/wallclock", lint.WallClock, "w", "clean")
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// SortedEmit guards the merge/emit paths that turn survey state into
+// the canonical analysis.Report: iterating a Go map yields a different
+// order every run, so anything collected or written during a map
+// iteration must be sorted before it can reach report output.
+//
+// Within the report-construction packages (internal/analysis,
+// internal/report and the shard-merge code in the root package), the
+// analyzer flags `for ... := range m` over a map when the loop body
+//
+//   - appends to a slice that is not subsequently passed to a sorting
+//     or order-insensitive canonicalizer (sort.*, slices.Sort*, any
+//     function or method whose name starts with Sort/sort, or
+//     stats.Median) later in the same function, or
+//   - emits directly (fmt.Fprint*/Print*, or Write*/Encode methods).
+//
+// Order-independent bodies — counter increments, map writes, set
+// membership — are not flagged. The escape hatch is
+// //lint:allow maporder -- <why>.
+var SortedEmit = &analysis.Analyzer{
+	Name: "sortedemit",
+	Doc:  "flag unsorted map iteration on report merge/emit paths",
+	Run:  runSortedEmit,
+}
+
+// sortedEmitScope lists the package names whose map iterations feed
+// canonical output: the analysis and report builders plus the root
+// doors package (shard merge).
+var sortedEmitScope = map[string]bool{
+	"analysis": true,
+	"report":   true,
+	"doors":    true,
+}
+
+func runSortedEmit(pass *analysis.Pass) (interface{}, error) {
+	if !sortedEmitScope[pass.Pkg.Name()] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		allow := allowsFor(pass, f, "maporder")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncMapRanges(pass, fd.Body, allow)
+		}
+	}
+	return nil, nil
+}
+
+func checkFuncMapRanges(pass *analysis.Pass, body *ast.BlockStmt, allow allowed) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := pass.TypesInfo.Types[rs.X].Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if allow.at(pass, rs.Pos()) {
+			return true
+		}
+		checkMapRange(pass, body, rs)
+		return true
+	})
+}
+
+func checkMapRange(pass *analysis.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	mapExpr := types.ExprString(rs.X)
+
+	// Anything appended during the iteration arrives in map order.
+	type appendSite struct {
+		target string
+		pos    token.Pos
+	}
+	var appends []appendSite
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+					appends = append(appends, appendSite{target: types.ExprString(n.Lhs[0]), pos: n.Pos()})
+				}
+			}
+		case *ast.CallExpr:
+			if isEmitCall(pass, n) {
+				pass.Reportf(n.Pos(),
+					"emit inside iteration over map %s runs in nondeterministic order; collect keys, sort, then emit", mapExpr)
+			}
+		}
+		return true
+	})
+
+	for _, app := range appends {
+		if !sortedAfter(pass, funcBody, rs.End(), app.target) {
+			pass.Reportf(app.pos,
+				"append to %s inside iteration over map %s collects in nondeterministic order; sort it (sort.*, slices.Sort*, Sort*) before emitting", app.target, mapExpr)
+		}
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isEmitCall recognizes direct output during iteration: fmt printers
+// and Write*/Encode style methods.
+func isEmitCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if pn := pkgNameOf(pass, sel.X); pn != nil {
+		return pn.Imported().Path() == "fmt" &&
+			(strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print"))
+	}
+	switch {
+	case name == "Write", strings.HasPrefix(name, "Write"), name == "Encode":
+		// A method on some writer/encoder value.
+		if _, isMethod := pass.TypesInfo.Selections[sel]; isMethod {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether target is passed to a sorting or
+// order-insensitive canonicalizer call located after pos within the
+// function body.
+func sortedAfter(pass *analysis.Pass, funcBody *ast.BlockStmt, pos token.Pos, target string) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos || !isCanonicalizer(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if argMentions(arg, target) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isCanonicalizer matches sort.*, slices.Sort*, any Sort*/sort*
+// function or method, and stats.Median (order-insensitive reduction).
+func isCanonicalizer(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return hasSortName(fun.Name)
+	case *ast.SelectorExpr:
+		if pn := pkgNameOf(pass, fun.X); pn != nil {
+			switch pn.Imported().Path() {
+			case "sort", "slices":
+				return true
+			}
+			if pn.Imported().Name() == "stats" && fun.Sel.Name == "Median" {
+				return true
+			}
+		}
+		return hasSortName(fun.Sel.Name)
+	}
+	return false
+}
+
+func hasSortName(name string) bool {
+	return strings.HasPrefix(name, "Sort") || strings.HasPrefix(name, "sort")
+}
+
+// argMentions reports whether the expression (or a subexpression)
+// renders identically to target — `sortAddrs(r.OpenAddrs)` mentions
+// `r.OpenAddrs`.
+func argMentions(arg ast.Expr, target string) bool {
+	if types.ExprString(arg) == target {
+		return true
+	}
+	found := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && types.ExprString(e) == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

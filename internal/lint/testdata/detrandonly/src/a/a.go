@@ -1,0 +1,35 @@
+// Package a exercises the detrandonly analyzer: raw math/rand streams
+// are flagged, type references and detrand-derived generators are not.
+package a
+
+import (
+	"math/rand"
+
+	"repro/internal/detrand"
+)
+
+func bad() int {
+	src := rand.NewSource(1) // want `rand\.NewSource: sequential math/rand stream`
+	r := rand.New(src)       // want `rand\.New: sequential math/rand stream`
+	return r.Intn(10)
+}
+
+func global() int {
+	return rand.Intn(10) // want `rand\.Intn: sequential math/rand stream`
+}
+
+// consume only refers to the rand.Rand type and calls methods on a
+// value handed in; both stay legal.
+func consume(r *rand.Rand) int { return r.Intn(6) }
+
+// derive is the sanctioned construction: the generator originates from
+// detrand, keyed on causal identity.
+func derive(seed uint64, salt uint64) *rand.Rand { return detrand.Rand(seed, salt) }
+
+func allowedLegacy() int {
+	//lint:allow seqrand -- reproducing a legacy capture byte-for-byte
+	return rand.Intn(10)
+}
+
+/* // want `lint:allow seqrand pragma requires a reason` */ //lint:allow seqrand
+var _ = consume

@@ -1,0 +1,24 @@
+// Package detrand is a fixture stub of repro/internal/detrand: same
+// signatures, trivial bodies. The detrandonly analyzer matches imports
+// by path suffix, so this stands in for the real package.
+package detrand
+
+import "math/rand"
+
+func Mix(vals ...uint64) uint64 {
+	var x uint64
+	for _, v := range vals {
+		x += v
+	}
+	return x
+}
+
+func HashBytes(seed uint64, b []byte) uint64 { return seed + uint64(len(b)) }
+
+func Float64(vals ...uint64) float64 { return float64(Mix(vals...)) }
+
+func Intn(n int, vals ...uint64) int { return int(Mix(vals...)) % n }
+
+func Rand(vals ...uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(Mix(vals...))))
+}

@@ -1,0 +1,38 @@
+// Package b exercises the saltbands analyzer's call-site checks:
+// registered salts pass, unregistered salt constants and bare numeric
+// salts are flagged.
+package b
+
+import "repro/internal/detrand"
+
+// Registered band [11,14).
+const (
+	saltAlpha = 11 + iota
+	saltBeta
+	saltGamma
+)
+
+// saltRogue is declared outside any `salt* = N + iota` block, so the
+// registry never sees it.
+const saltRogue = 7
+
+func ok(seed uint64) uint64 { return detrand.Mix(seed, saltAlpha) }
+
+func okRand(seed uint64) { _ = detrand.Rand(seed, saltBeta) }
+
+// The first Intn argument is the modulus, not a key, and is exempt
+// from the bare-literal check.
+func okIntn(seed uint64) int { return detrand.Intn(10, seed, saltGamma) }
+
+func rogue(seed uint64) uint64 {
+	return detrand.Mix(seed, saltRogue) // want `salt constant saltRogue = 7 is outside every registered salt band`
+}
+
+func bare(seed uint64) uint64 {
+	return detrand.Mix(seed, 99) // want `bare numeric salt passed to detrand\.Mix`
+}
+
+func allowedBare(seed uint64) float64 {
+	//lint:allow saltband -- scratch stream for a throwaway experiment
+	return detrand.Float64(seed, 99)
+}

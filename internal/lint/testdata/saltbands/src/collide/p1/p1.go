@@ -1,0 +1,11 @@
+// Package p1 claims salt band [100,103), which collides with p2's
+// [101,103): both packages report the overlap at their declaration.
+package p1
+
+const ( // want `salt band saltP1 \[100,103\) overlaps band saltP2 \[101,103\)`
+	saltP1 = 100 + iota
+	saltP1b
+	saltP1c
+)
+
+var _ = saltP1 + saltP1b + saltP1c

@@ -1,0 +1,9 @@
+// Package p2 claims salt band [101,103), colliding with p1.
+package p2
+
+const ( // want `salt band saltP2 \[101,103\) overlaps band saltP1 \[100,103\)`
+	saltP2 = 101 + iota
+	saltP2b
+)
+
+var _ = saltP2 + saltP2b

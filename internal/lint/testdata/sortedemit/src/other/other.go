@@ -1,0 +1,11 @@
+// Package other is outside the sortedemit scope (not analysis, report
+// or doors): identical code draws no diagnostics.
+package other
+
+func Unsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

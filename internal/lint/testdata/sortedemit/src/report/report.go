@@ -1,0 +1,51 @@
+// Package report exercises the sortedemit analyzer: the package name
+// puts it in scope, so unsorted collection or direct emission during
+// map iteration is flagged.
+package report
+
+import (
+	"fmt"
+	"sort"
+)
+
+func Unsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside iteration over map m collects in nondeterministic order`
+	}
+	return out
+}
+
+func Sorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func EmitDuring(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `emit inside iteration over map m runs in nondeterministic order`
+	}
+}
+
+// Counter bodies — increments, set membership — are order-independent
+// and stay clean.
+func Counter(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func Allowed(m map[string]int) []string {
+	var out []string
+	//lint:allow maporder -- feeds an order-insensitive set union
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

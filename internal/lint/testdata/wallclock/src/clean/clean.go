@@ -1,0 +1,7 @@
+// Package clean neither is nor imports an event-driven package, so
+// wall-clock reads are out of the wallclock analyzer's scope.
+package clean
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

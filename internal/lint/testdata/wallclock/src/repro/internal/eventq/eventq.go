@@ -1,0 +1,6 @@
+// Package eventq is a fixture stub of repro/internal/eventq: importing
+// it puts a package in the wallclock analyzer's event-driven scope.
+package eventq
+
+// Queue stands in for the real event queue.
+type Queue struct{}

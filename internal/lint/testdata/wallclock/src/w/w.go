@@ -1,0 +1,32 @@
+// Package w imports the event queue, so it is event-driven and the
+// wallclock analyzer bans host-clock reads inside it.
+package w
+
+import (
+	"time"
+
+	"repro/internal/eventq"
+)
+
+var _ eventq.Queue
+
+func bad() time.Time {
+	return time.Now() // want `wall-clock read time\.Now in event-driven package w`
+}
+
+func sleepy() {
+	time.Sleep(time.Second) // want `wall-clock read time\.Sleep in event-driven package w`
+}
+
+func timer() {
+	<-time.After(time.Second) // want `wall-clock read time\.After in event-driven package w`
+}
+
+// Duration values and arithmetic are sim time and stay legal.
+func horizon() time.Duration { return 3 * time.Second }
+
+func allowed() {
+	//lint:allow wallclock -- wall time only decorates the debug log
+	t := time.Now()
+	_ = t
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// WallClock bans wall-clock reads in event-driven packages. Simulation
+// time is the event queue's cursor (eventq.Queue.Now); reading the
+// host clock ties behaviour to real scheduling and breaks both
+// replayability and the bit-identical shard merge.
+//
+// A package is event-driven when it is, or directly imports,
+// internal/eventq or internal/netsim. Within those packages the
+// analyzer flags time.Now, time.Since, time.Until, time.Sleep and the
+// timer constructors (time.After, time.Tick, time.NewTimer,
+// time.NewTicker). time.Duration values and arithmetic remain free —
+// sim time is expressed in time.Duration throughout. The escape hatch
+// is //lint:allow wallclock -- <why>.
+var WallClock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "ban wall-clock reads in event-driven packages",
+	Run:  runWallClock,
+}
+
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runWallClock(pass *analysis.Pass) (interface{}, error) {
+	if !eventDriven(pass) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		allow := allowsFor(pass, f, "wallclock")
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(pass, sel.X)
+			if pn == nil || pn.Imported().Path() != "time" || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			if allow.at(pass, sel.Pos()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"wall-clock read time.%s in event-driven package %s; sim time must come from the event queue",
+				sel.Sel.Name, pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// eventDriven reports whether the package is in wallclock scope: it is
+// (or directly imports) the event queue or the network simulator.
+func eventDriven(pass *analysis.Pass) bool {
+	path := pass.Pkg.Path()
+	if pathHasSuffix(path, "internal/eventq") || pathHasSuffix(path, "internal/netsim") {
+		return true
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		p := imp.Path()
+		if pathHasSuffix(p, "internal/eventq") || pathHasSuffix(p, "internal/netsim") {
+			return true
+		}
+	}
+	return false
+}

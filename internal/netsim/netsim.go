@@ -33,7 +33,9 @@ import (
 	"repro/internal/routing"
 )
 
-// Domain-separation salts for hash-derived randomness.
+// Domain-separation salts for hash-derived randomness (band 1+; the
+// saltbands analyzer in internal/lint registers every `salt* = N +
+// iota` block and rejects overlaps between packages).
 const (
 	saltJitter = 1 + iota
 	saltLoss

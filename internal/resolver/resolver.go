@@ -8,8 +8,18 @@ import (
 	"net/netip"
 	"time"
 
+	"repro/internal/detrand"
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
+)
+
+// Salt constants for the resolver's detrand domains (band 61+; the
+// saltbands analyzer in internal/lint registers every `salt* = N +
+// iota` block and rejects overlaps between packages).
+const (
+	// saltStream keys the resolver's per-instance draw stream (txn
+	// IDs, 0x20 case bits, server selection) on its configured seed.
+	saltStream = 61 + iota
 )
 
 // ACL is a resolver's client access policy. The paper's "closed"
@@ -157,7 +167,7 @@ func New(host *netsim.Host, roots []netip.Addr, cfg Config) (*Resolver, error) {
 	}
 	r := &Resolver{
 		Host: host, Roots: roots, cfg: cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     detrand.Rand(uint64(cfg.Seed), saltStream),
 		cache:   newCache(host.Network().Now),
 		pending: make(map[pendKey]*outstanding),
 		portRef: make(map[uint16]int),

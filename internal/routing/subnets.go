@@ -2,9 +2,17 @@ package routing
 
 import (
 	"encoding/binary"
-	"math/rand"
 	"net/netip"
 )
+
+// Rng is the draw interface RandomHostAddr consumes. Callers pass a
+// generator derived from the causal identity of the choice (in this
+// codebase, detrand.Rand keyed on seed and ASN) rather than a shared
+// sequential stream, so host selection is independent of call order.
+type Rng interface {
+	Intn(n int) int
+	Int63n(n int64) int64
+}
 
 // SubnetBits are the subdivision sizes the paper uses when generating
 // spoofed sources: /24 for IPv4 and /64 for IPv6 (§3.2).
@@ -88,7 +96,7 @@ func AddrAt(subnet netip.Prefix, offset uint64) netip.Addr {
 // and last addresses are excluded (reserved network/broadcast); in an
 // IPv6 /64 selection is limited to offsets 2..99 (the first two are often
 // router addresses).
-func RandomHostAddr(subnet netip.Prefix, rng *rand.Rand) netip.Addr {
+func RandomHostAddr(subnet netip.Prefix, rng Rng) netip.Addr {
 	if subnet.Addr().Is4() {
 		hostBits := 32 - subnet.Bits()
 		size := uint64(1) << hostBits

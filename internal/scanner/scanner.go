@@ -16,10 +16,11 @@ import (
 	"repro/internal/routing"
 )
 
-// Domain-separation salts for hash-derived randomness. Every draw the
-// scanner makes is keyed on the target (and probe identity), never on a
-// shared sequential stream, so a target's probe set is identical no
-// matter which survey shard it lands in.
+// Domain-separation salts for hash-derived randomness (band 11+,
+// registered by the saltbands analyzer in internal/lint). Every draw
+// the scanner makes is keyed on the target (and probe identity), never
+// on a shared sequential stream, so a target's probe set is identical
+// no matter which survey shard it lands in.
 const (
 	saltSources = 11 + iota
 	saltPhase

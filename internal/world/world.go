@@ -10,7 +10,6 @@ package world
 
 import (
 	"fmt"
-	"math/rand"
 	"net/netip"
 	"strings"
 	"time"
@@ -27,7 +26,10 @@ import (
 	"repro/internal/routing"
 )
 
-// Domain-separation salts for hash-derived randomness.
+// Domain-separation salts for hash-derived randomness (band 21+; the
+// saltbands analyzer in internal/lint registers every `salt* = N +
+// iota` block and rejects overlaps, so widening this band past the
+// chaos block at 41 is a compile-gated offence).
 const (
 	saltIDSSample = 21 + iota
 	saltIDSDelay
@@ -38,6 +40,13 @@ const (
 	saltPubPorts
 	saltThirdSeed
 	saltThirdPorts
+	saltGlobalPubSeed
+	saltGlobalPubPorts
+	saltACLSubnets
+	saltMboxAddr
+	saltMboxPorts
+	saltMboxSeed
+	saltAnalystAddr
 )
 
 // Infrastructure addressing, far from the ditl block allocator's range.
@@ -506,8 +515,8 @@ func (w *World) buildPublicDNS(as *routing.AS) error {
 		h.ScrubFingerprint = true
 		_, err = resolver.New(h, w.Roots, resolver.Config{
 			ACL:           resolver.ACL{Open: true},
-			Ports:         resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(900+int64(i)))),
-			Seed:          900 + int64(i),
+			Ports:         resolver.NewUniform(oskernel.PoolLinux, detrand.Rand(w.seed, uint64(i), saltGlobalPubPorts)),
+			Seed:          int64(detrand.Mix(w.seed, uint64(i), saltGlobalPubSeed)),
 			CacheObserver: w.cacheObs(),
 		})
 		if err != nil {
@@ -540,12 +549,10 @@ func (w *World) publicFor(i int, asn routing.ASN) ([]netip.Addr, error) {
 		}
 		h.OS = oskernel.UbuntuModern
 		h.ScrubFingerprint = true
-		seed := int64(detrand.Mix(w.seed, uint64(asn), uint64(j), saltPubSeed))
-		ports := int64(detrand.Mix(w.seed, uint64(asn), uint64(j), saltPubPorts))
 		_, err = resolver.New(h, w.Roots, resolver.Config{
 			ACL:           resolver.ACL{Open: true},
-			Ports:         resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(ports))),
-			Seed:          seed,
+			Ports:         resolver.NewUniform(oskernel.PoolLinux, detrand.Rand(w.seed, uint64(asn), uint64(j), saltPubPorts)),
+			Seed:          int64(detrand.Mix(w.seed, uint64(asn), uint64(j), saltPubSeed)),
 			CacheObserver: w.cacheObs(),
 		})
 		if err != nil {
@@ -571,12 +578,10 @@ func (w *World) thirdFor(i int, asn routing.ASN) (netip.Addr, error) {
 	}
 	h.OS = oskernel.UbuntuLegacy
 	h.ScrubFingerprint = true
-	seed := int64(detrand.Mix(w.seed, uint64(asn), saltThirdSeed))
-	ports := int64(detrand.Mix(w.seed, uint64(asn), saltThirdPorts))
 	_, err = resolver.New(h, w.Roots, resolver.Config{
 		ACL:           resolver.ACL{Open: true},
-		Ports:         resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(ports))),
-		Seed:          seed,
+		Ports:         resolver.NewUniform(oskernel.PoolLinux, detrand.Rand(w.seed, uint64(asn), saltThirdPorts)),
+		Seed:          int64(detrand.Mix(w.seed, uint64(asn), saltThirdSeed)),
 		CacheObserver: w.cacheObs(),
 	})
 	if err != nil {
@@ -605,7 +610,7 @@ func aclFor(spec *ditl.ResolverSpec, as *routing.AS) resolver.ACL {
 		// Client subnets that exclude the resolver's own subnet: the
 		// configuration other-prefix spoofing defeats but same-prefix
 		// and dst-as-src do not.
-		rng := rand.New(rand.NewSource(spec.Seed + 7))
+		rng := detrand.Rand(uint64(spec.Seed), saltACLSubnets)
 		for _, p := range as.V4Prefixes() {
 			subs := routing.EnumerateSubnets(p, 16)
 			own := netip.Prefix{}
@@ -719,7 +724,7 @@ func (w *World) buildTargetAS(i int, spec *ditl.ASSpec, as *routing.AS) error {
 	// auth servers see the public DNS service, not the target AS.
 	if spec.Middlebox {
 		a := routing.RandomHostAddr(routing.EnumerateSubnets(spec.V4Prefixes[0], 1)[0],
-			rand.New(rand.NewSource(int64(i)+555)))
+			detrand.Rand(w.seed, uint64(spec.ASN), saltMboxAddr))
 		if w.Net.HostAt(a) == nil {
 			pub, err := w.publicFor(i, spec.ASN)
 			if err != nil {
@@ -733,9 +738,9 @@ func (w *World) buildTargetAS(i int, spec *ditl.ASSpec, as *routing.AS) error {
 			h.ScrubFingerprint = true
 			mb, err := resolver.New(h, nil, resolver.Config{
 				ACL:           resolver.ACL{Open: true},
-				Ports:         resolver.NewUniform(oskernel.PoolLinux, rand.New(rand.NewSource(int64(i)+556))),
+				Ports:         resolver.NewUniform(oskernel.PoolLinux, detrand.Rand(w.seed, uint64(spec.ASN), saltMboxPorts)),
 				Forward:       []netip.Addr{pub[0]},
-				Seed:          int64(i) + 557,
+				Seed:          int64(detrand.Mix(w.seed, uint64(spec.ASN), saltMboxSeed)),
 				CacheObserver: w.cacheObs(),
 			})
 			if err != nil {
@@ -758,7 +763,7 @@ func (w *World) buildTargetAS(i int, spec *ditl.ASSpec, as *routing.AS) error {
 		if _, err := w.publicFor(i, spec.ASN); err != nil {
 			return err
 		}
-		rng := rand.New(rand.NewSource(int64(i) + 777))
+		rng := detrand.Rand(w.seed, uint64(spec.ASN), saltAnalystAddr)
 		sub := routing.EnumerateSubnets(spec.V4Prefixes[len(spec.V4Prefixes)-1], 4)
 		for tries := 0; tries < 8; tries++ {
 			a := routing.RandomHostAddr(sub[rng.Intn(len(sub))], rng)
