@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 5s
 BIN ?= bin
 
-.PHONY: check build vet lint test race fuzz bench
+.PHONY: check build vet lint pragmas test race fuzz bench
 
 # Tier-1 verification: build + vet + determinism lint + full tests +
 # race detector over the parallel sharded engine + a short fuzz smoke
@@ -21,6 +21,12 @@ vet:
 # the tool with the package directory as its working directory.
 lint: $(BIN)/doorsvet
 	$(GO) vet -vettool=$(abspath $(BIN)/doorsvet) ./...
+
+# Suppression audit: list every //lint:allow pragma (file:line, check,
+# reason); fails when a pragma lacks its reason or names an unknown
+# check.
+pragmas: $(BIN)/doorsvet
+	$(BIN)/doorsvet -pragmas .
 
 # Rebuild only when the suite's sources change, so a cached binary
 # (CI restores bin/doorsvet keyed on these files) is reused as-is.

@@ -1,5 +1,6 @@
 // Command doorsvet runs the determinism lint suite (internal/lint):
-// detrandonly, saltbands, sortedemit and wallclock.
+// detrandonly, saltbands, sortedemit, wallclock, frozenshare and
+// shardcapture.
 //
 // It speaks the go vet vettool protocol, which is how `make lint`
 // invokes it:
@@ -11,6 +12,13 @@
 // checks them standalone, which is convenient during development:
 //
 //	doorsvet ./...
+//
+// The -pragmas mode audits the suppression surface instead of
+// linting: it lists every //lint:allow pragma in the tree
+// (file:line, check, reason) and exits 2 if any pragma is missing its
+// reason or names an unknown check:
+//
+//	doorsvet -pragmas [dir]
 package main
 
 import (
@@ -24,6 +32,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-pragmas" {
+		root := "."
+		if len(os.Args) > 2 {
+			root = os.Args[2]
+		}
+		os.Exit(listPragmas(root))
+	}
 	// Package patterns (no flags, no *.cfg) select standalone mode;
 	// everything else follows the vettool protocol.
 	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") && !strings.HasSuffix(os.Args[1], ".cfg") {
@@ -41,4 +56,33 @@ func main() {
 		return
 	}
 	unitchecker.Main(lint.Suite()...)
+}
+
+// listPragmas prints the suppression audit and returns the exit code:
+// 0 when every pragma is well-formed, 2 when one lacks a reason or
+// names a check the suite does not have.
+func listPragmas(root string) int {
+	pragmas, err := lint.ListPragmas(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doorsvet: %v\n", err)
+		return 2
+	}
+	bad := 0
+	for _, p := range pragmas {
+		fmt.Println(p)
+		if p.Reason == "" {
+			fmt.Fprintf(os.Stderr, "doorsvet: %s:%d: //lint:allow %s has no reason (write //lint:allow %s -- <why>)\n",
+				p.File, p.Line, p.Check, p.Check)
+			bad++
+		}
+		if !p.Known {
+			fmt.Fprintf(os.Stderr, "doorsvet: %s:%d: //lint:allow %s names an unknown check\n",
+				p.File, p.Line, p.Check)
+			bad++
+		}
+	}
+	if bad > 0 {
+		return 2
+	}
+	return 0
 }

@@ -44,11 +44,10 @@ func (r *ReflectionResult) Amplification() float64 {
 	return float64(r.VictimBytes) / float64(r.QueryBytes)
 }
 
-// RunReflection executes the reflection attack end to end.
-func RunReflection(cfg ReflectionConfig) (*ReflectionResult, error) {
-	if cfg.Queries <= 0 {
-		cfg.Queries = 50
-	}
+// buildReflectionRegistry constructs the three-AS routing table of the
+// reflection scenario. The registry is frozen once this returns
+// (frozenshare enforces that all Add calls stay in build* contexts).
+func buildReflectionRegistry(cfg ReflectionConfig) (*routing.Registry, *routing.AS, *routing.AS, *routing.AS, error) {
 	reg := routing.NewRegistry()
 	openAS := &routing.AS{ASN: 1, Prefixes: []netip.Prefix{netip.MustParsePrefix("22.1.0.0/16")}}
 	victimAS := &routing.AS{ASN: 2, Prefixes: []netip.Prefix{netip.MustParsePrefix("22.2.0.0/16")}}
@@ -56,8 +55,20 @@ func RunReflection(cfg ReflectionConfig) (*ReflectionResult, error) {
 		OSAV: cfg.AttackerOSAV}
 	for _, as := range []*routing.AS{openAS, victimAS, attackAS} {
 		if err := reg.Add(as); err != nil {
-			return nil, err
+			return nil, nil, nil, nil, err
 		}
+	}
+	return reg, openAS, victimAS, attackAS, nil
+}
+
+// RunReflection executes the reflection attack end to end.
+func RunReflection(cfg ReflectionConfig) (*ReflectionResult, error) {
+	if cfg.Queries <= 0 {
+		cfg.Queries = 50
+	}
+	reg, openAS, victimAS, attackAS, err := buildReflectionRegistry(cfg)
+	if err != nil {
+		return nil, err
 	}
 	n := netsim.New(reg, netsim.Config{Seed: cfg.Seed})
 

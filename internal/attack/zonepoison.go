@@ -30,11 +30,9 @@ type ZonePoisonResult struct {
 	OriginalAddr, FinalAddr netip.Addr
 }
 
-// RunZonePoison executes the zone-poisoning attack end to end: the
-// attacker sends a spoofed-internal UPDATE deleting www's A RRset and
-// inserting its own address, then the victim zone is inspected through
-// a normal query.
-func RunZonePoison(cfg ZonePoisonConfig) (*ZonePoisonResult, error) {
+// buildZonePoisonRegistry constructs the victim/attacker routing table
+// of the zone-poisoning scenario; the registry is frozen once built.
+func buildZonePoisonRegistry(cfg ZonePoisonConfig) (*routing.Registry, *routing.AS, *routing.AS, error) {
 	reg := routing.NewRegistry()
 	victimAS := &routing.AS{
 		ASN: 1, Prefixes: []netip.Prefix{netip.MustParsePrefix("21.1.0.0/16")},
@@ -42,9 +40,21 @@ func RunZonePoison(cfg ZonePoisonConfig) (*ZonePoisonResult, error) {
 	}
 	attackAS := &routing.AS{ASN: 2, Prefixes: []netip.Prefix{netip.MustParsePrefix("21.2.0.0/16")}}
 	if err := reg.Add(victimAS); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	if err := reg.Add(attackAS); err != nil {
+		return nil, nil, nil, err
+	}
+	return reg, victimAS, attackAS, nil
+}
+
+// RunZonePoison executes the zone-poisoning attack end to end: the
+// attacker sends a spoofed-internal UPDATE deleting www's A RRset and
+// inserting its own address, then the victim zone is inspected through
+// a normal query.
+func RunZonePoison(cfg ZonePoisonConfig) (*ZonePoisonResult, error) {
+	reg, victimAS, attackAS, err := buildZonePoisonRegistry(cfg)
+	if err != nil {
 		return nil, err
 	}
 	n := netsim.New(reg, netsim.Config{Seed: cfg.Seed})

@@ -300,19 +300,29 @@ type AcceptanceRow struct {
 	DSv4, LBv4, DSv6, LBv6 bool
 }
 
-// RunSpoofMatrix reproduces Table 6 by sending destination-as-source
-// and loopback-source packets across a filterless border to one host
-// per OS profile and recording socket-level delivery.
-func RunSpoofMatrix(seed int64) ([]AcceptanceRow, error) {
+// buildSpoofMatrixRegistry constructs the sender/target routing table
+// of the Table 6 experiment; the registry is frozen once built.
+func buildSpoofMatrixRegistry() (*routing.Registry, *routing.AS, *routing.AS, error) {
 	reg := routing.NewRegistry()
 	senderAS := &routing.AS{ASN: 1, Prefixes: []netip.Prefix{netip.MustParsePrefix("11.1.0.0/16")}}
 	targetAS := &routing.AS{ASN: 2, Prefixes: []netip.Prefix{
 		netip.MustParsePrefix("11.2.0.0/16"), netip.MustParsePrefix("2a02:1::/48"),
 	}}
 	if err := reg.Add(senderAS); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	if err := reg.Add(targetAS); err != nil {
+		return nil, nil, nil, err
+	}
+	return reg, senderAS, targetAS, nil
+}
+
+// RunSpoofMatrix reproduces Table 6 by sending destination-as-source
+// and loopback-source packets across a filterless border to one host
+// per OS profile and recording socket-level delivery.
+func RunSpoofMatrix(seed int64) ([]AcceptanceRow, error) {
+	reg, senderAS, targetAS, err := buildSpoofMatrixRegistry()
+	if err != nil {
 		return nil, err
 	}
 	n := netsim.New(reg, netsim.Config{Seed: seed})

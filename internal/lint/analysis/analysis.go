@@ -12,11 +12,13 @@
 package analysis
 
 import (
+	"encoding/gob"
 	"flag"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 )
 
 // An Analyzer describes one analysis function and its options.
@@ -34,6 +36,19 @@ type Analyzer struct {
 
 	// Run applies the analyzer to a package.
 	Run func(*Pass) (interface{}, error)
+
+	// FactTypes lists the concrete types of facts this analyzer exports
+	// or imports, as pointers to zero values (e.g. new(FrozenType)).
+	// Validate registers each with encoding/gob so the unitchecker
+	// driver can serialize them into the unit's facts (vetx) file.
+	//
+	// Unlike x/tools, facts here live in one suite-global store keyed
+	// by concrete fact type rather than in per-analyzer namespaces, so
+	// a later analyzer in the suite may consume facts exported by an
+	// earlier one (shardcapture reads frozenshare's FrozenType facts).
+	// Drivers run analyzers in slice order, which makes that ordering
+	// deterministic.
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -55,6 +70,50 @@ type Pass struct {
 
 	// Report emits a diagnostic about a problem in the package.
 	Report func(Diagnostic)
+
+	// The fact machinery, bound by the driver (Facts.Bind). Facts are
+	// typed values attached to package-level objects or whole packages
+	// during one pass and visible to every later pass — including
+	// passes over importing packages in other driver processes, via
+	// gob serialization into the unit's vetx file.
+
+	// ExportObjectFact attaches fact to obj, which must belong to the
+	// package under analysis.
+	ExportObjectFact func(obj types.Object, fact Fact)
+	// ImportObjectFact copies the fact of ptr's concrete type attached
+	// to obj (by this pass or any earlier one, in any package) into
+	// *ptr, reporting whether one was found.
+	ImportObjectFact func(obj types.Object, ptr Fact) bool
+	// ExportPackageFact attaches fact to the package under analysis.
+	ExportPackageFact func(fact Fact)
+	// ImportPackageFact copies pkg's fact of ptr's concrete type into
+	// *ptr, reporting whether one was found.
+	ImportPackageFact func(pkg *types.Package, ptr Fact) bool
+	// AllObjectFacts and AllPackageFacts list every fact currently in
+	// the store, in deterministic order.
+	AllObjectFacts  func() []ObjectFact
+	AllPackageFacts func() []PackageFact
+}
+
+// A Fact is a typed datum attached to an object or package by one
+// analyzer pass and consumed by later passes. Concrete fact types must
+// be pointers to structs with at least one exported field (a gob
+// requirement) and are registered via Analyzer.FactTypes.
+type Fact interface {
+	// AFact is a marker method; it has no behaviour.
+	AFact()
+}
+
+// ObjectFact pairs an object with one of its facts.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// PackageFact pairs a package with one of its facts.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
 }
 
 // Reportf formats a diagnostic message and reports it at pos.
@@ -74,7 +133,8 @@ type Diagnostic struct {
 }
 
 // Validate reports an error if any analyzer is misconfigured (nil Run,
-// empty or duplicate names).
+// empty or duplicate names, malformed fact types), and registers every
+// declared fact type with encoding/gob so fact files round-trip.
 func Validate(analyzers []*Analyzer) error {
 	seen := make(map[string]bool)
 	for _, a := range analyzers {
@@ -91,6 +151,15 @@ func Validate(analyzers []*Analyzer) error {
 			return fmt.Errorf("duplicate analyzer name %q", a.Name)
 		}
 		seen[a.Name] = true
+		for _, f := range a.FactTypes {
+			if f == nil {
+				return fmt.Errorf("analyzer %q has nil fact type", a.Name)
+			}
+			if t := reflect.TypeOf(f); t.Kind() != reflect.Ptr {
+				return fmt.Errorf("analyzer %q fact type %T is not a pointer", a.Name, f)
+			}
+			gob.Register(f) // idempotent for a stable concrete type
+		}
 	}
 	return nil
 }

@@ -21,6 +21,9 @@ import (
 // originate from detrand.Rand, which hands ordinary *rand.Rand values
 // to code that needs a stream per causal domain. internal/detrand
 // itself is the one package allowed to touch the generator directly.
+//
+// The analyzer is purely intraprocedural: it declares no FactTypes
+// and neither exports nor imports analyzer facts.
 var DetrandOnly = &analysis.Analyzer{
 	Name: "detrandonly",
 	Doc:  "flag math/rand streams not derived from detrand causal identity",

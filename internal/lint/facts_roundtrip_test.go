@@ -1,0 +1,218 @@
+package lint_test
+
+// Round-trip tests for the serialized fact path: the unitchecker
+// driver analyzes one compilation unit per process, so facts cross
+// process boundaries as gob bytes (the vetx build artifact). These
+// tests simulate that unit sequence without cmd/go: analyze p1 in one
+// type-checker world, Encode its facts, then Decode them into a
+// completely fresh world — new FileSet, freshly checked packages, no
+// shared object identity — and prove that p2's pass still sees p1's
+// FrozenType and MutatingMethod facts and reports the cross-package
+// violations. The in-memory path (shared store, no serialization) is
+// covered by TestFrozenShare via analysistest.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// checkedFixture is one freshly type-checked fixture package.
+type checkedFixture struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// typecheckFixture parses and type-checks testdata/frozenshare/src/<path>
+// in the given FileSet, resolving imports against deps.
+func typecheckFixture(t *testing.T, fset *token.FileSet, path string, deps map[string]*types.Package) *checkedFixture {
+	t.Helper()
+	dir := filepath.Join("testdata", "frozenshare", "src", path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: mapImporter(deps)}
+	pkg, err := tc.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", path, err)
+	}
+	return &checkedFixture{pkg: pkg, files: files, info: info}
+}
+
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, os.ErrNotExist
+}
+
+// runPass applies a to one fixture package with the given fact store.
+func runPass(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, cf *checkedFixture, facts *analysis.Facts) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     cf.files,
+		Pkg:       cf.pkg,
+		TypesInfo: cf.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	facts.Bind(pass)
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, cf.pkg.Path(), err)
+	}
+	return diags
+}
+
+func TestObjectFactsSurviveSerialization(t *testing.T) {
+	if err := analysis.Validate([]*analysis.Analyzer{lint.FrozenShare}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unit 1 ("process" A): analyze p1, serialize its facts.
+	fsetA := token.NewFileSet()
+	p1A := typecheckFixture(t, fsetA, "p1", nil)
+	factsA := analysis.NewFacts()
+	runPass(t, fsetA, lint.FrozenShare, p1A, factsA)
+	vetx, err := factsA.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vetx) == 0 {
+		t.Fatal("p1 produced no serialized facts")
+	}
+
+	// Unit 2 ("process" B): a fresh world — new FileSet, p1 re-checked
+	// from scratch so no object is shared with world A — receives the
+	// bytes, exactly as an importing vet unit receives PackageVetx.
+	fsetB := token.NewFileSet()
+	p1B := typecheckFixture(t, fsetB, "p1", nil)
+	p2B := typecheckFixture(t, fsetB, "p2", map[string]*types.Package{"p1": p1B.pkg})
+	factsB := analysis.NewFacts()
+	if err := factsB.Decode(vetx, func(path string) *types.Package {
+		if path == "p1" {
+			return p1B.pkg
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := runPass(t, fsetB, lint.FrozenShare, p2B, factsB)
+
+	// The pass that just ran could consult the imported facts; check the
+	// store contents directly too.
+	probe := &analysis.Pass{Analyzer: lint.FrozenShare, Fset: fsetB, Pkg: p2B.pkg, TypesInfo: p2B.info}
+	factsB.Bind(probe)
+	registry := p1B.pkg.Scope().Lookup("Registry")
+	var frozen lint.FrozenType
+	if !probe.ImportObjectFact(registry, &frozen) || !frozen.Marked {
+		t.Errorf("FrozenType fact on p1.Registry did not survive the round trip (got marked=%v)", frozen.Marked)
+	}
+	entry := p1B.pkg.Scope().Lookup("Entry")
+	if !probe.ImportObjectFact(entry, &frozen) || frozen.Marked {
+		t.Errorf("propagated FrozenType fact on p1.Entry did not survive the round trip")
+	}
+	named := registry.(*types.TypeName).Type().(*types.Named)
+	var addFn types.Object
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "Add" {
+			addFn = named.Method(i)
+		}
+	}
+	var mutating lint.MutatingMethod
+	if addFn == nil || !probe.ImportObjectFact(addFn, &mutating) {
+		t.Errorf("MutatingMethod fact on p1.Registry.Add did not survive the round trip")
+	}
+
+	// And the violations in p2 exist only because the facts arrived.
+	var sawCall, sawWrite bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "mutating method Registry.Add") {
+			sawCall = true
+		}
+		if strings.Contains(d.Message, "write through frozen type") {
+			sawWrite = true
+		}
+	}
+	if !sawCall || !sawWrite {
+		t.Errorf("p2 pass with deserialized facts missed violations (call=%v write=%v) in %d diagnostics",
+			sawCall, sawWrite, len(diags))
+	}
+
+	// Without the facts the same pass sees nothing cross-package: the
+	// findings above are attributable to the fact flow alone.
+	bare := runPass(t, fsetB, lint.FrozenShare, p2B, analysis.NewFacts())
+	if len(bare) != 0 {
+		t.Errorf("p2 pass without facts unexpectedly reported %d diagnostics", len(bare))
+	}
+}
+
+func TestPackageFactsSurviveSerialization(t *testing.T) {
+	if err := analysis.Validate([]*analysis.Analyzer{lint.SaltBands}); err != nil {
+		t.Fatal(err)
+	}
+
+	fsetA := token.NewFileSet()
+	p1A := typecheckFixture(t, fsetA, "p1", nil)
+	factsA := analysis.NewFacts()
+	exporter := &analysis.Pass{Analyzer: lint.SaltBands, Fset: fsetA, Pkg: p1A.pkg, TypesInfo: p1A.info}
+	factsA.Bind(exporter)
+	exporter.ExportPackageFact(&lint.BandsFact{Bands: []lint.BandRange{{Name: "saltP1", Start: 41, Count: 3}}})
+	data, err := factsA.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fsetB := token.NewFileSet()
+	p1B := typecheckFixture(t, fsetB, "p1", nil)
+	factsB := analysis.NewFacts()
+	if err := factsB.Decode(data, func(path string) *types.Package {
+		if path == "p1" {
+			return p1B.pkg
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	importer := &analysis.Pass{Analyzer: lint.SaltBands, Fset: fsetB, Pkg: p1B.pkg, TypesInfo: p1B.info}
+	factsB.Bind(importer)
+	var got lint.BandsFact
+	if !importer.ImportPackageFact(p1B.pkg, &got) {
+		t.Fatal("BandsFact did not survive the round trip")
+	}
+	if got.String() != "bands(saltP1 [41,44))" {
+		t.Errorf("BandsFact round-tripped wrong: %s", got.String())
+	}
+}

@@ -1,4 +1,4 @@
-// Package lint is the doorsvet analyzer suite: four checks that turn
+// Package lint is the doorsvet analyzer suite: six checks that turn
 // the repository's determinism discipline — the conventions that make
 // the sharded survey engine merge into a bit-identical analysis.Report
 // at any shard count — from reviewer lore into compiler-checked rules.
@@ -11,6 +11,11 @@
 //     sorting what they collect.
 //   - wallclock: event-driven packages must take time from the event
 //     queue, not the wall clock.
+//   - frozenshare: //doors:frozen types are never mutated outside a
+//     construction context, in any package (interprocedural, via
+//     analyzer facts).
+//   - shardcapture: shard goroutine closures capture only shard-local
+//     or frozen state (consumes frozenshare's facts).
 //
 // Every check honors a line-scoped escape hatch:
 //
@@ -31,13 +36,18 @@ import (
 	"repro/internal/lint/analysis"
 )
 
-// Suite returns the full doorsvet analyzer suite.
+// Suite returns the full doorsvet analyzer suite. Order matters:
+// drivers run analyzers in slice order over each package, and
+// shardcapture consumes the FrozenType facts frozenshare exports, so
+// FrozenShare must precede ShardCapture.
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		DetrandOnly,
 		SaltBands,
 		SortedEmit,
 		WallClock,
+		FrozenShare,
+		ShardCapture,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/lint"
+	"repro/internal/lint/analysis"
 	"repro/internal/lint/analysistest"
 )
 
@@ -21,4 +22,18 @@ func TestSortedEmit(t *testing.T) {
 
 func TestWallClock(t *testing.T) {
 	analysistest.Run(t, "testdata/wallclock", lint.WallClock, "w", "clean")
+}
+
+func TestFrozenShare(t *testing.T) {
+	// p2 imports p1: the p2 findings only exist if p1's FrozenType and
+	// MutatingMethod facts reached p2's pass.
+	analysistest.RunWith(t, "testdata/frozenshare",
+		[]*analysis.Analyzer{lint.FrozenShare}, "p1", "p2")
+}
+
+func TestShardCapture(t *testing.T) {
+	// FrozenShare must run first: shardcapture's frozen-capture
+	// exemption consumes its FrozenType facts.
+	analysistest.RunWith(t, "testdata/shardcapture",
+		[]*analysis.Analyzer{lint.FrozenShare, lint.ShardCapture}, "sc")
 }

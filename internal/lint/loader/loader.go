@@ -1,11 +1,22 @@
 // Package loader runs the doorsvet analyzers outside go vet: it loads
 // package patterns by shelling out to "go list -export -deps -json"
 // (offline-safe; the repo has no external module dependencies),
-// type-checks each target package from source with dependency types
-// read from the compiler's export data, and applies every analyzer.
+// type-checks every in-module package from source in topological
+// order, and applies every analyzer to each of them over one shared
+// in-memory fact store. Standard-library dependencies are imported
+// from the compiler's export data and never analyzed.
+//
+// Re-running the analyzers over dependencies — not just the named
+// target packages — is what makes interprocedural facts work in
+// standalone mode: when p2 imports p1's frozen registry type, p1's
+// pass exports the FrozenType/MutatingMethod facts that p2's pass then
+// consults, with object identity preserved because both passes share
+// one type-checker world (no serialization round-trip; that path
+// belongs to internal/lint/unitchecker). Diagnostics are only reported
+// for the packages the patterns named.
+//
 // It is the standalone complement to internal/lint/unitchecker, used
-// for ad-hoc runs ("doorsvet ./...") and by the analysistest harness's
-// fixture loader.
+// for ad-hoc runs ("doorsvet ./...") and by tests.
 package loader
 
 import (
@@ -47,9 +58,17 @@ type Diagnostic struct {
 	Message  string
 }
 
-// Run loads patterns (e.g. "./...") in dir and applies analyzers to
-// every non-dependency package, returning diagnostics sorted by
-// position.
+// checkedPkg is one source-type-checked in-module package.
+type checkedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// Run loads patterns (e.g. "./...") in dir, applies analyzers to every
+// in-module package in dependency order (facts flow from importee to
+// importer), and returns the diagnostics of the non-dependency target
+// packages sorted by position.
 func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
 	if err := analysis.Validate(analyzers); err != nil {
 		return nil, err
@@ -64,8 +83,11 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
 	}
 
+	// go list -deps emits a depth-first post-order: every package
+	// appears after all of its dependencies, which is exactly the
+	// analysis order facts need.
 	exports := make(map[string]string) // package path -> export data file
-	var targets []*listPackage
+	var ordered []*listPackage
 	dec := json.NewDecoder(&stdout)
 	for {
 		p := new(listPackage)
@@ -77,23 +99,35 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly {
-			targets = append(targets, p)
-		}
+		ordered = append(ordered, p)
 	}
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	checked := make(map[string]*checkedPkg) // in-module packages, type-checked from source
+	gcImporter := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := exports[path]
 		if !ok {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
 		return os.Open(file)
 	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if cp, ok := checked[path]; ok {
+			return cp.pkg, nil
+		}
+		return gcImporter.Import(path)
+	})
 
+	facts := analysis.NewFacts()
 	var diags []Diagnostic
-	for _, p := range targets {
+	for _, p := range ordered {
+		if p.Standard {
+			continue // stdlib: export data only, never analyzed
+		}
 		if len(p.CgoFiles) > 0 {
+			if p.DepOnly {
+				continue
+			}
 			return nil, fmt.Errorf("%s: cgo packages are not supported", p.ImportPath)
 		}
 		var files []*ast.File
@@ -121,10 +155,12 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
 		}
+		checked[p.ImportPath] = &checkedPkg{pkg: pkg, files: files, info: info}
 		module := ""
 		if p.Module != nil {
 			module = p.Module.Path
 		}
+		target := !p.DepOnly
 		for _, a := range analyzers {
 			a := a
 			pass := &analysis.Pass{
@@ -136,6 +172,9 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 				Module:    module,
 				Dir:       p.Dir,
 				Report: func(d analysis.Diagnostic) {
+					if !target {
+						return // dependency pass: facts only
+					}
 					diags = append(diags, Diagnostic{
 						Analyzer: a.Name,
 						Position: fset.Position(d.Pos),
@@ -143,6 +182,7 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 					})
 				},
 			}
+			facts.Bind(pass)
 			if _, err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %v", p.ImportPath, a.Name, err)
 			}
@@ -164,3 +204,7 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 	})
 	return diags, nil
 }
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

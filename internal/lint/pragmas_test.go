@@ -1,0 +1,66 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestListPragmas(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a/a.go", `package a
+
+func F() int {
+	x := 1 //lint:allow wallclock -- sanctioned: explained here
+	y := 2 //lint:allow frozenshare
+	z := 3 //lint:allow nosuchcheck -- typo in the check name
+	return x + y + z
+}
+`)
+	write("a/a_test.go", `package a
+// Test files are exempt from the checks, so their pragmas are noise:
+// the audit skips them.
+func g() { _ = 0 //lint:allow wallclock -- should not be listed
+}
+`)
+	write("testdata/fix.go", `package fix
+func h() { _ = 0 //lint:allow wallclock -- fixtures are skipped
+}
+`)
+
+	pragmas, err := lint.ListPragmas(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pragmas) != 3 {
+		t.Fatalf("got %d pragmas, want 3: %v", len(pragmas), pragmas)
+	}
+	for i, want := range []struct {
+		line   int
+		check  string
+		reason string
+		known  bool
+	}{
+		{4, "wallclock", "sanctioned: explained here", true},
+		{5, "frozenshare", "", true},
+		{6, "nosuchcheck", "typo in the check name", false},
+	} {
+		p := pragmas[i]
+		if p.File != "a/a.go" || p.Line != want.line || p.Check != want.check ||
+			p.Reason != want.reason || p.Known != want.known {
+			t.Errorf("pragma %d = %+v, want %+v in a/a.go", i, p, want)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// ShardCapture proves the other half of the frozen-registry contract:
+// the state a shard goroutine closes over must be either shard-local
+// or frozen. It inspects every `go func(){...}(...)` statement and
+// flags captured variables that could be written concurrently.
+//
+// A captured variable is safe when it is
+//
+//   - declared per iteration of a loop enclosing the go statement (each
+//     shard gets its own copy under Go 1.22 loop semantics),
+//   - of a type carrying frozenshare's FrozenType fact (directly or
+//     behind a pointer) — shared but provably read-only,
+//   - a synchronization primitive (sync/sync.atomic types, channels),
+//   - a slice or array that the closure only touches through an index
+//     declared inside the closure (the sharded-output idiom:
+//     worker k writes outs[k] and nothing else), or
+//   - of basic type and never written inside the closure.
+//
+// Everything else is a data race waiting for the right K, reported at
+// the variable's first use inside the closure. Goroutines launched via
+// a named function receive their state through parameters, which the
+// type system already scopes; only closures can capture by accident,
+// so only closures are inspected. The escape hatch is
+// //lint:allow shardcapture -- <why>.
+//
+// ShardCapture consumes frozenshare's facts, so Suite() must list
+// FrozenShare before it.
+var ShardCapture = &analysis.Analyzer{
+	Name:      "shardcapture",
+	Doc:       "flag go-closure captures that are neither shard-local nor frozen",
+	FactTypes: []analysis.Fact{new(FrozenType)},
+	Run:       runShardCapture,
+}
+
+func runShardCapture(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		allow := allowsFor(pass, f, "shardcapture")
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoClosure(pass, f, gs, lit, allow)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// capture is one free variable of a go-closure, with every identifier
+// use inside the closure body.
+type capture struct {
+	obj  *types.Var
+	uses []*ast.Ident
+}
+
+func checkGoClosure(pass *analysis.Pass, file *ast.File, gs *ast.GoStmt, lit *ast.FuncLit, allow allowed) {
+	captures := collectCaptures(pass, lit)
+	for _, c := range captures {
+		if safeCapture(pass, file, gs, lit, c) {
+			continue
+		}
+		pos := c.uses[0].Pos()
+		if allow.at(pass, pos) || allow.at(pass, gs.Pos()) {
+			continue
+		}
+		pass.Reportf(pos,
+			"go closure captures %s, which is neither shard-local nor frozen; pass it as an argument, freeze its type (//doors:frozen), or annotate //lint:allow shardcapture -- <why>",
+			c.obj.Name())
+	}
+}
+
+// collectCaptures finds the closure's free variables: identifiers used
+// in the body whose object is a variable declared outside the literal.
+// Results are ordered by first use, so diagnostics are deterministic.
+func collectCaptures(pass *analysis.Pass, lit *ast.FuncLit) []*capture {
+	byObj := make(map[*types.Var]*capture)
+	var ordered []*capture
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		// Field selections (x.f) use the selector's base; the Sel ident
+		// resolves to a field or method, never a captured variable.
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			ast.Inspect(sel.X, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					recordUse(pass, lit, id, byObj, &ordered)
+				}
+				return true
+			})
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			recordUse(pass, lit, id, byObj, &ordered)
+		}
+		return true
+	})
+	return ordered
+}
+
+func recordUse(pass *analysis.Pass, lit *ast.FuncLit, id *ast.Ident, byObj map[*types.Var]*capture, ordered *[]*capture) {
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+		return // declared inside the closure (params included)
+	}
+	if v.Parent() != nil && v.Parent() == pass.Pkg.Scope() {
+		// Package-level variables are a shared-state concern too, but
+		// they are sortedemit/wallclock territory and global by intent;
+		// capture analysis is about loop and stack state.
+		return
+	}
+	c := byObj[v]
+	if c == nil {
+		c = &capture{obj: v}
+		byObj[v] = c
+		*ordered = append(*ordered, c)
+	}
+	c.uses = append(c.uses, id)
+}
+
+// safeCapture applies the shard-local-or-frozen rules to one captured
+// variable.
+func safeCapture(pass *analysis.Pass, file *ast.File, gs *ast.GoStmt, lit *ast.FuncLit, c *capture) bool {
+	if perIterationVar(pass, file, gs, c.obj) {
+		return true
+	}
+	t := c.obj.Type()
+	if frozenCaptureType(pass, t) {
+		return true
+	}
+	if syncOrChannel(t) {
+		return true
+	}
+	if indexedSliceOnly(pass, lit, c) {
+		return true
+	}
+	if _, basic := t.Underlying().(*types.Basic); basic && !writtenInside(lit, c) {
+		return true
+	}
+	return false
+}
+
+// perIterationVar reports whether v is declared by a for/range
+// statement that encloses the go statement, or inside such a loop's
+// body: each iteration rebinds it (Go 1.22 semantics), so each spawned
+// shard captures its own copy.
+func perIterationVar(pass *analysis.Pass, file *ast.File, gs *ast.GoStmt, v *types.Var) bool {
+	for _, loop := range enclosingLoops(file, gs) {
+		var bodyStart, bodyEnd ast.Node
+		switch l := loop.(type) {
+		case *ast.RangeStmt:
+			bodyStart, bodyEnd = l, l.Body
+		case *ast.ForStmt:
+			bodyStart, bodyEnd = l, l.Body
+		}
+		if v.Pos() >= bodyStart.Pos() && v.Pos() < bodyEnd.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingLoops returns the for/range statements on the AST path from
+// file down to target.
+func enclosingLoops(file *ast.File, target ast.Node) []ast.Node {
+	var loops []ast.Node
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if n == target {
+			for _, s := range stack {
+				switch s.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					loops = append(loops, s)
+				}
+			}
+			return false
+		}
+		return true
+	})
+	return loops
+}
+
+// frozenCaptureType reports whether t (directly or behind one pointer)
+// carries a FrozenType fact — exported by frozenshare in this package
+// or imported from the type's own unit.
+func frozenCaptureType(pass *analysis.Pass, t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	if named.Obj().Pkg() == nil {
+		return false
+	}
+	return pass.ImportObjectFact(named.Obj(), new(FrozenType))
+}
+
+// syncOrChannel reports whether t is a synchronization type: a channel,
+// or a sync / sync/atomic type (directly or behind a pointer).
+func syncOrChannel(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "sync" || path == "sync/atomic" ||
+		strings.HasSuffix(path, "/sync") || strings.HasSuffix(path, "/sync/atomic")
+}
+
+// indexedSliceOnly reports whether c is a slice or array whose every
+// use inside the closure is an index expression v[i] with an index
+// variable declared inside the closure — the canonical sharded-output
+// pattern where worker k owns element k and element writes never
+// conflict.
+func indexedSliceOnly(pass *analysis.Pass, lit *ast.FuncLit, c *capture) bool {
+	switch c.obj.Type().Underlying().(type) {
+	case *types.Slice, *types.Array:
+	default:
+		return false
+	}
+	indexed := make(map[*ast.Ident]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		base, ok := ix.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[base] != c.obj {
+			return true
+		}
+		if !indexLocalToLit(pass, lit, ix.Index) {
+			return true
+		}
+		indexed[base] = true
+		return true
+	})
+	for _, use := range c.uses {
+		if !indexed[use] {
+			return false
+		}
+	}
+	return true
+}
+
+// indexLocalToLit reports whether every variable in an index expression
+// is declared inside the closure (a parameter counts: the classic
+// `go func(k int) { out[k] = ... }(k)` passes the shard index in).
+func indexLocalToLit(pass *analysis.Pass, lit *ast.FuncLit, index ast.Expr) bool {
+	local := true
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true // constants, functions: position-independent
+		}
+		if v.Pos() < lit.Pos() || v.Pos() >= lit.End() {
+			local = false
+		}
+		return true
+	})
+	return local
+}
+
+// writtenInside reports whether any use of c is the target of an
+// assignment or inc/dec inside the closure.
+func writtenInside(lit *ast.FuncLit, c *capture) bool {
+	uses := make(map[ast.Node]bool, len(c.uses))
+	for _, u := range c.uses {
+		uses[u] = true
+	}
+	written := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if uses[rootIdent(lhs)] {
+					written = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if uses[rootIdent(n.X)] {
+				written = true
+			}
+		}
+		return true
+	})
+	return written
+}
+
+// rootIdent unwraps paren/star/selector/index chains to the base
+// identifier node, or nil.
+func rootIdent(expr ast.Expr) ast.Node {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e
+		default:
+			return nil
+		}
+	}
+}

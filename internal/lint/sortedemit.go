@@ -27,6 +27,9 @@ import (
 // Order-independent bodies — counter increments, map writes, set
 // membership — are not flagged. The escape hatch is
 // //lint:allow maporder -- <why>.
+//
+// The analyzer is purely intraprocedural: it declares no FactTypes
+// and neither exports nor imports analyzer facts.
 var SortedEmit = &analysis.Analyzer{
 	Name: "sortedemit",
 	Doc:  "flag unsorted map iteration on report merge/emit paths",

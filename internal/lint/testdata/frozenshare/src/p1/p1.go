@@ -1,0 +1,59 @@
+// Package p1 declares a frozen registry: the shared lookup structure
+// every shard worker reads concurrently, legal to mutate only while it
+// is being built.
+package p1
+
+// Registry maps keys to entries and remembers insertion order.
+//
+//doors:frozen
+type Registry struct { // want Registry:`frozen`
+	Vals  map[int]*Entry
+	Order []int
+	Meta  Meta
+}
+
+// Entry is reachable from Registry, so propagation freezes it too.
+type Entry struct { // want Entry:`frozen \(propagated\)`
+	N int
+}
+
+// Meta is an embedded-by-value reachable struct.
+type Meta struct { // want Meta:`frozen \(propagated\)`
+	Name string
+}
+
+// NewRegistry is the construction context: direct writes and mutating
+// method calls are both legal here.
+func NewRegistry() *Registry {
+	r := &Registry{Vals: make(map[int]*Entry)}
+	r.Add(1, 10)
+	r.Meta.Name = "seed"
+	return r
+}
+
+// Add is the construction API; its receiver writes classify it as
+// mutating, which is what importing packages' call sites are checked
+// against.
+func (r *Registry) Add(k, n int) { // want Add:`mutating`
+	r.Vals[k] = &Entry{N: n}
+	r.Order = append(r.Order, k)
+}
+
+// Grow mutates through a local alias of receiver state, which the
+// taint analysis must follow (the real Trie.Insert writes the same
+// way).
+func (r *Registry) Grow(k int) { // want Grow:`mutating`
+	v := r.Vals
+	v[k] = &Entry{}
+}
+
+// Get is read-only: no fact, and calling it anywhere is fine.
+func (r *Registry) Get(k int) *Entry {
+	return r.Vals[k]
+}
+
+// Tamper mutates outside a construction context: the in-package half
+// of the contract.
+func Tamper(r *Registry) {
+	r.Vals[0] = &Entry{} // want `frozen`
+}

@@ -1,0 +1,40 @@
+// Package p2 imports p1's frozen registry. Every finding here proves
+// cross-package fact flow: frozenshare never sees p1's marker comment
+// while analyzing p2 — only the FrozenType and MutatingMethod facts
+// p1's pass exported.
+package p2
+
+import "p1"
+
+// BuildWorld is a construction context: mutation of the registry being
+// built is legal, including calls to p1's mutating methods.
+func BuildWorld() *p1.Registry {
+	r := p1.NewRegistry()
+	r.Add(2, 20)
+	r.Vals[3] = &p1.Entry{N: 3}
+	return r
+}
+
+// Probe runs after construction; every mutation is a finding.
+func Probe(r *p1.Registry) {
+	r.Add(4, 4)              // want `mutating method`
+	r.Grow(5)                // want `mutating method`
+	r.Meta.Name = "x"        // want `frozen`
+	e := r.Get(1)
+	e.N++                    // want `frozen`
+	delete(r.Vals, 1)        // want `frozen`
+	r.Vals[6], r.Order[0] = nil, 9 // want `frozen` `frozen`
+}
+
+// CopyOK mutates a by-value copy of a frozen struct: the copy is
+// goroutine-local, so this is legal.
+func CopyOK(r *p1.Registry) int {
+	m := r.Meta
+	m.Name = "local"
+	return len(m.Name)
+}
+
+// Allowed documents a sanctioned mutation through the escape hatch.
+func Allowed(r *p1.Registry) {
+	r.Vals[7] = nil //lint:allow frozenshare -- fixture: exercising the escape hatch
+}

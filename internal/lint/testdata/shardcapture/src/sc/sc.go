@@ -1,0 +1,84 @@
+// Package sc exercises the shard goroutine capture rules: state a
+// go-closure closes over must be shard-local or frozen.
+package sc
+
+import "sync"
+
+// Table is the shared lookup state every shard reads.
+//
+//doors:frozen
+type Table struct { // want Table:`frozen`
+	Vals []int
+}
+
+// NewTable builds the table.
+func NewTable(n int) *Table {
+	t := &Table{}
+	for i := 0; i < n; i++ {
+		t.Vals = append(t.Vals, i)
+	}
+	return t
+}
+
+// RunShards is the canonical engine loop: the WaitGroup is a sync
+// type, out is only touched through the shard's own index, and tbl is
+// frozen — every capture is legal.
+func RunShards(tbl *Table, k int) []int {
+	out := make([]int, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = tbl.Vals[0]
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// PerIteration captures the per-iteration range variable: each shard
+// gets its own copy under Go 1.22 loop semantics.
+func PerIteration(ws []*Table) {
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Vals
+		}()
+	}
+	wg.Wait()
+}
+
+// Leaky captures mutable shared state: both captures are findings.
+func Leaky(n int) int {
+	total := 0
+	shared := make(map[int]int)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			total += i    // want `captures total`
+			shared[i] = i // want `captures shared`
+		}(i)
+	}
+	wg.Wait()
+	return total + len(shared)
+}
+
+// Allowed documents a sanctioned capture through the escape hatch.
+func Allowed(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++ //lint:allow shardcapture -- fixture: summation verified externally
+		}()
+	}
+	wg.Wait()
+	return total
+}

@@ -8,10 +8,19 @@
 //
 // It is a stdlib-only reimplementation of the subset of
 // golang.org/x/tools/go/analysis/unitchecker the doorsvet suite needs
-// (no analyzer facts, no gccgo): the go command compiles each package,
-// writes a *.cfg naming the sources and the export data of every
-// dependency, and invokes the tool once per unit; type information for
-// imports is loaded through go/importer's gc lookup hook.
+// (no gccgo): the go command compiles each package, writes a *.cfg
+// naming the sources and the export data of every dependency, and
+// invokes the tool once per unit; type information for imports is
+// loaded through go/importer's gc lookup hook.
+//
+// Analyzer facts flow between units through the vetx protocol: the
+// facts exported while checking a unit (plus every fact inherited from
+// its dependencies) are gob-serialized into cfg.VetxOutput, which the
+// go command records as the unit's build artifact and hands to
+// importing units via cfg.PackageVetx. The -V=full content hash covers
+// the executable, the fact schema version and every analyzer flag
+// value, so cached vet results are invalidated by a tool rebuild, a
+// fact format change, or a flag change alike.
 package unitchecker
 
 import (
@@ -28,6 +37,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/lint/analysis"
@@ -51,7 +61,7 @@ type Config struct {
 	ImportMap                 map[string]string // import path -> canonical package path
 	PackageFile               map[string]string // package path -> export data file
 	Standard                  map[string]bool
-	PackageVetx               map[string]string
+	PackageVetx               map[string]string // package path -> facts (vetx) file
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -67,7 +77,8 @@ func Main(analyzers ...*analysis.Analyzer) {
 	}
 
 	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
-	flag.Var(versionFlag{}, "V", "print version and exit")
+	version := versionFlag{}
+	flag.Var(&version, "V", "print version and exit")
 	// Legacy vet flag shims so older invocations don't fail flag parsing.
 	_ = flag.Bool("source", false, "no effect (deprecated)")
 	_ = flag.Bool("v", false, "no effect (deprecated)")
@@ -80,6 +91,15 @@ func Main(analyzers ...*analysis.Analyzer) {
 		})
 	}
 	flag.Parse()
+
+	// -V is handled after Parse, not inside Set: the content hash folds
+	// in every flag value, so all flags on the command line must have
+	// been parsed before the hash is computed (and a flag placed after
+	// -V must not be silently ignored).
+	if version.requested {
+		printVersion()
+		os.Exit(0)
+	}
 
 	if *printflags {
 		printFlags()
@@ -181,6 +201,23 @@ func run(fset *token.FileSet, cfg *Config, analyzers []*analysis.Analyzer) ([]an
 		return nil, err
 	}
 
+	// Import the facts of every dependency unit before any analyzer
+	// runs: the vetx files reference objects by package path and
+	// objectpath-lite key, resolved against the transitive import set
+	// of the package just type-checked.
+	facts := analysis.NewFacts()
+	imports := transitiveImports(pkg)
+	lookup := func(path string) *types.Package { return imports[path] }
+	for _, path := range sortedKeys(cfg.PackageVetx) {
+		data, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
+			return nil, fmt.Errorf("reading facts for %s: %v", path, err)
+		}
+		if err := facts.Decode(data, lookup); err != nil {
+			return nil, fmt.Errorf("facts of %s: %v", path, err)
+		}
+	}
+
 	var diags []analysis.Diagnostic
 	for _, a := range analyzers {
 		pass := &analysis.Pass{
@@ -193,20 +230,53 @@ func run(fset *token.FileSet, cfg *Config, analyzers []*analysis.Analyzer) ([]an
 			Dir:       cfg.Dir,
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 		}
+		facts.Bind(pass)
 		if _, err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %v", a.Name, err)
 		}
 	}
 
 	// The go command records the fact output as the action's build
-	// artifact; the doorsvet analyzers export no facts, so an empty
-	// file satisfies the contract.
+	// artifact and feeds it to importing units: serialize everything —
+	// facts exported by this unit plus those inherited from
+	// dependencies, so indirect importers see them too.
 	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		data, err := facts.Encode()
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
 			return nil, fmt.Errorf("failed to write facts output: %v", err)
 		}
 	}
 	return diags, nil
+}
+
+// transitiveImports indexes pkg and every package reachable from its
+// imports by path.
+func transitiveImports(pkg *types.Package) map[string]*types.Package {
+	m := make(map[string]*types.Package)
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		if m[p.Path()] != nil {
+			return
+		}
+		m[p.Path()] = p
+		for _, q := range p.Imports() {
+			walk(q)
+		}
+	}
+	walk(pkg)
+	return m
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // printFlags implements -flags: cmd/go uses the list to validate which
@@ -230,20 +300,32 @@ func printFlags() {
 }
 
 // versionFlag implements the -V=full protocol: cmd/go keys its vet
-// result cache on the line we print, so it must change whenever the
-// tool binary does — a content hash of the executable.
-type versionFlag struct{}
+// result cache on the line we print. The flag only records the
+// request; Main computes and prints the hash after flag.Parse so every
+// flag value participates.
+type versionFlag struct{ requested bool }
 
-func (versionFlag) IsBoolFlag() bool { return true }
-func (versionFlag) Get() interface{} { return nil }
-func (versionFlag) String() string   { return "" }
-func (versionFlag) Set(s string) error {
+func (*versionFlag) IsBoolFlag() bool { return true }
+func (*versionFlag) Get() interface{} { return nil }
+func (*versionFlag) String() string   { return "" }
+func (v *versionFlag) Set(s string) error {
 	if s != "full" {
 		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
 	}
+	v.requested = true
+	return nil
+}
+
+// printVersion emits the cache key line: a content hash covering the
+// executable bytes, the fact schema version, and every flag's
+// effective value (sorted by name; -V itself excluded). Before flag
+// values were folded in, a cached vet result survived an analyzer flag
+// change — e.g. -frozenshare.ctors — and kept reporting the old
+// configuration's findings.
+func printVersion() {
 	progname, err := os.Executable()
 	if err != nil {
-		return err
+		log.Fatal(err)
 	}
 	f, err := os.Open(progname)
 	if err != nil {
@@ -254,9 +336,14 @@ func (versionFlag) Set(s string) error {
 		log.Fatal(err)
 	}
 	f.Close()
+	fmt.Fprintf(h, "factschema=%d\n", analysis.FactSchemaVersion)
+	flag.VisitAll(func(fl *flag.Flag) { // VisitAll visits in name order
+		if fl.Name == "V" {
+			return
+		}
+		fmt.Fprintf(h, "flag %s=%q\n", fl.Name, fl.Value.String())
+	})
 	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
-	os.Exit(0)
-	return nil
 }
 
 type importerFunc func(path string) (*types.Package, error)

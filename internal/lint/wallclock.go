@@ -18,6 +18,9 @@ import (
 // time.NewTicker). time.Duration values and arithmetic remain free —
 // sim time is expressed in time.Duration throughout. The escape hatch
 // is //lint:allow wallclock -- <why>.
+//
+// The analyzer is purely intraprocedural: it declares no FactTypes
+// and neither exports nor imports analyzer facts.
 var WallClock = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc:  "ban wall-clock reads in event-driven packages",

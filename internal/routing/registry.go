@@ -56,7 +56,13 @@ func (a *AS) Originates(addr netip.Addr) bool {
 }
 
 // Registry is the simulated global routing table: the set of ASes, their
-// announced prefixes, and a longest-prefix-match index.
+// announced prefixes, and a longest-prefix-match index. Every shard
+// worker reads the same Registry concurrently, so it is frozen after
+// construction: once a world is built, no code outside a construction
+// context may call Add or otherwise write through it — the frozenshare
+// analyzer proves that statically, in every importing package.
+//
+//doors:frozen
 type Registry struct {
 	byASN map[ASN]*AS
 	trie  Trie
