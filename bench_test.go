@@ -42,7 +42,7 @@ func benchSetup(b *testing.B) (*Survey, analysis.Input) {
 			Hits: s.Scanner.Hits, Partials: s.Scanner.Partials,
 			Targets:      s.Scanner.Targets,
 			ScannerAddrs: []netip.Addr{s.World.ScannerAddr4, s.World.ScannerAddr6},
-			Reg:          s.World.Reg, Geo: s.Geo, PublicDNS: s.PublicDNS,
+			Reg:          s.World.Reg, Geo: s.Geo,
 		}
 	})
 	return benchSurvey, benchInput

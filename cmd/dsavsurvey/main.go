@@ -4,6 +4,7 @@
 // Usage:
 //
 //	dsavsurvey [-ases N] [-seed N] [-rate QPS] [-loss P] [-shards K]
+//	           [-campaign NAME] [-phases LIST]
 //	           [-wildcard] [-alldsav] [-nodsav] [-figures]
 //	           [-chaos] [-invariants=false]
 package main
@@ -12,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	doors "repro"
+	"repro/internal/campaign"
 	"repro/internal/chaos"
 	"repro/internal/ditl"
 	"repro/internal/report"
@@ -27,6 +30,8 @@ func main() {
 		seed     = flag.Int64("seed", 42, "population/world/scanner seed")
 		rate     = flag.Float64("rate", 20000, "probe rate (queries per virtual second)")
 		loss     = flag.Float64("loss", 0, "transit packet loss rate")
+		camp     = flag.String("campaign", "survey", "campaign to run: survey (reachability + characterization) or inbound-sav (one spoofed internal source per target, no follow-ups)")
+		phases   = flag.String("phases", "", "comma-separated phase list (reachability, characterization, inbound-sav) overriding -campaign")
 		wildcard = flag.Bool("wildcard", false, "serve wildcard answers instead of NXDOMAIN (§3.6.4 fix)")
 		allDSAV  = flag.Bool("alldsav", false, "counterfactual: every AS deploys DSAV")
 		noDSAV   = flag.Bool("nodsav", false, "counterfactual: no AS deploys DSAV")
@@ -37,7 +42,17 @@ func main() {
 	)
 	flag.Parse()
 
+	c, err := campaign.ByName(*camp)
+	if err == nil && *phases != "" {
+		c, err = campaign.NewFromPhases(strings.Split(*phases, ","))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsavsurvey:", err)
+		os.Exit(2)
+	}
+
 	cfg := doors.SurveyConfig{
+		Campaign: c,
 		Population: ditl.Params{Seed: *seed, ASes: *ases},
 		World: world.Options{
 			Seed: *seed + 1, LossRate: *loss,
@@ -56,7 +71,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("Survey: %d probes over %v of virtual time; %d hits, %d partial (QNAME-minimized) hits\n\n",
+	names := make([]string, len(s.Campaign.Phases))
+	for i, ph := range s.Campaign.Phases {
+		names[i] = ph.Name()
+	}
+	fmt.Printf("Campaign %q (phases: %s): %d probes over %v of virtual time; %d hits, %d partial (QNAME-minimized) hits\n\n",
+		s.Campaign.Name, strings.Join(names, " → "),
 		s.Probes, s.Duration, len(s.Scanner.Hits), len(s.Scanner.Partials))
 	if *chaosOn {
 		fmt.Printf("Chaos: %d resolver crashes injected\n", s.ChaosCrashes)

@@ -13,22 +13,25 @@
 //	survey, _ := doors.RunSurvey(cfg)     // probe + monitor + analyze
 //	fmt.Println(survey.Report.V4.ASFraction()) // ≈0.49 in the paper
 //
+// The engine itself lives in internal/campaign: a survey is one
+// campaign (an ordered phase list) run by a deterministic phase runner
+// that owns sharding, the chaos window, invariant merging, and the
+// canonical result merge. RunSurvey composes the default phase list;
+// SurveyConfig.Campaign swaps in another (e.g. the inbound-SAV-only
+// scan) over the same engine.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-vs-measured results.
 package doors
 
 import (
-	"fmt"
 	"net/netip"
-	"runtime"
-	"sync"
 	"time"
 
-	"repro/internal/analysis"
+	"repro/internal/campaign"
 	"repro/internal/chaos"
 	"repro/internal/ditl"
 	"repro/internal/geo"
-	"repro/internal/routing"
 	"repro/internal/scanner"
 	"repro/internal/world"
 )
@@ -37,6 +40,9 @@ import (
 type SurveyConfig struct {
 	// Population generates the synthetic DITL target world.
 	Population ditl.Params
+	// Campaign selects the phase list to run; nil runs the default
+	// survey campaign (reachability + characterization).
+	Campaign *campaign.Campaign
 	// World tunes the simulated Internet (loss, wildcard zone, DSAV
 	// counterfactuals).
 	World world.Options
@@ -70,111 +76,40 @@ type SurveyConfig struct {
 	DisableInvariants bool
 }
 
-// shardCount resolves the configured shard count.
-func (c SurveyConfig) shardCount() int {
-	switch {
-	case c.Shards < 0:
-		return runtime.GOMAXPROCS(0)
-	case c.Shards == 0:
-		return 1
-	default:
-		return c.Shards
+// engineConfig lowers the survey knobs onto the campaign runner.
+func (c SurveyConfig) engineConfig() campaign.Config {
+	return campaign.Config{
+		World:             c.World,
+		Scanner:           c.Scanner,
+		LifetimeThreshold: c.LifetimeThreshold,
+		ChurnFraction:     c.ChurnFraction,
+		Shards:            c.Shards,
+		Chaos:             c.Chaos,
+		DisableInvariants: c.DisableInvariants,
 	}
 }
 
-// Survey is a completed run.
-type Survey struct {
-	Population *ditl.Population
-	// World is the first shard's world (they share scanner addresses,
-	// registry, and global public-DNS addressing); Worlds lists every
-	// shard's world.
-	World  *world.World
-	Worlds []*world.World
-	// Scanner holds the merged survey results: Targets, Hits, Partials
-	// and Stats aggregated across shards in canonical order.
-	Scanner *scanner.Scanner
-	Report  *analysis.Report
-	Geo     *geo.DB
-	// PublicDNS is the full middlebox-accounting allowlist used by the
-	// analysis: the shared public resolvers plus every per-AS replica.
-	PublicDNS []netip.Addr
-
-	// Probes is the number of probe queries scheduled; Duration is the
-	// virtual experiment duration they were spread over.
-	Probes   int
-	Duration time.Duration
-
-	// Invariants is the merged invariant-checker report (nil when the
-	// checker was disabled).
-	Invariants *world.InvariantReport
-	// ChaosCrashes is the number of resolver crashes the chaos schedule
-	// injected across all shards (0 without chaos).
-	ChaosCrashes int
-}
+// Survey is a completed run: the campaign runner's Result.
+type Survey = campaign.Result
 
 // CandidateAddrs lists every DITL-derived candidate target (live
 // resolvers and dead addresses alike; the scanner cannot tell them
 // apart, §3.6.2).
 func CandidateAddrs(pop *ditl.Population) []netip.Addr {
-	return candidateAddrsFor(pop, nil)
-}
-
-// candidateAddrsFor collects the candidates of the population ASes
-// named by indices (nil = all), pre-sized from the population counts.
-func candidateAddrsFor(pop *ditl.Population, indices []int) []netip.Addr {
-	out := make([]netip.Addr, 0, pop.CandidateCount(indices))
-	visit := func(as *ditl.ASSpec) {
-		for _, r := range as.Resolvers {
-			if r.HasV4() {
-				out = append(out, r.Addr4)
-			}
-			if r.HasV6() {
-				out = append(out, r.Addr6)
-			}
-		}
-		out = append(out, as.DeadTargets...)
-	}
-	if indices == nil {
-		for _, as := range pop.ASes {
-			visit(as)
-		}
-	} else {
-		for _, i := range indices {
-			visit(pop.ASes[i])
-		}
-	}
-	return out
+	return campaign.CandidateAddrs(pop, nil)
 }
 
 // V6HitList derives the IPv6 hit list (§3.2, [21]) from the population:
 // the /64s of every known-active v6 address (live resolvers and
 // once-seen dead targets alike — activity, not liveness).
 func V6HitList(pop *ditl.Population) map[netip.Prefix]bool {
-	hl := make(map[netip.Prefix]bool, pop.V6AddrCount())
-	add := func(a netip.Addr) {
-		if a.IsValid() && a.Is6() {
-			hl[routing.SubnetOf(a)] = true
-		}
-	}
-	for _, as := range pop.ASes {
-		for _, r := range as.Resolvers {
-			add(r.Addr6)
-		}
-		for _, d := range as.DeadTargets {
-			add(d)
-		}
-	}
-	return hl
+	return campaign.V6HitList(pop)
 }
 
 // GeoDB builds the country database from the population's AS
 // assignments (standing in for MaxMind GeoLite2, §4).
 func GeoDB(pop *ditl.Population) *geo.DB {
-	db := geo.New()
-	for _, as := range pop.ASes {
-		db.Assign(as.ASN, as.Countries...)
-	}
-	return db
+	return campaign.GeoDB(pop)
 }
 
 // RunSurvey generates a population, builds the world, runs the probing
@@ -185,168 +120,11 @@ func RunSurvey(cfg SurveyConfig) (*Survey, error) {
 }
 
 // RunSurveyOn runs a survey over an existing population (so ablations
-// can share one population across world variants).
-//
-// With Shards > 1 the population's ASes are partitioned into
-// contiguous shards, each simulated in its own world (own event queue,
-// own scanner instance) on its own goroutine over one shared read-only
-// routing registry. Probe timing is computed from the survey-wide
-// probe total before any shard schedules, and the shard-local result
-// buffers are merged in canonical order afterwards, so the survey is
-// deterministic: the same seeds produce the same Report at any shard
-// count, including 1.
+// can share one population across world variants). It is a thin
+// composition over the campaign engine: cfg.Campaign (default: the
+// reachability + characterization survey) runs under
+// internal/campaign.Run, which owns sharding, probe-window derivation,
+// chaos, invariant merging, and the canonical deterministic merge.
 func RunSurveyOn(pop *ditl.Population, cfg SurveyConfig) (*Survey, error) {
-	shards := cfg.shardCount()
-	if cfg.Scanner.V6HitList == nil {
-		cfg.Scanner.V6HitList = V6HitList(pop)
-	}
-	cfg.World.Invariants = !cfg.DisableInvariants
-	reg, err := world.BuildRegistry(pop, cfg.World)
-	if err != nil {
-		return nil, err
-	}
-
-	// Phase 1: build each shard's world and scanner, and plan (but do
-	// not yet schedule) its probes.
-	parts := ditl.PartitionIndices(len(pop.ASes), shards)
-	worlds := make([]*world.World, shards)
-	scanners := make([]*scanner.Scanner, shards)
-	probes := 0
-	for k := range parts {
-		indices := parts[k]
-		if shards == 1 {
-			indices = nil // build everything; preserves Build's fast path
-		}
-		w, err := world.BuildWith(pop, reg, cfg.World, indices)
-		if err != nil {
-			return nil, err
-		}
-		sc, err := scanner.New(w.Scanner, w.ScannerAddr4, w.ScannerAddr6, w.Reg, w.Auth, cfg.Scanner)
-		if err != nil {
-			return nil, err
-		}
-		sc.Admit(candidateAddrsFor(pop, indices))
-		probes += sc.Plan()
-		worlds[k], scanners[k] = w, sc
-	}
-
-	// Phase 2: the campaign duration depends only on the survey-wide
-	// probe total and rate, so per-probe timestamps are identical no
-	// matter how the targets were partitioned. The chaos injector's
-	// fault window is likewise the survey-wide duration, and one
-	// read-only injector is shared by every shard, so the fault schedule
-	// is shard-invariant too.
-	duration := scanner.CampaignDuration(probes, scanners[0].Cfg.Rate)
-	chaosCrashes := 0
-	var inj *chaos.Injector
-	if cfg.Chaos.Enabled {
-		inj = chaos.NewInjector(cfg.Chaos)
-		inj.SetWindow(duration)
-		inj.SetEligible(isTargetAS)
-	}
-	for k := range worlds {
-		scanners[k].Schedule(duration)
-		if cfg.ChurnFraction > 0 {
-			worlds[k].ScheduleChurn(cfg.ChurnFraction, duration, cfg.Scanner.Seed+99)
-		}
-		if inj != nil {
-			chaosCrashes += worlds[k].ScheduleChaos(inj)
-		}
-	}
-
-	// Phase 3: run the shard simulations in parallel. The shards share
-	// only the read-only registry and population, so no locking is
-	// needed.
-	if shards == 1 {
-		worlds[0].Net.Run()
-	} else {
-		var wg sync.WaitGroup
-		for k := range worlds {
-			wg.Add(1)
-			go func(k int) {
-				defer wg.Done()
-				worlds[k].Net.Run()
-			}(k)
-		}
-		wg.Wait()
-	}
-
-	// Phase 4: deterministic merge. Targets concatenate in shard order
-	// (= population order, since shards are contiguous); hits and
-	// partials sort by their full content keys. The sorts run at every
-	// shard count — K=1 included — so the merged sequences are
-	// bit-identical however the survey was split.
-	sc := scanners[0]
-	for _, o := range scanners[1:] {
-		sc.Targets = append(sc.Targets, o.Targets...)
-		sc.Hits = append(sc.Hits, o.Hits...)
-		sc.Partials = append(sc.Partials, o.Partials...)
-		sc.Stats.Add(o.Stats)
-	}
-	scanner.SortHits(sc.Hits)
-	scanner.SortPartials(sc.Partials)
-	publicDNS := mergedPublicDNS(worlds)
-
-	var inv *world.InvariantReport
-	if !cfg.DisableInvariants {
-		merged := world.InvariantReport{}
-		for _, w := range worlds {
-			merged.Add(w.Invariants.Report())
-		}
-		inv = &merged
-	}
-
-	gdb := GeoDB(pop)
-	report := analysis.Analyze(analysis.Input{
-		Hits:              sc.Hits,
-		Partials:          sc.Partials,
-		Targets:           sc.Targets,
-		ScannerAddrs:      []netip.Addr{worlds[0].ScannerAddr4, worlds[0].ScannerAddr6},
-		Reg:               reg,
-		Geo:               gdb,
-		PublicDNS:         publicDNS,
-		LifetimeThreshold: cfg.LifetimeThreshold,
-		FollowUpCount:     cfg.Scanner.FollowUpCount,
-	})
-	survey := &Survey{
-		Population: pop, World: worlds[0], Worlds: worlds,
-		Scanner: sc, Report: report, Geo: gdb, PublicDNS: publicDNS,
-		Probes: probes, Duration: duration,
-		Invariants: inv, ChaosCrashes: chaosCrashes,
-	}
-	if inv != nil && !inv.Ok() {
-		return survey, fmt.Errorf("doors: %d simulation invariant violation(s); first: %s",
-			inv.ViolationCount, inv.Violations[0])
-	}
-	return survey, nil
-}
-
-// isTargetAS reports whether asn belongs to the measured population
-// rather than the experiment's own infrastructure (root/auth servers,
-// scanner, public DNS, third-party upstreams) — the chaos layer's
-// eligibility predicate.
-func isTargetAS(asn routing.ASN) bool {
-	switch asn {
-	case 10, 20, 30, 40:
-		return false
-	}
-	return true
-}
-
-// mergedPublicDNS unions the public-DNS allowlist across shard worlds:
-// the shared public resolvers (identical in every shard) plus each
-// shard's per-AS replicas. Shards hold disjoint AS subsets in
-// population order, so concatenating in shard order reproduces the
-// single-shard list exactly.
-func mergedPublicDNS(worlds []*world.World) []netip.Addr {
-	n := len(worlds[0].PublicDNS)
-	for _, w := range worlds {
-		n += len(w.ASPublicDNS)
-	}
-	out := make([]netip.Addr, 0, n)
-	out = append(out, worlds[0].PublicDNS...)
-	for _, w := range worlds {
-		out = append(out, w.ASPublicDNS...)
-	}
-	return out
+	return campaign.Run(cfg.Campaign, pop, cfg.engineConfig())
 }

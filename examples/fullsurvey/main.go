@@ -60,7 +60,7 @@ func main() {
 	rep := analysis.Analyze(analysis.Input{
 		Hits: sc.Hits, Partials: sc.Partials, Targets: sc.Targets,
 		ScannerAddrs: []netip.Addr{w.ScannerAddr4, w.ScannerAddr6},
-		Reg:          w.Reg, Geo: doors.GeoDB(pop), PublicDNS: w.AllPublicDNS(),
+		Reg:          w.Reg, Geo: doors.GeoDB(pop),
 	})
 
 	fmt.Println()

@@ -24,7 +24,9 @@ import (
 	"repro/internal/stats"
 )
 
-// Input bundles the observations.
+// Input bundles the observations. Middlebox accounting recognizes
+// public-DNS clients through the registry's PublicService role, so no
+// separate allowlist is carried here.
 type Input struct {
 	Hits         []scanner.Hit
 	Partials     []scanner.PartialHit
@@ -32,7 +34,6 @@ type Input struct {
 	ScannerAddrs []netip.Addr
 	Reg          *routing.Registry
 	Geo          *geo.DB
-	PublicDNS    []netip.Addr
 	// LifetimeThreshold filters human-induced queries (10s, §3.6.3).
 	LifetimeThreshold time.Duration
 	// FollowUpCount is the expected port-sample size (10).
@@ -237,10 +238,85 @@ func (in Input) withDefaults() Input {
 	return in
 }
 
-// Analyze runs the full evaluation.
+// Context is the partitioned observation state every reducer reads: the
+// (defaulted) Input plus the target-ASN index and the per-target
+// observation maps. Partition builds it once; reducers treat it as
+// read-only, so each writes its own disjoint slice of the Report and a
+// campaign may run any subset of reducers in any order.
+type Context struct {
+	in        Input
+	targetASN map[netip.Addr]routing.ASN
+	reachable map[netip.Addr]*targetObs
+	lateAddrs map[netip.Addr]bool
+}
+
+// Reducer is one named, independent slice of the Report computation.
+// Campaign phases contribute reducer lists; the name deduplicates a
+// reducer contributed by more than one phase.
+type Reducer struct {
+	Name   string
+	Reduce func(*Context, *Report)
+}
+
+// Reduce runs the reducers over the partitioned observations in order,
+// skipping duplicates by name. Reducers accumulate into Report counters,
+// so running one twice would corrupt the output — two phases may both
+// name "headline" and it still runs exactly once.
+func (c *Context) Reduce(r *Report, reducers []Reducer) {
+	done := make(map[string]bool, len(reducers))
+	for _, red := range reducers {
+		if done[red.Name] {
+			continue
+		}
+		done[red.Name] = true
+		red.Reduce(c, r)
+	}
+}
+
+// ReachabilityReducers computes everything observable from the spoofed
+// main-probe phase alone: headline reachability, geography, the
+// source-category table, the middlebox / QNAME-minimization / lifetime
+// accountings, source effectiveness, and the reachable/open lists.
+func ReachabilityReducers() []Reducer {
+	return []Reducer{
+		{Name: "headline", Reduce: computeHeadline},
+		{Name: "countries", Reduce: computeCountries},
+		{Name: "table3", Reduce: computeTable3},
+		{Name: "middlebox", Reduce: computeMiddlebox},
+		{Name: "qmin", Reduce: computeQmin},
+		{Name: "lifetime", Reduce: computeLifetime},
+		{Name: "sources", Reduce: computeSources},
+		{Name: "reachable", Reduce: computeReachable},
+	}
+}
+
+// CharacterizationReducers computes the follow-up-dependent results:
+// open/closed status (§5.1), source-port randomization (§5.2-5.3), and
+// forwarding (§5.4).
+func CharacterizationReducers() []Reducer {
+	return []Reducer{
+		{Name: "openclosed", Reduce: computeOpenClosed},
+		{Name: "ports", Reduce: computePorts},
+		{Name: "forwarding", Reduce: computeForwarding},
+	}
+}
+
+// AllReducers is the default survey's full reducer set.
+func AllReducers() []Reducer {
+	return append(ReachabilityReducers(), CharacterizationReducers()...)
+}
+
+// Analyze runs the full evaluation: partition once, then every reducer.
 func Analyze(in Input) *Report {
-	in = in.withDefaults()
 	r := &Report{}
+	Partition(in).Reduce(r, AllReducers())
+	return r
+}
+
+// Partition applies defaults and folds the hit log into per-target
+// observations — the shared state the reducers consume.
+func Partition(in Input) *Context {
+	in = in.withDefaults()
 
 	targetASN := make(map[netip.Addr]routing.ASN, len(in.Targets))
 	for _, t := range in.Targets {
@@ -295,19 +371,14 @@ func Analyze(in Input) *Report {
 		}
 	}
 
-	computeHeadline(r, in, targetASN, reachable)
-	computeCountries(r, in, targetASN, reachable)
-	computeTable3(r, in, targetASN, reachable)
-	computeOpenClosed(r, in, targetASN, reachable)
-	computePorts(r, in, targetASN, reachable)
-	computeForwarding(r, in, targetASN, reachable)
-	computeMiddlebox(r, in, targetASN, reachable)
-	computeQmin(r, in, targetASN, reachable)
-	computeLifetime(r, in, targetASN, reachable, lateAddrs)
+	return &Context{in: in, targetASN: targetASN, reachable: reachable, lateAddrs: lateAddrs}
+}
 
-	// §4.1 source-effectiveness medians and §5.5 infiltration.
+// computeSources is the §4.1 source-effectiveness distribution and §5.5
+// infiltration headline.
+func computeSources(c *Context, r *Report) {
 	var nsrc4, nsrc6 []int
-	for a, o := range reachable {
+	for a, o := range c.reachable {
 		n := len(o.sources)
 		if a.Is4() {
 			nsrc4 = append(nsrc4, n)
@@ -335,8 +406,12 @@ func Analyze(in Input) *Report {
 	}
 	r.MedianSourcesV4 = stats.Median(nsrc4)
 	r.MedianSourcesV6 = stats.Median(nsrc6)
+}
 
-	for a, o := range reachable {
+// computeReachable emits the canonical reachable/open target lists
+// (input to the ground-truth validation of Validate).
+func computeReachable(c *Context, r *Report) {
+	for a, o := range c.reachable {
 		r.ReachableAddrs = append(r.ReachableAddrs, a)
 		if o.open {
 			r.OpenAddrs = append(r.OpenAddrs, a)
@@ -344,7 +419,6 @@ func Analyze(in Input) *Report {
 	}
 	sortAddrs(r.ReachableAddrs)
 	sortAddrs(r.OpenAddrs)
-	return r
 }
 
 // targetObs accumulates per-target observations during hit partitioning.

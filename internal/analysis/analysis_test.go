@@ -24,7 +24,7 @@ func fixture() (reg *routing.Registry, gdb *geo.DB, targets []scanner.Target) {
 	reg = routing.NewRegistry()
 	reg.Add(&routing.AS{ASN: 100, Prefixes: []netip.Prefix{prefix("198.51.100.0/24"), prefix("203.0.113.0/24")}})
 	reg.Add(&routing.AS{ASN: 200, Prefixes: []netip.Prefix{prefix("192.0.2.0/24")}})
-	reg.Add(&routing.AS{ASN: 30, Prefixes: []netip.Prefix{prefix("223.253.0.0/16")}})
+	reg.Add(&routing.AS{ASN: 30, Prefixes: []netip.Prefix{prefix("223.253.0.0/16")}, Infra: true, PublicService: true})
 	gdb = geo.New()
 	gdb.Assign(100, "US")
 	gdb.Assign(200, "BR")
@@ -54,7 +54,7 @@ func TestAnalyzeHeadlineAndReachability(t *testing.T) {
 	}
 	r := Analyze(Input{
 		Hits: hits, Targets: targets, ScannerAddrs: []netip.Addr{scannerAddr},
-		Reg: reg, Geo: gdb, PublicDNS: []netip.Addr{addr("223.253.0.1")},
+		Reg: reg, Geo: gdb,
 	})
 	if r.V4.Targets != 4 || r.V4.ReachableAddrs != 1 {
 		t.Fatalf("headline = %+v", r.V4)
@@ -219,7 +219,7 @@ func TestAnalyzeForwarding(t *testing.T) {
 	hits = append(hits, followUps("192.0.2.53", 200, []uint16{2000})[0])
 	r := Analyze(Input{
 		Hits: hits, Targets: targets, ScannerAddrs: []netip.Addr{scannerAddr},
-		Reg: reg, Geo: gdb, PublicDNS: []netip.Addr{addr("223.253.0.1")},
+		Reg: reg, Geo: gdb,
 	})
 	f := r.Forwarding
 	if f.V4Resolved != 2 || f.V4Direct != 1 || f.V4Forwarded != 1 || f.V4Both != 0 {
@@ -235,7 +235,7 @@ func TestAnalyzeMiddleboxAccounting(t *testing.T) {
 	hits := []scanner.Hit{viaPublic, mainHit("192.0.2.9", "192.0.2.53", 200)}
 	r := Analyze(Input{
 		Hits: hits, Targets: targets, ScannerAddrs: []netip.Addr{scannerAddr},
-		Reg: reg, Geo: gdb, PublicDNS: []netip.Addr{addr("223.253.0.1")},
+		Reg: reg, Geo: gdb,
 	})
 	m := r.Middlebox
 	if m.ReachableASes != 2 || m.DirectFromAS != 1 || m.ViaPublicDNS != 1 || m.Unexplained != 0 {

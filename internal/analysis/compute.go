@@ -11,7 +11,8 @@ import (
 	"repro/internal/stats"
 )
 
-func computeHeadline(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs) {
+func computeHeadline(c *Context, r *Report) {
+	in, targetASN, reachable := c.in, c.targetASN, c.reachable
 	asSeen4 := make(map[routing.ASN]bool)
 	asSeen6 := make(map[routing.ASN]bool)
 	asReach4 := make(map[routing.ASN]bool)
@@ -39,7 +40,8 @@ func computeHeadline(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, 
 	r.V4.ReachableASes, r.V6.ReachableASes = len(asReach4), len(asReach6)
 }
 
-func computeCountries(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs) {
+func computeCountries(c *Context, r *Report) {
+	in, targetASN, reachable := c.in, c.targetASN, c.reachable
 	if in.Geo == nil {
 		return
 	}
@@ -66,7 +68,8 @@ var allCategories = []scanner.SourceCategory{
 	scanner.CatDstAsSrc, scanner.CatLoopback,
 }
 
-func computeTable3(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs) {
+func computeTable3(c *Context, r *Report) {
+	targetASN, reachable := c.targetASN, c.reachable
 	build := func(v6 bool) []CategoryRow {
 		// Per-AS union of categories.
 		asCats := make(map[routing.ASN]map[scanner.SourceCategory]bool)
@@ -119,7 +122,8 @@ func computeTable3(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, re
 	r.Table3.V6 = build(true)
 }
 
-func computeOpenClosed(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs) {
+func computeOpenClosed(c *Context, r *Report) {
+	targetASN, reachable := c.targetASN, c.reachable
 	asReach := make(map[routing.ASN]bool)
 	asClosed := make(map[routing.ASN]bool)
 	for a, o := range reachable {
@@ -136,7 +140,8 @@ func computeOpenClosed(r *Report, in Input, targetASN map[netip.Addr]routing.ASN
 	r.OpenClosed.ASesWithClosed = len(asClosed)
 }
 
-func computePorts(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs) {
+func computePorts(c *Context, r *Report) {
+	in, targetASN, reachable := c.in, c.targetASN, c.reachable
 	pr := &r.Ports
 	pr.HistFullOpen = stats.NewHistogram(500, 65535)
 	pr.HistFullClosed = stats.NewHistogram(500, 65535)
@@ -281,7 +286,8 @@ func sortedAddrsPorts(m map[netip.Addr][]uint16) []netip.Addr {
 	return out
 }
 
-func computeForwarding(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs) {
+func computeForwarding(c *Context, r *Report) {
+	in, reachable := c.in, c.reachable
 	type fw struct{ direct, forwarded bool }
 	perTarget := make(map[netip.Addr]*fw)
 	for i := range in.Hits {
@@ -347,11 +353,8 @@ func computeForwarding(r *Report, in Input, targetASN map[netip.Addr]routing.ASN
 	}
 }
 
-func computeMiddlebox(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs) {
-	public := make(map[netip.Addr]bool)
-	for _, a := range in.PublicDNS {
-		public[a] = true
-	}
+func computeMiddlebox(c *Context, r *Report) {
+	in, targetASN, reachable := c.in, c.targetASN, c.reachable
 	reachAS := make(map[routing.ASN]bool)
 	directAS := make(map[routing.ASN]bool)
 	publicAS := make(map[routing.ASN]bool)
@@ -364,11 +367,17 @@ func computeMiddlebox(r *Report, in Input, targetASN map[netip.Addr]routing.ASN,
 			continue
 		}
 		asn := targetASN[h.Dst]
-		if origin := in.Reg.OriginOf(h.Client); origin != nil && origin.ASN == asn {
-			directAS[asn] = true
-		}
-		if public[h.Client] {
-			publicAS[asn] = true
+		// The registry's roles are the single source of truth: a client
+		// in public-DNS space (AS.PublicService) explains the relay;
+		// third-party upstream space carries no role and stays in
+		// "Unexplained", as §3.6.1 requires.
+		if origin := in.Reg.OriginOf(h.Client); origin != nil {
+			if origin.ASN == asn {
+				directAS[asn] = true
+			}
+			if origin.PublicService {
+				publicAS[asn] = true
+			}
 		}
 	}
 	r.Middlebox.ReachableASes = len(reachAS)
@@ -384,7 +393,8 @@ func computeMiddlebox(r *Report, in Input, targetASN map[netip.Addr]routing.ASN,
 	}
 }
 
-func computeQmin(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs) {
+func computeQmin(c *Context, r *Report) {
+	in, targetASN, reachable := c.in, c.targetASN, c.reachable
 	clients := make(map[netip.Addr]bool)
 	asns := make(map[routing.ASN]bool)
 	for _, p := range in.Partials {
@@ -413,7 +423,8 @@ func computeQmin(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reac
 	}
 }
 
-func computeLifetime(r *Report, in Input, targetASN map[netip.Addr]routing.ASN, reachable map[netip.Addr]*targetObs, lateAddrs map[netip.Addr]bool) {
+func computeLifetime(c *Context, r *Report) {
+	targetASN, reachable, lateAddrs := c.targetASN, c.reachable, c.lateAddrs
 	lateOnlyAS := make(map[routing.ASN]bool)
 	reachASN := make(map[routing.ASN]bool)
 	for a := range reachable {

@@ -1,0 +1,172 @@
+// Package campaign decomposes the survey pipeline into a composable
+// phase engine. A measurement campaign is a named, ordered list of
+// phases; the runner (Run) owns everything every campaign shares —
+// population sharding, the survey-wide probe window, the chaos fault
+// schedule, invariant merging, and the canonical result merge — while
+// each Phase contributes its probe plan, its schedule, its reactive
+// hooks, and the analysis reducers that consume its observations.
+//
+// The paper's survey is the default campaign: a spoofed reachability
+// phase (§3.2) plus a reactive characterization phase (§3.5). The
+// inbound-SAV campaign reuses the same engine with a different phase
+// list — one spoofed internal source per target and no follow-ups, in
+// the style of the Closed Resolver Project — which is what makes
+// ablations like "reachability with and without characterization
+// traffic" one-line experiments.
+//
+// Determinism contract: a phase may key randomness only on causal
+// identity (detrand over the probed target, never shared streams), must
+// derive probe timing from the survey-wide window passed to Schedule,
+// and must keep Plan free of side effects outside its own Shard — then
+// the merged Result is bit-identical at every shard count, exactly as
+// for the monolithic engine it replaces.
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/scanner"
+	"repro/internal/world"
+)
+
+// Phase names, usable with NewFromPhases and the -phases flag.
+const (
+	PhaseReachability     = "reachability"
+	PhaseCharacterization = "characterization"
+	PhaseInboundSAV       = "inbound-sav"
+)
+
+// Phase is one stage of a measurement campaign. The runner drives every
+// phase through Plan → Schedule → Observe on each shard before the
+// simulation runs; Reducers contributes the phase's slice of the
+// analysis after the merged observations are partitioned.
+//
+// One Phase value is shared read-only by every shard, so per-shard plan
+// state computed in Plan must live on the Shard (SetState), not on the
+// phase.
+type Phase interface {
+	// Name identifies the phase; it keys the phase's per-shard state
+	// and the -phases selection.
+	Name() string
+	// Plan precomputes the phase's probe set for the shard and returns
+	// the number of probes it will schedule. Plans run on every shard
+	// before any scheduling, so the campaign window can derive from the
+	// survey-wide probe total.
+	Plan(sh *Shard) int
+	// Schedule enqueues the planned probes. window is the survey-wide
+	// campaign duration — identical at every shard count — and all probe
+	// times must derive from it and from per-target causal identity.
+	Schedule(sh *Shard, window time.Duration)
+	// Observe installs reactive hooks (e.g. the scanner's FollowUp
+	// trigger) before the simulation runs. Purely scheduled phases leave
+	// it a no-op.
+	Observe(sh *Shard)
+	// Reducers lists the analysis reducers that turn the campaign's
+	// merged observations into this phase's slice of the Report. The
+	// runner deduplicates by reducer name across phases.
+	Reducers() []analysis.Reducer
+}
+
+// Campaign is a named, ordered phase list. One Campaign value is shared
+// read-only by every shard goroutine, so it is frozen after
+// construction: no code outside a constructor may write through it —
+// the frozenshare analyzer proves that statically.
+//
+//doors:frozen
+type Campaign struct {
+	Name   string
+	Phases []Phase
+}
+
+// reducers concatenates the phases' reducer lists in phase order.
+// analysis.Context.Reduce deduplicates by name, so two phases sharing a
+// reducer still run it exactly once.
+func (c *Campaign) reducers() []analysis.Reducer {
+	var out []analysis.Reducer
+	for _, ph := range c.Phases {
+		out = append(out, ph.Reducers()...)
+	}
+	return out
+}
+
+// NewSurvey returns the paper's default campaign: the spoofed
+// reachability scan plus reactive per-resolver characterization.
+func NewSurvey() *Campaign {
+	return &Campaign{Name: "survey", Phases: []Phase{reachabilityPhase{}, characterizationPhase{}}}
+}
+
+// NewInboundSAV returns the inbound-SAV-only campaign: one spoofed
+// target-internal source per target and no follow-ups, Closed-Resolver
+// style.
+func NewInboundSAV() *Campaign {
+	return &Campaign{Name: "inbound-sav", Phases: []Phase{inboundSAVPhase{}}}
+}
+
+// ByName returns a registered campaign: "survey" (also "", the default)
+// or "inbound-sav".
+func ByName(name string) (*Campaign, error) {
+	switch name {
+	case "", "survey":
+		return NewSurvey(), nil
+	case "inbound-sav":
+		return NewInboundSAV(), nil
+	}
+	return nil, fmt.Errorf("campaign: unknown campaign %q (have survey, inbound-sav)", name)
+}
+
+// NewFromPhases assembles a custom campaign from phase names, in order.
+func NewFromPhases(names []string) (*Campaign, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("campaign: no phases named")
+	}
+	phases := make([]Phase, 0, len(names))
+	for _, n := range names {
+		ph, err := phaseByName(n)
+		if err != nil {
+			return nil, err
+		}
+		phases = append(phases, ph)
+	}
+	return &Campaign{Name: "custom:" + strings.Join(names, "+"), Phases: phases}, nil
+}
+
+func phaseByName(name string) (Phase, error) {
+	switch name {
+	case PhaseReachability:
+		return reachabilityPhase{}, nil
+	case PhaseCharacterization:
+		return characterizationPhase{}, nil
+	case PhaseInboundSAV:
+		return inboundSAVPhase{}, nil
+	}
+	return nil, fmt.Errorf("campaign: unknown phase %q (have %s, %s, %s)",
+		name, PhaseReachability, PhaseCharacterization, PhaseInboundSAV)
+}
+
+// Shard is one shard's mutable simulation state: its world, its scanner
+// instance, and the phases' per-shard plan state. Shards are confined
+// to one goroutine each; only the runner's merge step reads across
+// them, after every simulation has finished.
+type Shard struct {
+	Index   int
+	World   *world.World
+	Scanner *scanner.Scanner
+
+	state map[string]any
+}
+
+// SetState stores a phase's shard-local plan state, keyed by phase
+// name. Phases are shared read-only across shards, so anything Plan
+// computes must live here rather than on the phase value.
+func (sh *Shard) SetState(phase string, v any) {
+	if sh.state == nil {
+		sh.state = make(map[string]any)
+	}
+	sh.state[phase] = v
+}
+
+// State returns the phase's stored shard-local state, or nil.
+func (sh *Shard) State(phase string) any { return sh.state[phase] }

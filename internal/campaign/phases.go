@@ -1,0 +1,149 @@
+package campaign
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/detrand"
+	"repro/internal/routing"
+	"repro/internal/scanner"
+)
+
+// Salt band 101+ (campaign). Registered in the saltbands registry (see
+// DESIGN.md §8 rule 2); every draw a phase makes is keyed on the probed
+// target's identity, never on a shared stream.
+const (
+	saltSAVSubnet = 101 + iota // inbound-SAV: spoofed-source subnet pick
+	saltSAVSource              // inbound-SAV: spoofed-source host draw
+	saltSAVPhase               // inbound-SAV: probe offset within the window
+)
+
+// savSubnetFanout bounds how many subnets per announced prefix the
+// inbound-SAV source pick considers (mirrors the reachability scan's
+// low-to-high subnet enumeration, §3.2).
+const savSubnetFanout = 8
+
+// reachabilityPhase is the §3.2 spoofed reachability scan: the
+// scanner's full multi-source probe plan, paced over the campaign
+// window with per-target phase offsets.
+type reachabilityPhase struct{}
+
+func (reachabilityPhase) Name() string { return PhaseReachability }
+
+func (reachabilityPhase) Plan(sh *Shard) int { return sh.Scanner.Plan() }
+
+func (reachabilityPhase) Schedule(sh *Shard, window time.Duration) { sh.Scanner.Schedule(window) }
+
+func (reachabilityPhase) Observe(*Shard) {}
+
+func (reachabilityPhase) Reducers() []analysis.Reducer { return analysis.ReachabilityReducers() }
+
+// characterizationPhase is the §3.5 reactive follow-up step. It
+// schedules no probes of its own: Observe arms the scanner's FollowUp
+// hook, so each target's first timely spoofed hit triggers the
+// open-resolver, port-randomization, TCP and forwarding probe set.
+type characterizationPhase struct{}
+
+func (characterizationPhase) Name() string { return PhaseCharacterization }
+
+func (characterizationPhase) Plan(*Shard) int { return 0 }
+
+func (characterizationPhase) Schedule(*Shard, time.Duration) {}
+
+func (characterizationPhase) Observe(sh *Shard) {
+	sh.Scanner.FollowUp = sh.Scanner.ScheduleFollowUps
+}
+
+func (characterizationPhase) Reducers() []analysis.Reducer {
+	return analysis.CharacterizationReducers()
+}
+
+// savProbe is one planned inbound-SAV probe.
+type savProbe struct {
+	target scanner.Target
+	src    netip.Addr
+}
+
+// inboundSAVPhase is the Closed-Resolver-style inbound-SAV scan
+// (Korczyński et al.): exactly one spoofed target-internal source per
+// target, no reactive follow-ups. It measures the same DSAV question as
+// the reachability phase at 1/~100th the probe volume, so the
+// reachability reducers consume its hits unchanged while the
+// characterization results stay empty.
+type inboundSAVPhase struct{}
+
+func (inboundSAVPhase) Name() string { return PhaseInboundSAV }
+
+func (inboundSAVPhase) Plan(sh *Shard) int {
+	sc := sh.Scanner
+	seed := uint64(sc.Cfg.Seed)
+	plan := make([]savProbe, 0, len(sc.Targets))
+	for _, t := range sc.Targets {
+		src, ok := savSourceFor(sc.Reg, t, seed)
+		if !ok {
+			continue
+		}
+		plan = append(plan, savProbe{target: t, src: src})
+	}
+	sh.SetState(PhaseInboundSAV, plan)
+	return len(plan)
+}
+
+func (inboundSAVPhase) Schedule(sh *Shard, window time.Duration) {
+	plan, _ := sh.State(PhaseInboundSAV).([]savProbe)
+	sc := sh.Scanner
+	seed := uint64(sc.Cfg.Seed)
+	q := sh.World.Net.Q
+	for i := range plan {
+		p := plan[i]
+		hi, lo := detrand.AddrWords(p.target.Addr)
+		at := time.Duration(detrand.Float64(seed, hi, lo, saltSAVPhase) * float64(window))
+		q.At(at, func(now time.Duration) {
+			sc.SendProbe(now, p.src, p.target, scanner.ProbeMain)
+		})
+	}
+}
+
+func (inboundSAVPhase) Observe(*Shard) {}
+
+func (inboundSAVPhase) Reducers() []analysis.Reducer { return analysis.ReachabilityReducers() }
+
+// savSourceFor picks a target's one spoofed source: a random host
+// address from another subnet of the target's AS when one exists (the
+// category most likely to slip past an address-based ingress check),
+// else a same-subnet address distinct from the target. Every draw is
+// keyed on the target's identity, so the pick is shard-invariant.
+func savSourceFor(reg *routing.Registry, t scanner.Target, seed uint64) (netip.Addr, bool) {
+	as := reg.AS(t.ASN)
+	if as == nil {
+		return netip.Addr{}, false
+	}
+	var prefixes []netip.Prefix
+	if t.Addr.Is6() {
+		prefixes = as.V6Prefixes()
+	} else {
+		prefixes = as.V4Prefixes()
+	}
+	own := routing.SubnetOf(t.Addr)
+	var candidates []netip.Prefix
+	for _, p := range prefixes {
+		for _, sub := range routing.EnumerateSubnets(p, savSubnetFanout) {
+			if sub != own {
+				candidates = append(candidates, sub)
+			}
+		}
+	}
+	hi, lo := detrand.AddrWords(t.Addr)
+	if len(candidates) > 0 {
+		sub := candidates[detrand.Intn(len(candidates), seed, hi, lo, saltSAVSubnet)]
+		return routing.RandomHostAddr(sub, detrand.Rand(seed, hi, lo, saltSAVSource)), true
+	}
+	rng := detrand.Rand(seed, hi, lo, saltSAVSource)
+	for tries := 0; tries < 16; tries++ {
+		if a := routing.RandomHostAddr(own, rng); a != t.Addr {
+			return a, true
+		}
+	}
+	return netip.Addr{}, false
+}

@@ -1,0 +1,327 @@
+package campaign
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/chaos"
+	"repro/internal/ditl"
+	"repro/internal/geo"
+	"repro/internal/routing"
+	"repro/internal/scanner"
+	"repro/internal/world"
+)
+
+// Config parameterizes a campaign run: the engine knobs every campaign
+// shares, independent of its phase list.
+type Config struct {
+	// World tunes the simulated Internet (loss, wildcard zone, DSAV
+	// counterfactuals).
+	World world.Options
+	// Scanner tunes the measurement client.
+	Scanner scanner.Config
+	// LifetimeThreshold filters human-induced queries (default 10s,
+	// §3.6.3).
+	LifetimeThreshold time.Duration
+	// ChurnFraction takes this share of resolvers offline at random
+	// points during the experiment (§3.6.2's address churn).
+	ChurnFraction float64
+	// Shards splits the population across this many independent
+	// simulation shards run on parallel goroutines. 0 (or 1) runs the
+	// classic single-shard campaign; -1 picks runtime.GOMAXPROCS(0).
+	// Every source of randomness in the pipeline is keyed on causal
+	// identity rather than drawn from shared streams, so the merged
+	// Result — targets, hits, report — is identical at any shard count.
+	Shards int
+	// Chaos, when Enabled, subjects the campaign to a deterministic
+	// fault schedule keyed on causal identity. Infrastructure ASes (as
+	// recorded on the registry) are exempt; chaos stresses the measured
+	// paths, not the experiment's control plane.
+	Chaos chaos.Config
+	// DisableInvariants turns off the always-on invariant checker. When
+	// the checker is on and any invariant is violated, Run returns the
+	// completed Result together with a non-nil error.
+	DisableInvariants bool
+}
+
+// ShardCount resolves the configured shard count.
+func (c Config) ShardCount() int {
+	switch {
+	case c.Shards < 0:
+		return runtime.GOMAXPROCS(0)
+	case c.Shards == 0:
+		return 1
+	default:
+		return c.Shards
+	}
+}
+
+// Result is a completed campaign run.
+type Result struct {
+	// Campaign is the phase list that ran.
+	Campaign   *Campaign
+	Population *ditl.Population
+	// World is the first shard's world (they share scanner addresses,
+	// registry, and global public-DNS addressing); Worlds lists every
+	// shard's world.
+	World  *world.World
+	Worlds []*world.World
+	// Scanner holds the merged results: Targets, Hits, Partials and
+	// Stats aggregated across shards in canonical order.
+	Scanner *scanner.Scanner
+	Report  *analysis.Report
+	Geo     *geo.DB
+	// PublicDNS lists the shared public resolvers plus every per-AS
+	// replica (the §3.6.1 public-DNS service addresses).
+	PublicDNS []netip.Addr
+
+	// Probes is the number of probe queries scheduled across all
+	// phases; Duration is the virtual campaign window they were spread
+	// over.
+	Probes   int
+	Duration time.Duration
+
+	// Invariants is the merged invariant-checker report (nil when the
+	// checker was disabled).
+	Invariants *world.InvariantReport
+	// ChaosCrashes is the number of resolver crashes the chaos schedule
+	// injected across all shards (0 without chaos).
+	ChaosCrashes int
+}
+
+// Run executes the campaign over the population: build each shard's
+// world, drive every phase through Plan → Schedule → Observe, run the
+// shard simulations in parallel, merge the observations canonically,
+// and reduce them into the Report with the phases' deduplicated
+// reducer set. c == nil runs the default survey campaign.
+//
+// With Shards > 1 the population's ASes are partitioned into
+// contiguous shards, each simulated in its own world (own event queue,
+// own scanner instance) on its own goroutine over one shared read-only
+// routing registry. Probe timing is computed from the campaign-wide
+// probe total before any shard schedules, and the shard-local result
+// buffers are merged in canonical order afterwards, so the campaign is
+// deterministic: the same seeds produce the same Report at any shard
+// count, including 1.
+func Run(c *Campaign, pop *ditl.Population, cfg Config) (*Result, error) {
+	if c == nil {
+		c = NewSurvey()
+	}
+	shards := cfg.ShardCount()
+	if cfg.Scanner.V6HitList == nil {
+		cfg.Scanner.V6HitList = V6HitList(pop)
+	}
+	cfg.World.Invariants = !cfg.DisableInvariants
+	reg, err := world.BuildRegistry(pop, cfg.World)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 1: build each shard's world and scanner, and let every
+	// phase plan (but not yet schedule) its probes.
+	parts := ditl.PartitionIndices(len(pop.ASes), shards)
+	worlds := make([]*world.World, shards)
+	shs := make([]*Shard, shards)
+	probes := 0
+	for k := range parts {
+		indices := parts[k]
+		if shards == 1 {
+			indices = nil // build everything; preserves Build's fast path
+		}
+		w, err := world.BuildWith(pop, reg, cfg.World, indices)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := scanner.New(w.Scanner, w.ScannerAddr4, w.ScannerAddr6, w.Reg, w.Auth, cfg.Scanner)
+		if err != nil {
+			return nil, err
+		}
+		sc.Admit(CandidateAddrs(pop, indices))
+		sh := &Shard{Index: k, World: w, Scanner: sc}
+		for _, ph := range c.Phases {
+			probes += ph.Plan(sh)
+		}
+		worlds[k], shs[k] = w, sh
+	}
+
+	// Stage 2: the campaign window depends only on the campaign-wide
+	// probe total and rate, so per-probe timestamps are identical no
+	// matter how the targets were partitioned. The chaos injector's
+	// fault window is likewise the campaign-wide duration, and one
+	// read-only injector is shared by every shard, so the fault schedule
+	// is shard-invariant too. Phases schedule in list order, then churn
+	// and chaos, then reactive hooks arm — the same event-queue
+	// insertion order at every shard count.
+	duration := scanner.CampaignDuration(probes, shs[0].Scanner.Cfg.Rate)
+	chaosCrashes := 0
+	var inj *chaos.Injector
+	if cfg.Chaos.Enabled {
+		inj = chaos.NewInjector(cfg.Chaos)
+		inj.SetWindow(duration)
+		inj.SetEligibleRegistry(reg)
+	}
+	for _, sh := range shs {
+		for _, ph := range c.Phases {
+			ph.Schedule(sh, duration)
+		}
+		if cfg.ChurnFraction > 0 {
+			sh.World.ScheduleChurn(cfg.ChurnFraction, duration, cfg.Scanner.Seed+99)
+		}
+		if inj != nil {
+			chaosCrashes += sh.World.ScheduleChaos(inj)
+		}
+		for _, ph := range c.Phases {
+			ph.Observe(sh)
+		}
+	}
+
+	// Stage 3: run the shard simulations in parallel. The shards share
+	// only the read-only registry, campaign and population, so no
+	// locking is needed.
+	if shards == 1 {
+		worlds[0].Net.Run()
+	} else {
+		var wg sync.WaitGroup
+		for k := range worlds {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				worlds[k].Net.Run()
+			}(k)
+		}
+		wg.Wait()
+	}
+
+	// Stage 4: deterministic merge. Targets concatenate in shard order
+	// (= population order, since shards are contiguous); hits and
+	// partials sort by their full content keys. The sorts run at every
+	// shard count — K=1 included — so the merged sequences are
+	// bit-identical however the campaign was split.
+	sc := shs[0].Scanner
+	for _, o := range shs[1:] {
+		sc.Targets = append(sc.Targets, o.Scanner.Targets...)
+		sc.Hits = append(sc.Hits, o.Scanner.Hits...)
+		sc.Partials = append(sc.Partials, o.Scanner.Partials...)
+		sc.Stats.Add(o.Scanner.Stats)
+	}
+	scanner.SortHits(sc.Hits)
+	scanner.SortPartials(sc.Partials)
+	publicDNS := mergedPublicDNS(worlds)
+
+	var inv *world.InvariantReport
+	if !cfg.DisableInvariants {
+		merged := world.InvariantReport{}
+		for _, w := range worlds {
+			merged.Add(w.Invariants.Report())
+		}
+		inv = &merged
+	}
+
+	gdb := GeoDB(pop)
+	report := &analysis.Report{}
+	analysis.Partition(analysis.Input{
+		Hits:              sc.Hits,
+		Partials:          sc.Partials,
+		Targets:           sc.Targets,
+		ScannerAddrs:      []netip.Addr{worlds[0].ScannerAddr4, worlds[0].ScannerAddr6},
+		Reg:               reg,
+		Geo:               gdb,
+		LifetimeThreshold: cfg.LifetimeThreshold,
+		FollowUpCount:     cfg.Scanner.FollowUpCount,
+	}).Reduce(report, c.reducers())
+
+	result := &Result{
+		Campaign:   c,
+		Population: pop, World: worlds[0], Worlds: worlds,
+		Scanner: sc, Report: report, Geo: gdb, PublicDNS: publicDNS,
+		Probes: probes, Duration: duration,
+		Invariants: inv, ChaosCrashes: chaosCrashes,
+	}
+	if inv != nil && !inv.Ok() {
+		return result, fmt.Errorf("campaign: %d simulation invariant violation(s); first: %s",
+			inv.ViolationCount, inv.Violations[0])
+	}
+	return result, nil
+}
+
+// CandidateAddrs collects the DITL-derived candidate targets (live
+// resolvers and dead addresses alike; the scanner cannot tell them
+// apart, §3.6.2) of the population ASes named by indices (nil = all),
+// pre-sized from the population counts.
+func CandidateAddrs(pop *ditl.Population, indices []int) []netip.Addr {
+	out := make([]netip.Addr, 0, pop.CandidateCount(indices))
+	visit := func(as *ditl.ASSpec) {
+		for _, r := range as.Resolvers {
+			if r.HasV4() {
+				out = append(out, r.Addr4)
+			}
+			if r.HasV6() {
+				out = append(out, r.Addr6)
+			}
+		}
+		out = append(out, as.DeadTargets...)
+	}
+	if indices == nil {
+		for _, as := range pop.ASes {
+			visit(as)
+		}
+	} else {
+		for _, i := range indices {
+			visit(pop.ASes[i])
+		}
+	}
+	return out
+}
+
+// V6HitList derives the IPv6 hit list (§3.2, [21]) from the population:
+// the /64s of every known-active v6 address (live resolvers and
+// once-seen dead targets alike — activity, not liveness).
+func V6HitList(pop *ditl.Population) map[netip.Prefix]bool {
+	hl := make(map[netip.Prefix]bool, pop.V6AddrCount())
+	add := func(a netip.Addr) {
+		if a.IsValid() && a.Is6() {
+			hl[routing.SubnetOf(a)] = true
+		}
+	}
+	for _, as := range pop.ASes {
+		for _, r := range as.Resolvers {
+			add(r.Addr6)
+		}
+		for _, d := range as.DeadTargets {
+			add(d)
+		}
+	}
+	return hl
+}
+
+// GeoDB builds the country database from the population's AS
+// assignments (standing in for MaxMind GeoLite2, §4).
+func GeoDB(pop *ditl.Population) *geo.DB {
+	db := geo.New()
+	for _, as := range pop.ASes {
+		db.Assign(as.ASN, as.Countries...)
+	}
+	return db
+}
+
+// mergedPublicDNS unions the public-DNS service addresses across shard
+// worlds: the shared public resolvers (identical in every shard) plus
+// each shard's per-AS replicas. Shards hold disjoint AS subsets in
+// population order, so concatenating in shard order reproduces the
+// single-shard list exactly.
+func mergedPublicDNS(worlds []*world.World) []netip.Addr {
+	n := len(worlds[0].PublicDNS)
+	for _, w := range worlds {
+		n += len(w.ASPublicDNS)
+	}
+	out := make([]netip.Addr, 0, n)
+	out = append(out, worlds[0].PublicDNS...)
+	for _, w := range worlds {
+		out = append(out, w.ASPublicDNS...)
+	}
+	return out
+}

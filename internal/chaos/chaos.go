@@ -137,6 +137,14 @@ func (inj *Injector) SetWindow(d time.Duration) { inj.window = d }
 // control plane.
 func (inj *Injector) SetEligible(fn func(routing.ASN) bool) { inj.eligible = fn }
 
+// SetEligibleRegistry restricts faults to non-infrastructure ASes as
+// recorded on the registry (AS.Infra), the single source of truth for
+// the experiment's control-plane ASNs. The registry is frozen after
+// construction, so the closure is safe to evaluate from every shard.
+func (inj *Injector) SetEligibleRegistry(reg *routing.Registry) {
+	inj.eligible = func(asn routing.ASN) bool { return !reg.InfraAS(asn) }
+}
+
 func (inj *Injector) isEligible(asn routing.ASN) bool {
 	return inj.eligible == nil || inj.eligible(asn)
 }

@@ -37,12 +37,13 @@ var SortedEmit = &analysis.Analyzer{
 }
 
 // sortedEmitScope lists the package names whose map iterations feed
-// canonical output: the analysis and report builders plus the root
-// doors package (shard merge).
+// canonical output: the analysis and report builders, the campaign
+// engine (shard merge), and the root doors package.
 var sortedEmitScope = map[string]bool{
 	"analysis": true,
 	"report":   true,
 	"doors":    true,
+	"campaign": true,
 }
 
 func runSortedEmit(pass *analysis.Pass) (interface{}, error) {

@@ -26,6 +26,17 @@ type AS struct {
 	// Countries lists the ISO country codes the AS's address space maps
 	// to (an AS may span several, as in the paper's Tables 1-2).
 	Countries []string
+
+	// Infra marks experiment infrastructure (roots/auth, the scanner's
+	// own network, shared public-DNS and third-party-upstream space)
+	// rather than a surveyed population AS. The registry is the single
+	// source of truth for this role: chaos eligibility and campaign
+	// accounting consult it instead of keeping their own ASN lists.
+	Infra bool
+	// PublicService marks an AS whose every host is a public DNS
+	// resolver (the shared public-DNS space); analysis middlebox
+	// accounting uses it to explain hits relayed via public resolvers.
+	PublicService bool
 }
 
 // V4Prefixes returns the announced IPv4 prefixes.
@@ -88,6 +99,13 @@ func (r *Registry) Add(as *AS) error {
 
 // AS returns the AS for asn, or nil.
 func (r *Registry) AS(asn ASN) *AS { return r.byASN[asn] }
+
+// InfraAS reports whether asn is registered experiment infrastructure
+// (see AS.Infra). Unregistered ASNs are not infrastructure.
+func (r *Registry) InfraAS(asn ASN) bool {
+	as := r.byASN[asn]
+	return as != nil && as.Infra
+}
 
 // Count reports the number of registered ASes.
 func (r *Registry) Count() int { return len(r.byASN) }

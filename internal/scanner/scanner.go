@@ -272,6 +272,14 @@ type Scanner struct {
 	Hits     []Hit
 	Partials []PartialHit
 
+	// FollowUp, when non-nil, is invoked once per target on its first
+	// timely spoofed full-name main-probe hit (§3.5). The default
+	// survey installs ScheduleFollowUps here; a campaign that wants a
+	// different characterization step — or none, like the inbound-SAV
+	// scan — installs its own hook or leaves it nil. The once-per-target
+	// gating lives in the monitor, not the hook.
+	FollowUp func(Decoded)
+
 	seed     uint64
 	followed map[netip.Addr]bool
 	optOut   []netip.Prefix
@@ -500,8 +508,13 @@ func (s *Scanner) Schedule(duration time.Duration) {
 
 // ScheduleAll enqueues every probe, deriving the campaign duration from
 // this scanner's own probe count (the single-shard path). It returns
-// the probe count and the experiment duration.
+// the probe count and the experiment duration. If no FollowUp hook is
+// installed yet, the standard §3.5 follow-up set is wired in, so the
+// standalone pipeline behaves like the default survey campaign.
 func (s *Scanner) ScheduleAll() (int, time.Duration) {
+	if s.FollowUp == nil {
+		s.FollowUp = s.ScheduleFollowUps
+	}
 	total := s.Plan()
 	duration := CampaignDuration(total, s.Cfg.Rate)
 	s.Schedule(duration)
@@ -522,12 +535,12 @@ func (s *Scanner) probeIDs(now time.Duration, src, dst netip.Addr, kind ProbeKin
 
 // sendPlanned emits one planned main probe using the precomputed name
 // skeleton, avoiding the per-probe name/message allocations of
-// sendProbe.
+// SendProbe.
 func (s *Scanner) sendPlanned(now time.Duration, pi, j int) {
 	p := &s.plans[pi]
 	t := p.target
 	if p.nameTail == nil {
-		s.sendProbe(now, p.sources[j], t, ProbeMain)
+		s.SendProbe(now, p.sources[j], t, ProbeMain)
 		return
 	}
 	if s.optedOut(t.Addr) {
@@ -555,10 +568,13 @@ func (s *Scanner) sendPlanned(now time.Duration, pi, j int) {
 	s.Host.SendRaw(raw)
 }
 
-// sendProbe emits one spoofed-source (or, for the open probe,
-// real-source) DNS query. This is the general path used for follow-up
-// probes; scheduled main probes go through sendPlanned.
-func (s *Scanner) sendProbe(now time.Duration, src netip.Addr, t Target, kind ProbeKind) {
+// SendProbe emits one spoofed-source (or, for a real-source probe like
+// the open-resolver check, unspoofed) DNS query at virtual time now.
+// This is the general path used by follow-up probes and by campaign
+// phases that schedule their own probe sets; scheduled main probes go
+// through sendPlanned. IDs and the encoded name derive from the probe's
+// identity, so the emission is shard-invariant.
+func (s *Scanner) SendProbe(now time.Duration, src netip.Addr, t Target, kind ProbeKind) {
 	if s.optedOut(t.Addr) {
 		return
 	}
@@ -578,7 +594,8 @@ func (s *Scanner) sendProbe(now time.Duration, src netip.Addr, t Target, kind Pr
 }
 
 // monitor is the real-time authoritative-log hook (§3.5): the first
-// full-name hit for a target triggers its one-time follow-up set.
+// full-name hit for a target triggers its one-time FollowUp hook (the
+// campaign's characterization step), when one is installed.
 func (s *Scanner) monitor(e authserver.LogEntry) {
 	d, full, partial := DecodeQName(e.Name, s.Cfg.Keyword)
 	switch {
@@ -591,9 +608,9 @@ func (s *Scanner) monitor(e authserver.LogEntry) {
 		}
 		s.Hits = append(s.Hits, hit)
 		s.Stats.HitsObserved++
-		if d.Kind == ProbeMain && !s.followed[d.Dst] && Categorize(d.Src, d.Dst, []netip.Addr{s.Addr4, s.Addr6}) != CatNotSpoofed {
+		if d.Kind == ProbeMain && s.FollowUp != nil && !s.followed[d.Dst] && Categorize(d.Src, d.Dst, []netip.Addr{s.Addr4, s.Addr6}) != CatNotSpoofed {
 			s.followed[d.Dst] = true
-			s.scheduleFollowUps(d)
+			s.FollowUp(d)
 		}
 	case partial:
 		s.Partials = append(s.Partials, PartialHit{Recv: e.Time, Client: e.Client, Name: e.Name})
@@ -601,11 +618,12 @@ func (s *Scanner) monitor(e authserver.LogEntry) {
 	}
 }
 
-// scheduleFollowUps sends the §3.5 follow-up set using the spoofed
+// ScheduleFollowUps sends the §3.5 follow-up set using the spoofed
 // source that worked: FollowUpCount each of IPv4-only and IPv6-only
 // queries, one non-spoofed open-resolver probe, and one TCP-eliciting
-// (truncated) probe.
-func (s *Scanner) scheduleFollowUps(d Decoded) {
+// (truncated) probe. It is the default FollowUp hook, installed by the
+// survey campaign's characterization phase.
+func (s *Scanner) ScheduleFollowUps(d Decoded) {
 	s.Stats.FollowUpSetsSent++
 	t := Target{Addr: d.Dst, ASN: d.ASN}
 	q := s.Host.Network().Q
@@ -615,7 +633,7 @@ func (s *Scanner) scheduleFollowUps(d Decoded) {
 		n++
 		q.After(time.Duration(n)*delay, func(now time.Duration) {
 			s.Stats.FollowUpQueries++
-			s.sendProbe(now, src, t, kind)
+			s.SendProbe(now, src, t, kind)
 		})
 	}
 	for i := 0; i < s.Cfg.FollowUpCount; i++ {

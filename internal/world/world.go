@@ -213,6 +213,17 @@ func (w *World) ScheduleChaos(inj *chaos.Injector) int {
 	return crashes
 }
 
+// The experiment-infrastructure ASNs. BuildRegistry marks each with
+// the Infra role (and AS 30 with PublicService) so downstream layers —
+// chaos eligibility, campaign accounting, analysis — consult the
+// registry instead of hard-coding this list.
+const (
+	InfraASN   routing.ASN = 10 // roots, auth servers, reverse DNS
+	ScannerASN routing.ASN = 20 // the scanner's own network (no OSAV)
+	PublicASN  routing.ASN = 30 // shared public-DNS space (every host a public resolver)
+	ThirdASN   routing.ASN = 40 // third-party upstream space
+)
+
 // BuildRegistry constructs the routing registry for the population:
 // the infrastructure ASes plus every target AS with its filtering
 // policy. The registry is read-only after construction and safe for
@@ -221,10 +232,10 @@ func (w *World) ScheduleChaos(inj *chaos.Injector) int {
 func BuildRegistry(pop *ditl.Population, opts Options) (*routing.Registry, error) {
 	reg := routing.NewRegistry()
 
-	infraAS := &routing.AS{ASN: 10, Prefixes: []netip.Prefix{infraPrefix4, infraPrefix6}}
-	scannerAS := &routing.AS{ASN: 20, Prefixes: []netip.Prefix{scannerPrefix4, scannerPrefix6}} // no OSAV: required (§3.4)
-	publicAS := &routing.AS{ASN: 30, Prefixes: []netip.Prefix{publicPrefix4, publicPrefix6}}
-	thirdAS := &routing.AS{ASN: 40, Prefixes: []netip.Prefix{thirdPrefix4}}
+	infraAS := &routing.AS{ASN: InfraASN, Prefixes: []netip.Prefix{infraPrefix4, infraPrefix6}, Infra: true}
+	scannerAS := &routing.AS{ASN: ScannerASN, Prefixes: []netip.Prefix{scannerPrefix4, scannerPrefix6}, Infra: true} // no OSAV: required (§3.4)
+	publicAS := &routing.AS{ASN: PublicASN, Prefixes: []netip.Prefix{publicPrefix4, publicPrefix6}, Infra: true, PublicService: true}
+	thirdAS := &routing.AS{ASN: ThirdASN, Prefixes: []netip.Prefix{thirdPrefix4}, Infra: true}
 	for _, as := range []*routing.AS{infraAS, scannerAS, publicAS, thirdAS} {
 		if err := reg.Add(as); err != nil {
 			return nil, err
@@ -266,8 +277,8 @@ func Build(pop *ditl.Population, opts Options) (*World, error) {
 // behave identically no matter how ASes are split across shard worlds;
 // only host instantiation is restricted.
 func BuildWith(pop *ditl.Population, reg *routing.Registry, opts Options, asIndices []int) (*World, error) {
-	infraAS := reg.AS(10)
-	scannerAS := reg.AS(20)
+	infraAS := reg.AS(InfraASN)
+	scannerAS := reg.AS(ScannerASN)
 
 	n := netsim.New(reg, netsim.Config{Seed: opts.Seed, LossRate: opts.LossRate})
 	w := &World{
@@ -277,8 +288,8 @@ func BuildWith(pop *ditl.Population, reg *routing.Registry, opts Options, asIndi
 		asPublic:        make(map[routing.ASN][]netip.Addr),
 		asThird:         make(map[routing.ASN]netip.Addr),
 		seed:            uint64(opts.Seed),
-		publicAS:        reg.AS(30),
-		thirdAS:         reg.AS(40),
+		publicAS:        reg.AS(PublicASN),
+		thirdAS:         reg.AS(ThirdASN),
 		AnalystDelayMin: time.Minute,
 		AnalystDelayMax: 30 * time.Minute,
 	}

@@ -4,9 +4,18 @@
 # full-survey wall clock, single-shard vs one-shard-per-CPU. On a
 # single-CPU machine the sharded numbers match the serial ones; the
 # speedup shows up with GOMAXPROCS > 1.
+#
+# With a second argument naming a baseline JSON (a previous run's
+# output), the script also guards against regressions: if the new
+# BenchmarkHeadlineReachability ns_per_op exceeds the baseline's by
+# more than 5%, it exits non-zero after writing the new file.
+#
+#   ./scripts/bench.sh                         # write BENCH_1.json
+#   ./scripts/bench.sh BENCH_5.json BENCH_1.json   # write + compare
 set -e
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_1.json}"
+baseline="${2:-}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -25,3 +34,32 @@ BEGIN { print "{"; first = 1 }
 END { print "\n}" }' "$tmp" > "$out"
 
 echo "wrote $out"
+
+if [ -n "$baseline" ]; then
+    if [ ! -f "$baseline" ]; then
+        echo "bench: baseline $baseline not found, skipping comparison" >&2
+        exit 0
+    fi
+    # Pull one benchmark's ns_per_op out of the flat JSON both files use.
+    ns_of() {
+        awk -v key="\"$2\"" '$0 ~ key {
+            if (match($0, /"ns_per_op": [0-9.]+/))
+                print substr($0, RSTART + 13, RLENGTH - 13)
+        }' "$1"
+    }
+    new_ns="$(ns_of "$out" BenchmarkHeadlineReachability)"
+    old_ns="$(ns_of "$baseline" BenchmarkHeadlineReachability)"
+    if [ -z "$new_ns" ] || [ -z "$old_ns" ]; then
+        echo "bench: BenchmarkHeadlineReachability missing from $out or $baseline" >&2
+        exit 1
+    fi
+    awk -v new="$new_ns" -v old="$old_ns" 'BEGIN {
+        ratio = new / old
+        printf "headline survey: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%)\n", \
+            new, old, 100 * (ratio - 1)
+        if (ratio > 1.05) {
+            printf "bench: REGRESSION: headline survey slowed by more than 5%%\n" > "/dev/stderr"
+            exit 1
+        }
+    }'
+fi

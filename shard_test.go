@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/chaos"
 	"repro/internal/ditl"
 	"repro/internal/netsim"
@@ -183,15 +184,16 @@ func TestShardedSurveyWithChaosIsDeterministic(t *testing.T) {
 	}
 }
 
-// TestShardCountResolution pins the Shards knob semantics.
+// TestShardCountResolution pins the Shards knob semantics (resolved by
+// the campaign runner the survey delegates to).
 func TestShardCountResolution(t *testing.T) {
-	if got := (SurveyConfig{}).shardCount(); got != 1 {
+	if got := (campaign.Config{}).ShardCount(); got != 1 {
 		t.Fatalf("default shards = %d, want 1", got)
 	}
-	if got := (SurveyConfig{Shards: 3}).shardCount(); got != 3 {
+	if got := (campaign.Config{Shards: 3}).ShardCount(); got != 3 {
 		t.Fatalf("explicit shards = %d, want 3", got)
 	}
-	if got := (SurveyConfig{Shards: -1}).shardCount(); got < 1 {
+	if got := (campaign.Config{Shards: -1}).ShardCount(); got < 1 {
 		t.Fatalf("auto shards = %d, want >= 1", got)
 	}
 }
