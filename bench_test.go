@@ -61,6 +61,34 @@ func BenchmarkHeadlineReachabilitySharded(b *testing.B) {
 	benchHeadline(b, -1)
 }
 
+// BenchmarkHeadlineReachability1M scales the headline survey to 1M+
+// candidate targets under the streaming engine: the population is a
+// ditl.View (specs synthesized per shard, never all resident), each
+// shard's world is discarded as soon as its observations reduce, and
+// peak memory is per-shard — which is what lets this population run at
+// all. One iteration is a full campaign over ~25,000 ASes (~1.2M
+// admitted targets); run it with -benchtime 1x (scripts/bench.sh --mem
+// does, under GOMEMLIMIT, and records it in the BENCH json).
+func BenchmarkHeadlineReachability1M(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := RunSurvey(SurveyConfig{
+			Population: ditl.Params{Seed: int64(i), ASes: 25000},
+			Scanner:    scanner.Config{Seed: int64(i) + 1, Rate: 5_000_000},
+			Shards:     100,
+			Stream:     true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := int(s.Scanner.Stats.TargetsAdmitted); got < 1_000_000 {
+			b.Fatalf("admitted %d targets, want 1M+", got)
+		}
+		if s.Report.V4.ReachableAddrs == 0 {
+			b.Fatal("survey reached nothing")
+		}
+	}
+}
+
 func benchHeadline(b *testing.B, shards int) {
 	for i := 0; i < b.N; i++ {
 		s, err := RunSurvey(SurveyConfig{

@@ -67,7 +67,8 @@ func main() {
 	bands := map[ditl.Band]int{}
 	scopes := map[ditl.ACLScope]int{}
 	for _, as := range pop.ASes {
-		for _, r := range as.Resolvers {
+		for k := 0; k < as.NumResolvers(); k++ {
+			r := as.Resolver(k)
 			if !r.Forward {
 				bands[r.Band]++
 			}
@@ -88,7 +89,7 @@ func main() {
 		for _, as := range pop.ASes {
 			fmt.Printf("%v dsav=%v osav=%v bogon=%v countries=%v prefixes=%v resolvers=%d dead=%d\n",
 				as.ASN, as.DSAV, as.OSAV, as.FilterBogons, as.Countries,
-				len(as.Prefixes()), len(as.Resolvers), len(as.DeadTargets))
+				len(as.Prefixes()), as.NumResolvers(), len(as.DeadTargets))
 		}
 	}
 }

@@ -5,14 +5,18 @@
 //
 //	dsavsurvey [-ases N] [-seed N] [-rate QPS] [-loss P] [-shards K]
 //	           [-campaign NAME] [-phases LIST]
+//	           [-stream] [-maxparallel N]
 //	           [-wildcard] [-alldsav] [-nodsav] [-figures]
 //	           [-chaos] [-invariants=false]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	doors "repro"
@@ -39,8 +43,42 @@ func main() {
 		shards   = flag.Int("shards", -1, "parallel simulation shards (-1 = one per CPU, 1 = serial); results are identical at any value")
 		chaosOn  = flag.Bool("chaos", false, "inject the deterministic fault schedule (link flap, dup/reorder/corrupt, resolver crashes, clock skew)")
 		invar    = flag.Bool("invariants", true, "check simulation invariants on every delivery and cache event")
+		stream   = flag.Bool("stream", false, "stream the population: synthesize each shard's ASes on demand and discard each world after its observations reduce (identical results, per-shard peak memory)")
+		maxPar   = flag.Int("maxparallel", 0, "with -stream, max concurrently live shard simulations (0 = one per CPU); the peak-memory knob")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsavsurvey:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dsavsurvey:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsavsurvey:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // surface live heap, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dsavsurvey:", err)
+			os.Exit(1)
+		}
+	}()
 
 	c, err := campaign.ByName(*camp)
 	if err == nil && *phases != "" {
@@ -60,6 +98,8 @@ func main() {
 		},
 		Scanner:           scanner.Config{Seed: *seed + 2, Rate: *rate},
 		Shards:            *shards,
+		Stream:            *stream,
+		MaxParallel:       *maxPar,
 		DisableInvariants: !*invar,
 	}
 	if *chaosOn {

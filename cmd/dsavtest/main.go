@@ -34,7 +34,7 @@ func main() {
 	if *list {
 		for _, as := range pop.ASes {
 			fmt.Printf("%v dsav=%v bogon-filter=%v resolvers=%d\n",
-				as.ASN, as.DSAV, as.FilterBogons, len(as.Resolvers))
+				as.ASN, as.DSAV, as.FilterBogons, as.NumResolvers())
 		}
 		return
 	}
@@ -63,10 +63,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("Testing %v: %d candidate resolvers, %d announced prefixes\n",
-		spec.ASN, len(spec.Resolvers), len(spec.Prefixes()))
+		spec.ASN, spec.NumResolvers(), len(spec.Prefixes()))
 
 	var candidates []netip.Addr
-	for _, rs := range spec.Resolvers {
+	for k := 0; k < spec.NumResolvers(); k++ {
+		rs := spec.Resolver(k)
 		if rs.HasV4() {
 			candidates = append(candidates, rs.Addr4)
 		}
@@ -114,7 +115,7 @@ func main() {
 		fmt.Println("VERDICT: this network LACKS DSAV — packets claiming internal sources")
 		fmt.Println("         cross its border. Configure border routers to drop inbound")
 		fmt.Println("         packets bearing internal source addresses.")
-	case len(spec.Resolvers) == 0:
+	case spec.NumResolvers() == 0:
 		fmt.Println("VERDICT: no resolvers to test.")
 	default:
 		fmt.Println("VERDICT: no internal-source spoofed query penetrated; the network")

@@ -61,6 +61,17 @@ type SurveyConfig struct {
 	// identity rather than drawn from shared streams, so the merged
 	// survey — targets, hits, report — is identical at any shard count.
 	Shards int
+	// Stream runs the memory-flat engine: RunSurvey synthesizes the
+	// population as a streaming ditl.View instead of materializing it,
+	// and each shard's world lives only while its worker simulates it —
+	// observations reduce incrementally and the world is discarded, so
+	// peak memory is per-shard, not per-population. The survey is
+	// bit-identical to the retained engine's; Survey.World and
+	// Survey.Worlds are nil in this mode.
+	Stream bool
+	// MaxParallel bounds how many shard simulations are live at once in
+	// Stream mode (the peak-memory knob); 0 picks GOMAXPROCS.
+	MaxParallel int
 	// Chaos, when Enabled, subjects the survey to a deterministic fault
 	// schedule (link flap, duplication, reordering, corruption, resolver
 	// crashes, clock skew) keyed on causal identity, so chaotic runs are
@@ -84,6 +95,8 @@ func (c SurveyConfig) engineConfig() campaign.Config {
 		LifetimeThreshold: c.LifetimeThreshold,
 		ChurnFraction:     c.ChurnFraction,
 		Shards:            c.Shards,
+		Stream:            c.Stream,
+		MaxParallel:       c.MaxParallel,
 		Chaos:             c.Chaos,
 		DisableInvariants: c.DisableInvariants,
 	}
@@ -95,28 +108,33 @@ type Survey = campaign.Result
 // CandidateAddrs lists every DITL-derived candidate target (live
 // resolvers and dead addresses alike; the scanner cannot tell them
 // apart, §3.6.2).
-func CandidateAddrs(pop *ditl.Population) []netip.Addr {
+func CandidateAddrs(pop ditl.Pop) []netip.Addr {
 	return campaign.CandidateAddrs(pop, nil)
 }
 
 // V6HitList derives the IPv6 hit list (§3.2, [21]) from the population:
 // the /64s of every known-active v6 address (live resolvers and
 // once-seen dead targets alike — activity, not liveness).
-func V6HitList(pop *ditl.Population) map[netip.Prefix]bool {
+func V6HitList(pop ditl.Pop) map[netip.Prefix]bool {
 	return campaign.V6HitList(pop)
 }
 
 // GeoDB builds the country database from the population's AS
 // assignments (standing in for MaxMind GeoLite2, §4).
-func GeoDB(pop *ditl.Population) *geo.DB {
+func GeoDB(pop ditl.Pop) *geo.DB {
 	return campaign.GeoDB(pop)
 }
 
 // RunSurvey generates a population, builds the world, runs the probing
-// experiment to completion, and analyzes the authoritative logs.
+// experiment to completion, and analyzes the authoritative logs. With
+// cfg.Stream it never materializes the population: shards synthesize
+// their ASes on demand from a ditl.View over the same seed, producing
+// the identical survey under per-shard memory.
 func RunSurvey(cfg SurveyConfig) (*Survey, error) {
-	pop := ditl.Generate(cfg.Population)
-	return RunSurveyOn(pop, cfg)
+	if cfg.Stream {
+		return RunSurveyOn(ditl.NewView(cfg.Population), cfg)
+	}
+	return RunSurveyOn(ditl.Generate(cfg.Population), cfg)
 }
 
 // RunSurveyOn runs a survey over an existing population (so ablations
@@ -125,6 +143,6 @@ func RunSurvey(cfg SurveyConfig) (*Survey, error) {
 // reachability + characterization survey) runs under
 // internal/campaign.Run, which owns sharding, probe-window derivation,
 // chaos, invariant merging, and the canonical deterministic merge.
-func RunSurveyOn(pop *ditl.Population, cfg SurveyConfig) (*Survey, error) {
+func RunSurveyOn(pop ditl.Pop, cfg SurveyConfig) (*Survey, error) {
 	return campaign.Run(cfg.Campaign, pop, cfg.engineConfig())
 }

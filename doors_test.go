@@ -50,11 +50,11 @@ func TestSmallSurveyEndToEnd(t *testing.T) {
 	// DSAV-protected AS. (Private/loopback sources are not covered by
 	// DSAV itself — they are the bogon filter's job.)
 	dsav := make(map[uint32]bool)
-	for _, as := range s.Population.ASes {
+	s.Population.EachAS(nil, func(_ int, as *ditl.ASSpec) {
 		if as.DSAV {
 			dsav[uint32(as.ASN)] = true
 		}
-	}
+	})
 	scannerAddrs := []netip.Addr{s.World.ScannerAddr4, s.World.ScannerAddr6}
 	for _, h := range s.Scanner.Hits {
 		if h.Lifetime > 10*time.Second || !dsav[uint32(h.ASN)] {

@@ -57,9 +57,10 @@ func main() {
 
 	// Validate the band attribution against ground truth: how many
 	// resolvers placed in the Windows band actually run Windows DNS?
-	specByAddr := map[string]*ditl.ResolverSpec{}
-	for _, as := range survey.Population.ASes {
-		for _, rs := range as.Resolvers {
+	specByAddr := map[string]ditl.ResolverSpec{}
+	survey.Population.EachAS(nil, func(_ int, as *ditl.ASSpec) {
+		for k := 0; k < as.NumResolvers(); k++ {
+			rs := as.Resolver(k)
 			if rs.HasV4() {
 				specByAddr[rs.Addr4.String()] = rs
 			}
@@ -67,7 +68,7 @@ func main() {
 				specByAddr[rs.Addr6.String()] = rs
 			}
 		}
-	}
+	})
 	check := func(label string, want oskernel.Family) {
 		var row analysis.BandRow
 		for _, b := range r.Ports.Table4 {
@@ -81,7 +82,7 @@ func main() {
 				continue
 			}
 			inBand++
-			if spec := specByAddr[s.Addr.String()]; spec != nil && spec.OS.Family == want {
+			if spec, ok := specByAddr[s.Addr.String()]; ok && spec.OS != nil && spec.OS.Family == want {
 				correct++
 			}
 		}

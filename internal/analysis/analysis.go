@@ -374,6 +374,48 @@ func Partition(in Input) *Context {
 	return &Context{in: in, targetASN: targetASN, reachable: reachable, lateAddrs: lateAddrs}
 }
 
+// MergeContexts combines per-shard Partition outputs into one Context
+// over the canonically merged Input (sorted hits/partials, concatenated
+// targets). Shards hold disjoint target sets and every per-target fold
+// in Partition is commutative and idempotent (set inserts, bool ors),
+// so unioning the per-shard maps reproduces exactly the Context a
+// single Partition over the merged input would build — which is what
+// lets the campaign runner reduce each shard's observations as soon as
+// that shard finishes and discard its world. The reducers that scan
+// raw hits (ports, forwarding) read them from the merged Input, which
+// the runner sorts canonically at every shard count.
+func MergeContexts(in Input, parts []*Context) *Context {
+	in = in.withDefaults()
+	if len(parts) == 1 {
+		parts[0].in = in
+		return parts[0]
+	}
+	nASN, nReach, nLate := 0, 0, 0
+	for _, p := range parts {
+		nASN += len(p.targetASN)
+		nReach += len(p.reachable)
+		nLate += len(p.lateAddrs)
+	}
+	merged := &Context{
+		in:        in,
+		targetASN: make(map[netip.Addr]routing.ASN, nASN),
+		reachable: make(map[netip.Addr]*targetObs, nReach),
+		lateAddrs: make(map[netip.Addr]bool, nLate),
+	}
+	for _, p := range parts {
+		for a, asn := range p.targetASN {
+			merged.targetASN[a] = asn
+		}
+		for a, o := range p.reachable {
+			merged.reachable[a] = o
+		}
+		for a := range p.lateAddrs {
+			merged.lateAddrs[a] = true
+		}
+	}
+	return merged
+}
+
 // computeSources is the §4.1 source-effectiveness distribution and §5.5
 // infiltration headline.
 func computeSources(c *Context, r *Report) {

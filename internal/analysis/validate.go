@@ -50,18 +50,23 @@ func (v Validation) DSAVPrecision() float64 {
 	return float64(v.TruePositiveASes) / float64(v.DetectedASes)
 }
 
-// Validate compares a survey report against the generating population.
-func Validate(r *Report, pop *ditl.Population) Validation {
+// Validate compares a survey report against the generating population
+// (eager or streaming: ground truth is snapshotted during one pass, so
+// the streamed ASSpec scratch never escapes).
+func Validate(r *Report, pop ditl.Pop) Validation {
 	var v Validation
 
-	specByAddr := make(map[netip.Addr]*ditl.ResolverSpec)
-	asByASN := make(map[routing.ASN]*ditl.ASSpec)
-	for _, as := range pop.ASes {
-		asByASN[as.ASN] = as
-		if !as.DSAV && len(as.Resolvers) > 0 {
+	specByAddr := make(map[netip.Addr]ditl.ResolverSpec)
+	asDSAV := make(map[routing.ASN]bool)
+	asDead := make(map[routing.ASN][]netip.Addr)
+	pop.EachAS(nil, func(_ int, as *ditl.ASSpec) {
+		asDSAV[as.ASN] = as.DSAV
+		asDead[as.ASN] = append([]netip.Addr(nil), as.DeadTargets...)
+		if !as.DSAV && as.NumResolvers() > 0 {
 			v.NoDSAVASes++
 		}
-		for _, rs := range as.Resolvers {
+		for k := 0; k < as.NumResolvers(); k++ {
+			rs := as.Resolver(k)
 			if rs.HasV4() {
 				specByAddr[rs.Addr4] = rs
 			}
@@ -69,7 +74,7 @@ func Validate(r *Report, pop *ditl.Population) Validation {
 				specByAddr[rs.Addr6] = rs
 			}
 		}
-	}
+	})
 
 	reachSet := make(map[netip.Addr]bool, len(r.ReachableAddrs))
 	for _, a := range r.ReachableAddrs {
@@ -82,20 +87,20 @@ func Validate(r *Report, pop *ditl.Population) Validation {
 		}
 	}
 	// Middlebox-answered dead targets also flag their AS.
-	for _, as := range pop.ASes {
-		if detected[as.ASN] {
+	for asn, dead := range asDead {
+		if detected[asn] {
 			continue
 		}
-		for _, d := range as.DeadTargets {
+		for _, d := range dead {
 			if reachSet[d] {
-				detected[as.ASN] = true
+				detected[asn] = true
 				break
 			}
 		}
 	}
 	v.DetectedASes = len(detected)
 	for asn := range detected {
-		if as := asByASN[asn]; as != nil && !as.DSAV {
+		if hasDSAV, known := asDSAV[asn]; known && !hasDSAV {
 			v.TruePositiveASes++
 		} else {
 			v.FalsePositiveASes++
@@ -108,8 +113,8 @@ func Validate(r *Report, pop *ditl.Population) Validation {
 		"Linux":       oskernel.FamilyLinux,
 	}
 	for _, s := range r.Ports.Samples {
-		spec := specByAddr[s.Addr]
-		if spec == nil {
+		spec, ok := specByAddr[s.Addr]
+		if !ok {
 			continue
 		}
 		v.OpenChecked++

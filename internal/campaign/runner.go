@@ -37,6 +37,21 @@ type Config struct {
 	// identity rather than drawn from shared streams, so the merged
 	// Result — targets, hits, report — is identical at any shard count.
 	Shards int
+	// Stream runs the memory-flat engine: each shard's world is built
+	// (typically from a ditl.View, which synthesizes specs on demand)
+	// only when its worker starts, its observations are partitioned the
+	// moment its simulation finishes, and the world is discarded before
+	// the merge — peak residency is the largest set of concurrently
+	// live shards, not the population. The merged Result is
+	// bit-identical to the retained engine's; the trade-off is that
+	// Result.World and Result.Worlds are nil (Result.Scanner carries
+	// the merged buffers, registry, and scanner addresses).
+	Stream bool
+	// MaxParallel bounds how many shard simulations are live at once in
+	// Stream mode — it is the peak-memory knob: RSS scales with
+	// MaxParallel × shard size. 0 picks runtime.GOMAXPROCS(0). Ignored
+	// by the retained engine, which holds every shard at once.
+	MaxParallel int
 	// Chaos, when Enabled, subjects the campaign to a deterministic
 	// fault schedule keyed on causal identity. Infrastructure ASes (as
 	// recorded on the registry) are exempt; chaos stresses the measured
@@ -60,14 +75,23 @@ func (c Config) ShardCount() int {
 	}
 }
 
+func (c Config) maxParallel() int {
+	if c.MaxParallel > 0 {
+		return c.MaxParallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Result is a completed campaign run.
 type Result struct {
 	// Campaign is the phase list that ran.
 	Campaign   *Campaign
-	Population *ditl.Population
+	Population ditl.Pop
 	// World is the first shard's world (they share scanner addresses,
 	// registry, and global public-DNS addressing); Worlds lists every
-	// shard's world.
+	// shard's world. Both are nil under Config.Stream — the streaming
+	// engine discards each world as soon as its shard's observations
+	// are partitioned.
 	World  *world.World
 	Worlds []*world.World
 	// Scanner holds the merged results: Targets, Hits, Partials and
@@ -95,9 +119,10 @@ type Result struct {
 
 // Run executes the campaign over the population: build each shard's
 // world, drive every phase through Plan → Schedule → Observe, run the
-// shard simulations in parallel, merge the observations canonically,
-// and reduce them into the Report with the phases' deduplicated
-// reducer set. c == nil runs the default survey campaign.
+// shard simulations in parallel, partition each shard's observations as
+// its simulation finishes, and merge the partial reductions plus the
+// canonically ordered buffers into the Report with the phases'
+// deduplicated reducer set. c == nil runs the default survey campaign.
 //
 // With Shards > 1 the population's ASes are partitioned into
 // contiguous shards, each simulated in its own world (own event queue,
@@ -107,11 +132,13 @@ type Result struct {
 // buffers are merged in canonical order afterwards, so the campaign is
 // deterministic: the same seeds produce the same Report at any shard
 // count, including 1.
-func Run(c *Campaign, pop *ditl.Population, cfg Config) (*Result, error) {
+//
+// Config.Stream selects the memory-flat engine (see runStreaming); the
+// default retains every shard's world on the Result.
+func Run(c *Campaign, pop ditl.Pop, cfg Config) (*Result, error) {
 	if c == nil {
 		c = NewSurvey()
 	}
-	shards := cfg.ShardCount()
 	if cfg.Scanner.V6HitList == nil {
 		cfg.Scanner.V6HitList = V6HitList(pop)
 	}
@@ -120,10 +147,45 @@ func Run(c *Campaign, pop *ditl.Population, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Stream {
+		return runStreaming(c, pop, cfg, reg)
+	}
+	return runRetained(c, pop, cfg, reg)
+}
+
+// shardInput assembles one shard's analysis input: its own buffers over
+// the shared registry and geo database. Partition's folds are
+// order-independent (set inserts and boolean ors keyed by target
+// address), so partitioning a shard's unsorted buffers yields the same
+// partial maps the canonical merged order would; the order-sensitive
+// reducers never see shard-local order because MergeContexts re-binds
+// the merged, canonically sorted Input before Reduce runs.
+func shardInput(sc *scanner.Scanner, addr4, addr6 netip.Addr, reg *routing.Registry, gdb *geo.DB, cfg Config) analysis.Input {
+	return analysis.Input{
+		Hits:              sc.Hits,
+		Partials:          sc.Partials,
+		Targets:           sc.Targets,
+		ScannerAddrs:      []netip.Addr{addr4, addr6},
+		Reg:               reg,
+		Geo:               gdb,
+		LifetimeThreshold: cfg.LifetimeThreshold,
+		FollowUpCount:     cfg.Scanner.FollowUpCount,
+	}
+}
+
+// runRetained is the classic engine: every shard's world is built up
+// front and retained on the Result (tests inspect event-queue drop
+// counters and per-shard worlds). Since the incremental-reduce
+// restructuring it shares the streaming engine's analysis pipeline:
+// each shard's observations are partitioned on the shard's own
+// goroutine as soon as its simulation finishes, and the partial
+// reductions merge under the canonically ordered buffers.
+func runRetained(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Registry) (*Result, error) {
+	shards := cfg.ShardCount()
 
 	// Stage 1: build each shard's world and scanner, and let every
 	// phase plan (but not yet schedule) its probes.
-	parts := ditl.PartitionIndices(len(pop.ASes), shards)
+	parts := ditl.PartitionIndices(pop.NumASes(), shards)
 	worlds := make([]*world.World, shards)
 	shs := make([]*Shard, shards)
 	probes := 0
@@ -179,19 +241,25 @@ func Run(c *Campaign, pop *ditl.Population, cfg Config) (*Result, error) {
 		}
 	}
 
-	// Stage 3: run the shard simulations in parallel. The shards share
-	// only the read-only registry, campaign and population, so no
-	// locking is needed.
+	// Stage 3: run the shard simulations in parallel and partition each
+	// shard's observations the moment its simulation finishes, still on
+	// the shard's goroutine. The shards share only the read-only
+	// registry, geo database, campaign and population, so no locking is
+	// needed.
+	gdb := GeoDB(pop)
+	ctxs := make([]*analysis.Context, shards)
 	if shards == 1 {
 		worlds[0].Net.Run()
+		ctxs[0] = analysis.Partition(shardInput(shs[0].Scanner, worlds[0].ScannerAddr4, worlds[0].ScannerAddr6, reg, gdb, cfg))
 	} else {
 		var wg sync.WaitGroup
 		for k := range worlds {
 			wg.Add(1)
-			go func(k int) {
+			go func(k int, gdb *geo.DB, cfg Config) {
 				defer wg.Done()
 				worlds[k].Net.Run()
-			}(k)
+				ctxs[k] = analysis.Partition(shardInput(shs[k].Scanner, worlds[k].ScannerAddr4, worlds[k].ScannerAddr6, reg, gdb, cfg))
+			}(k, gdb, cfg)
 		}
 		wg.Wait()
 	}
@@ -200,7 +268,11 @@ func Run(c *Campaign, pop *ditl.Population, cfg Config) (*Result, error) {
 	// (= population order, since shards are contiguous); hits and
 	// partials sort by their full content keys. The sorts run at every
 	// shard count — K=1 included — so the merged sequences are
-	// bit-identical however the campaign was split.
+	// bit-identical however the campaign was split. The per-shard
+	// partial reductions union under the merged Input (their key spaces
+	// are disjoint: targets are per-AS and ASes are per-shard), which
+	// MergeContexts re-binds so order-sensitive reducers read the
+	// canonical sequences, never shard-local order.
 	sc := shs[0].Scanner
 	for _, o := range shs[1:] {
 		sc.Targets = append(sc.Targets, o.Scanner.Targets...)
@@ -221,18 +293,11 @@ func Run(c *Campaign, pop *ditl.Population, cfg Config) (*Result, error) {
 		inv = &merged
 	}
 
-	gdb := GeoDB(pop)
 	report := &analysis.Report{}
-	analysis.Partition(analysis.Input{
-		Hits:              sc.Hits,
-		Partials:          sc.Partials,
-		Targets:           sc.Targets,
-		ScannerAddrs:      []netip.Addr{worlds[0].ScannerAddr4, worlds[0].ScannerAddr6},
-		Reg:               reg,
-		Geo:               gdb,
-		LifetimeThreshold: cfg.LifetimeThreshold,
-		FollowUpCount:     cfg.Scanner.FollowUpCount,
-	}).Reduce(report, c.reducers())
+	analysis.MergeContexts(
+		shardInput(sc, worlds[0].ScannerAddr4, worlds[0].ScannerAddr6, reg, gdb, cfg),
+		ctxs,
+	).Reduce(report, c.reducers())
 
 	result := &Result{
 		Campaign:   c,
@@ -248,14 +313,219 @@ func Run(c *Campaign, pop *ditl.Population, cfg Config) (*Result, error) {
 	return result, nil
 }
 
+// shardOut is everything the streaming engine keeps from a finished
+// shard: the scanner's result buffers, the partitioned observations,
+// and the handful of world-level scalars the merge needs. Notably
+// absent: the world itself — resolvers, caches, zones, and the event
+// queue all become garbage the moment the shard's worker returns.
+type shardOut struct {
+	targets      []scanner.Target
+	hits         []scanner.Hit
+	partials     []scanner.PartialHit
+	stats        scanner.Stats
+	cfg          scanner.Config
+	addr4, addr6 netip.Addr
+	ctx          *analysis.Context
+	publicDNS    []netip.Addr
+	asPublicDNS  []netip.Addr
+	inv          world.InvariantReport
+	crashes      int
+	err          error
+}
+
+// runStreaming is the memory-flat engine. It makes two passes over the
+// population:
+//
+// Pass A (sequential, world-free): a host-less planner scanner per
+// shard admits the shard's candidates and lets every phase Plan, which
+// needs only the targets, the registry, and the config — no world. The
+// pass yields the campaign-wide probe total, preserving the timing
+// contract: all shards plan before any schedules, so the campaign
+// window (and with it every probe timestamp and the chaos fault
+// schedule) is identical to the retained engine's at every shard count.
+//
+// Pass B (bounded worker pool): each worker builds its shard's world
+// from the population view, re-plans, schedules, observes, runs the
+// simulation, partitions the shard's observations into an
+// analysis.Context, and keeps only the shardOut — the world is
+// unreachable before the next shard on that worker builds. Peak
+// residency is MaxParallel × (shard world + buffers), flat in the
+// population size once Shards scales with it.
+//
+// The merge is byte-for-byte the retained engine's: targets concatenate
+// in shard order, hits and partials sort canonically, and the disjoint
+// per-shard partial reductions union under the merged Input.
+func runStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Registry) (*Result, error) {
+	shards := cfg.ShardCount()
+	parts := ditl.PartitionIndices(pop.NumASes(), shards)
+
+	// Pass A: world-free probe counting.
+	probes := 0
+	var planCfg scanner.Config
+	for k := range parts {
+		pl := scanner.NewPlanner(reg, cfg.Scanner)
+		if k == 0 {
+			planCfg = pl.Cfg
+		}
+		pl.Admit(CandidateAddrs(pop, parts[k]))
+		sh := &Shard{Index: k, Scanner: pl}
+		for _, ph := range c.Phases {
+			probes += ph.Plan(sh)
+		}
+	}
+	duration := scanner.CampaignDuration(probes, planCfg.Rate)
+	var inj *chaos.Injector
+	if cfg.Chaos.Enabled {
+		inj = chaos.NewInjector(cfg.Chaos)
+		inj.SetWindow(duration)
+		inj.SetEligibleRegistry(reg)
+	}
+
+	// Pass B: simulate shards on a bounded worker pool. The injector,
+	// registry, geo database, campaign and population view are all
+	// read-only across workers.
+	gdb := GeoDB(pop)
+	outs := make([]*shardOut, shards)
+	sem := make(chan struct{}, cfg.maxParallel())
+	var wg sync.WaitGroup
+	for k := range parts {
+		wg.Add(1)
+		go func(k int, pop ditl.Pop, cfg Config, gdb *geo.DB, inj *chaos.Injector) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outs[k] = runShardStreaming(c, pop, cfg, reg, gdb, inj, k, parts[k], duration)
+		}(k, pop, cfg, gdb, inj)
+	}
+	wg.Wait()
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+	}
+
+	// Merge in shard order — identical to the retained engine's stage 4.
+	nT, nH, nP := 0, 0, 0
+	for _, o := range outs {
+		nT += len(o.targets)
+		nH += len(o.hits)
+		nP += len(o.partials)
+	}
+	targets := make([]scanner.Target, 0, nT)
+	hits := make([]scanner.Hit, 0, nH)
+	partials := make([]scanner.PartialHit, 0, nP)
+	var stats scanner.Stats
+	ctxs := make([]*analysis.Context, shards)
+	chaosCrashes := 0
+	for k, o := range outs {
+		targets = append(targets, o.targets...)
+		hits = append(hits, o.hits...)
+		partials = append(partials, o.partials...)
+		stats.Add(o.stats)
+		ctxs[k] = o.ctx
+		chaosCrashes += o.crashes
+	}
+	scanner.SortHits(hits)
+	scanner.SortPartials(partials)
+
+	n := len(outs[0].publicDNS)
+	for _, o := range outs {
+		n += len(o.asPublicDNS)
+	}
+	publicDNS := make([]netip.Addr, 0, n)
+	publicDNS = append(publicDNS, outs[0].publicDNS...)
+	for _, o := range outs {
+		publicDNS = append(publicDNS, o.asPublicDNS...)
+	}
+
+	var inv *world.InvariantReport
+	if !cfg.DisableInvariants {
+		merged := world.InvariantReport{}
+		for _, o := range outs {
+			merged.Add(o.inv)
+		}
+		inv = &merged
+	}
+
+	// The merged result scanner: buffers, registry, addresses and stats
+	// only — it has no host and no world behind it, exactly like the
+	// buffers the retained merge leaves on shard 0's scanner.
+	sc := &scanner.Scanner{
+		Addr4: outs[0].addr4, Addr6: outs[0].addr6,
+		Reg: reg, Cfg: outs[0].cfg, Stats: stats,
+		Targets: targets, Hits: hits, Partials: partials,
+	}
+	report := &analysis.Report{}
+	analysis.MergeContexts(
+		shardInput(sc, sc.Addr4, sc.Addr6, reg, gdb, cfg),
+		ctxs,
+	).Reduce(report, c.reducers())
+
+	result := &Result{
+		Campaign:   c,
+		Population: pop,
+		Scanner:    sc, Report: report, Geo: gdb, PublicDNS: publicDNS,
+		Probes: probes, Duration: duration,
+		Invariants: inv, ChaosCrashes: chaosCrashes,
+	}
+	if inv != nil && !inv.Ok() {
+		return result, fmt.Errorf("campaign: %d simulation invariant violation(s); first: %s",
+			inv.ViolationCount, inv.Violations[0])
+	}
+	return result, nil
+}
+
+// runShardStreaming simulates one shard end to end: build, plan,
+// schedule, observe, run, partition. Everything but the returned
+// shardOut is garbage when it returns.
+func runShardStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Registry, gdb *geo.DB, inj *chaos.Injector, k int, indices []int, duration time.Duration) *shardOut {
+	w, err := world.BuildWith(pop, reg, cfg.World, indices)
+	if err != nil {
+		return &shardOut{err: err}
+	}
+	sc, err := scanner.New(w.Scanner, w.ScannerAddr4, w.ScannerAddr6, w.Reg, w.Auth, cfg.Scanner)
+	if err != nil {
+		return &shardOut{err: err}
+	}
+	sc.Admit(CandidateAddrs(pop, indices))
+	sh := &Shard{Index: k, World: w, Scanner: sc}
+	for _, ph := range c.Phases {
+		ph.Plan(sh)
+	}
+	for _, ph := range c.Phases {
+		ph.Schedule(sh, duration)
+	}
+	out := &shardOut{}
+	if cfg.ChurnFraction > 0 {
+		w.ScheduleChurn(cfg.ChurnFraction, duration, cfg.Scanner.Seed+99)
+	}
+	if inj != nil {
+		out.crashes = w.ScheduleChaos(inj)
+	}
+	for _, ph := range c.Phases {
+		ph.Observe(sh)
+	}
+	w.Net.Run()
+	out.ctx = analysis.Partition(shardInput(sc, w.ScannerAddr4, w.ScannerAddr6, reg, gdb, cfg))
+	out.targets, out.hits, out.partials = sc.Targets, sc.Hits, sc.Partials
+	out.stats, out.cfg = sc.Stats, sc.Cfg
+	out.addr4, out.addr6 = w.ScannerAddr4, w.ScannerAddr6
+	out.publicDNS, out.asPublicDNS = w.PublicDNS, w.ASPublicDNS
+	if !cfg.DisableInvariants {
+		out.inv = w.Invariants.Report()
+	}
+	return out
+}
+
 // CandidateAddrs collects the DITL-derived candidate targets (live
 // resolvers and dead addresses alike; the scanner cannot tell them
 // apart, §3.6.2) of the population ASes named by indices (nil = all),
 // pre-sized from the population counts.
-func CandidateAddrs(pop *ditl.Population, indices []int) []netip.Addr {
+func CandidateAddrs(pop ditl.Pop, indices []int) []netip.Addr {
 	out := make([]netip.Addr, 0, pop.CandidateCount(indices))
-	visit := func(as *ditl.ASSpec) {
-		for _, r := range as.Resolvers {
+	pop.EachAS(indices, func(_ int, as *ditl.ASSpec) {
+		for k := 0; k < as.NumResolvers(); k++ {
+			r := as.Resolver(k)
 			if r.HasV4() {
 				out = append(out, r.Addr4)
 			}
@@ -264,47 +534,42 @@ func CandidateAddrs(pop *ditl.Population, indices []int) []netip.Addr {
 			}
 		}
 		out = append(out, as.DeadTargets...)
-	}
-	if indices == nil {
-		for _, as := range pop.ASes {
-			visit(as)
-		}
-	} else {
-		for _, i := range indices {
-			visit(pop.ASes[i])
-		}
-	}
+	})
 	return out
 }
 
 // V6HitList derives the IPv6 hit list (§3.2, [21]) from the population:
 // the /64s of every known-active v6 address (live resolvers and
-// once-seen dead targets alike — activity, not liveness).
-func V6HitList(pop *ditl.Population) map[netip.Prefix]bool {
+// once-seen dead targets alike — activity, not liveness). It is one of
+// the few deliberately population-sized structures in the streaming
+// engine: one /64 per known v6 address, shared read-only by every
+// shard's scanner.
+func V6HitList(pop ditl.Pop) map[netip.Prefix]bool {
 	hl := make(map[netip.Prefix]bool, pop.V6AddrCount())
 	add := func(a netip.Addr) {
 		if a.IsValid() && a.Is6() {
 			hl[routing.SubnetOf(a)] = true
 		}
 	}
-	for _, as := range pop.ASes {
-		for _, r := range as.Resolvers {
+	pop.EachAS(nil, func(_ int, as *ditl.ASSpec) {
+		for k := 0; k < as.NumResolvers(); k++ {
+			r := as.Resolver(k)
 			add(r.Addr6)
 		}
 		for _, d := range as.DeadTargets {
 			add(d)
 		}
-	}
+	})
 	return hl
 }
 
 // GeoDB builds the country database from the population's AS
 // assignments (standing in for MaxMind GeoLite2, §4).
-func GeoDB(pop *ditl.Population) *geo.DB {
+func GeoDB(pop ditl.Pop) *geo.DB {
 	db := geo.New()
-	for _, as := range pop.ASes {
+	pop.EachAS(nil, func(_ int, as *ditl.ASSpec) {
 		db.Assign(as.ASN, as.Countries...)
-	}
+	})
 	return db
 }
 

@@ -46,15 +46,18 @@ func TestLookupThroughSimulatedWorld(t *testing.T) {
 
 	var withPTR, withoutPTR *ditl.ResolverSpec
 	for _, as := range pop.ASes {
-		for _, rs := range as.Resolvers {
+		for k := 0; k < as.NumResolvers(); k++ {
+			rs := as.Resolver(k)
 			if !rs.HasV4() {
 				continue
 			}
-			if world.PublishesPTR(rs) && withPTR == nil {
-				withPTR = rs
+			if world.PublishesPTR(&rs) && withPTR == nil {
+				c := rs
+				withPTR = &c
 			}
-			if !world.PublishesPTR(rs) && withoutPTR == nil {
-				withoutPTR = rs
+			if !world.PublishesPTR(&rs) && withoutPTR == nil {
+				c := rs
+				withoutPTR = &c
 			}
 		}
 	}
@@ -92,8 +95,9 @@ func TestLookupV6(t *testing.T) {
 	}
 	client := &Client{Host: w.Scanner, From: w.ScannerAddr4, Resolver: w.PublicDNS[0]}
 	for _, as := range pop.ASes {
-		for _, rs := range as.Resolvers {
-			if rs.HasV6() && world.PublishesPTR(rs) {
+		for k := 0; k < as.NumResolvers(); k++ {
+			rs := as.Resolver(k)
+			if rs.HasV6() && world.PublishesPTR(&rs) {
 				info, err := Lookup(client, rs.Addr6)
 				if err != nil {
 					t.Fatalf("v6 Lookup(%v): %v", rs.Addr6, err)

@@ -85,3 +85,51 @@ func Intn(n int, vals ...uint64) int {
 func Rand(vals ...uint64) *rand.Rand {
 	return rand.New(rand.NewSource(int64(Mix(vals...))))
 }
+
+// Counted is a causally-seeded rand.Source64 that counts how many
+// times its state advances. Every generator method of *rand.Rand
+// consumes exactly one source draw per Int63/Uint64 call (rejection
+// sampling in Intn shows up as extra counted draws), so recording
+// Draws() at a boundary and later Skip()ing to that count on a fresh
+// Counted resumes the stream at exactly that boundary. This is what
+// lets a consumer of one long sequential stream (the ditl population
+// generator) be replayed from the middle without regenerating the
+// prefix.
+type Counted struct {
+	src rand.Source64
+	n   uint64
+}
+
+// NewCounted returns a counting source seeded exactly like Rand(vals...):
+// rand.New(c) and Rand(vals...) produce identical draw sequences.
+func NewCounted(vals ...uint64) *Counted {
+	return &Counted{src: rand.NewSource(int64(Mix(vals...))).(rand.Source64)}
+}
+
+// Int63 advances the stream one step.
+func (c *Counted) Int63() int64 { c.n++; return c.src.Int63() }
+
+// Uint64 advances the stream one step.
+func (c *Counted) Uint64() uint64 { c.n++; return c.src.Uint64() }
+
+// Seed reseeds the underlying source (required by rand.Source; the
+// draw count is NOT reset — callers wanting a fresh stream build a
+// fresh Counted).
+func (c *Counted) Seed(s int64) { c.src.Seed(s) }
+
+// Draws reports how many times the source state has advanced.
+func (c *Counted) Draws() uint64 { return c.n }
+
+// Skip advances the stream n steps without handing the values out.
+func (c *Counted) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+	c.n += n
+}
+
+// Rand wraps the counting source in a *rand.Rand. Because Counted
+// implements rand.Source64, the generator dispatches exactly as it
+// does over the raw source, so the value stream matches Rand(vals...)
+// draw for draw.
+func (c *Counted) Rand() *rand.Rand { return rand.New(c) }

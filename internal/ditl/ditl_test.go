@@ -76,7 +76,8 @@ func TestGeneratePrefixesAreValidAndDisjoint(t *testing.T) {
 				t.Fatalf("address %v of %v routes to %v", a, as.ASN, origin)
 			}
 		}
-		for _, r := range as.Resolvers {
+		for ri := 0; ri < as.NumResolvers(); ri++ {
+			r := as.Resolver(ri)
 			check(r.Addr4)
 			check(r.Addr6)
 		}
@@ -99,7 +100,8 @@ func TestGenerateAddressesUnique(t *testing.T) {
 		seen[a] = true
 	}
 	for _, as := range pop.ASes {
-		for _, r := range as.Resolvers {
+		for ri := 0; ri < as.NumResolvers(); ri++ {
+			r := as.Resolver(ri)
 			add(r.Addr4)
 			add(r.Addr6)
 		}
@@ -115,7 +117,8 @@ func TestResolverAllocatorsMatchBands(t *testing.T) {
 	// falls in the band it was generated for.
 	counts := map[Band]int{}
 	for _, as := range pop.ASes {
-		for _, r := range as.Resolvers {
+		for ri := 0; ri < as.NumResolvers(); ri++ {
+			r := as.Resolver(ri)
 			if r.Forward {
 				continue
 			}
@@ -182,7 +185,8 @@ func TestWindowsBandResolversAreMostlyOpen(t *testing.T) {
 	pop := Generate(Params{Seed: 5, ASes: 4000})
 	open, closed := 0, 0
 	for _, as := range pop.ASes {
-		for _, r := range as.Resolvers {
+		for ri := 0; ri < as.NumResolvers(); ri++ {
+			r := as.Resolver(ri)
 			if r.Band != BandWindows || r.Forward {
 				continue
 			}
@@ -206,7 +210,8 @@ func TestLinuxBandResolversAreMostlyClosed(t *testing.T) {
 	pop := Generate(Params{Seed: 6, ASes: 1000})
 	open, closed := 0, 0
 	for _, as := range pop.ASes {
-		for _, r := range as.Resolvers {
+		for ri := 0; ri < as.NumResolvers(); ri++ {
+			r := as.Resolver(ri)
 			if r.Band != BandLinux || r.Forward {
 				continue
 			}
@@ -228,7 +233,8 @@ func TestPassive2018Composition(t *testing.T) {
 	passive := Passive2018(pop, 99)
 	sameZero, regressed, absent := 0, 0, 0
 	for _, as := range pop.ASes {
-		for _, r := range as.Resolvers {
+		for ri := 0; ri < as.NumResolvers(); ri++ {
+			r := as.Resolver(ri)
 			if r.Band != BandZero {
 				continue
 			}

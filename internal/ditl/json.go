@@ -74,7 +74,8 @@ func (p *Population) WriteJSON(w io.Writer) error {
 		for _, d := range as.DeadTargets {
 			aj.DeadTargets = append(aj.DeadTargets, d.String())
 		}
-		for _, r := range as.Resolvers {
+		for k := 0; k < as.NumResolvers(); k++ {
+			r := as.Resolver(k)
 			rj := resolverJSON{
 				Index: r.Index, OS: r.OS.Name, Software: int(r.Software),
 				SmallPoolSize: r.SmallPoolSize, SeqSize: r.SeqSize,
@@ -107,11 +108,13 @@ func ReadJSON(r io.Reader) (*Population, error) {
 		return nil, fmt.Errorf("ditl: decode population: %w", err)
 	}
 	pop := &Population{Params: in.Params}
+	slab := newResolverSlab()
 	for _, aj := range in.ASes {
 		as := &ASSpec{
 			ASN: routing.ASN(aj.ASN), DSAV: aj.DSAV, OSAV: aj.OSAV,
 			FilterBogons: aj.FilterBogons, IDS: aj.IDS, Middlebox: aj.Middlebox,
 			Countries: aj.Countries,
+			slab:      slab, lo: slab.len(), hi: slab.len(),
 		}
 		for _, s := range aj.V4Prefixes {
 			p, err := netip.ParsePrefix(s)
@@ -139,7 +142,7 @@ func ReadJSON(r io.Reader) (*Population, error) {
 			if err != nil {
 				return nil, fmt.Errorf("ditl: resolver %d: %w", rj.Index, err)
 			}
-			rs := &ResolverSpec{
+			rs := ResolverSpec{
 				Index: rj.Index, ASN: as.ASN, OS: osProf,
 				Software:      resolver.Software(rj.Software),
 				SmallPoolSize: rj.SmallPoolSize, SeqSize: rj.SeqSize,
@@ -164,7 +167,7 @@ func ReadJSON(r io.Reader) (*Population, error) {
 				}
 				rs.Addr6 = a
 			}
-			as.Resolvers = append(as.Resolvers, rs)
+			as.appendResolver(&rs)
 		}
 		pop.ASes = append(pop.ASes, as)
 	}
@@ -211,7 +214,8 @@ func (p *Population) Validate() error {
 			}
 			return nil
 		}
-		for _, rs := range as.Resolvers {
+		for k := 0; k < as.NumResolvers(); k++ {
+			rs := as.Resolver(k)
 			if seenIdx[rs.Index] {
 				return fmt.Errorf("ditl: duplicate resolver index %d", rs.Index)
 			}

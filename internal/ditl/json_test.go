@@ -37,11 +37,11 @@ func TestJSONRoundTrip(t *testing.T) {
 			!reflect.DeepEqual(g.DeadTargets, as.DeadTargets) {
 			t.Fatalf("AS %d data differs", i)
 		}
-		if len(g.Resolvers) != len(as.Resolvers) {
+		if g.NumResolvers() != as.NumResolvers() {
 			t.Fatalf("AS %d resolver count differs", i)
 		}
-		for j, r := range as.Resolvers {
-			gr := g.Resolvers[j]
+		for j := 0; j < as.NumResolvers(); j++ {
+			gr, r := g.Resolver(j), as.Resolver(j)
 			if !reflect.DeepEqual(gr, r) {
 				t.Fatalf("resolver %d/%d differs:\n%+v\n%+v", i, j, gr, r)
 			}
@@ -62,9 +62,9 @@ func TestJSONRoundTripAllocatorsIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range pop.ASes {
-		for j := range pop.ASes[i].Resolvers {
-			a1 := pop.ASes[i].Resolvers[j].Allocator()
-			a2 := got.ASes[i].Resolvers[j].Allocator()
+		for j := 0; j < pop.ASes[i].NumResolvers(); j++ {
+			r1, r2 := pop.ASes[i].Resolver(j), got.ASes[i].Resolver(j)
+			a1, a2 := r1.Allocator(), r2.Allocator()
 			for k := 0; k < 20; k++ {
 				if a1.Next() != a2.Next() {
 					t.Fatalf("allocator %d/%d diverged at draw %d", i, j, k)
@@ -106,27 +106,32 @@ func TestValidateCatchesCorruption(t *testing.T) {
 		t.Error("duplicate ASN accepted")
 	}
 
+	corrupt := func(pop *Population, fn func(r *ResolverSpec)) {
+		r := pop.ASes[0].Resolver(0)
+		fn(&r)
+		pop.ASes[0].setResolver(0, r)
+	}
+
 	pop = fresh()
-	pop.ASes[0].Resolvers[0].Addr4 = pop.ASes[1].Resolvers[0].Addr4
+	corrupt(pop, func(r *ResolverSpec) { r.Addr4 = pop.ASes[1].Resolver(0).Addr4 })
 	if err := pop.Validate(); err == nil {
 		t.Error("duplicate address accepted")
 	}
 
 	pop = fresh()
-	pop.ASes[0].Resolvers[0].Addr4 = netipMustParse("9.9.9.9")
+	corrupt(pop, func(r *ResolverSpec) { r.Addr4 = netipMustParse("9.9.9.9") })
 	if err := pop.Validate(); err == nil {
 		t.Error("out-of-prefix address accepted")
 	}
 
 	pop = fresh()
-	pop.ASes[0].Resolvers[0].OS = nil
+	corrupt(pop, func(r *ResolverSpec) { r.OS = nil })
 	if err := pop.Validate(); err == nil {
 		t.Error("missing OS accepted")
 	}
 
 	pop = fresh()
-	pop.ASes[0].Resolvers[0].SmallPoolSize = 10
-	pop.ASes[0].Resolvers[0].SeqSize = 10
+	corrupt(pop, func(r *ResolverSpec) { r.SmallPoolSize = 10; r.SeqSize = 10 })
 	if err := pop.Validate(); err == nil {
 		t.Error("conflicting allocator overrides accepted")
 	}

@@ -35,18 +35,12 @@ func PartitionIndices(n, k int) [][]int {
 // addresses (live resolver v4+v6 addresses plus dead targets) across
 // the ASes named by indices; nil means the whole population. Callers
 // use it to pre-size candidate slices before collecting the addresses.
+// The streaming *View answers the same question from its index in
+// O(len(indices)) without generating anything.
 func (p *Population) CandidateCount(indices []int) int {
 	n := 0
-	each(p, indices, func(as *ASSpec) {
-		for _, r := range as.Resolvers {
-			if r.HasV4() {
-				n++
-			}
-			if r.HasV6() {
-				n++
-			}
-		}
-		n += len(as.DeadTargets)
+	p.EachAS(indices, func(_ int, as *ASSpec) {
+		n += asCandidateCount(as)
 	})
 	return n
 }
@@ -57,29 +51,7 @@ func (p *Population) CandidateCount(indices []int) int {
 func (p *Population) V6AddrCount() int {
 	n := 0
 	for _, as := range p.ASes {
-		for _, r := range as.Resolvers {
-			if r.HasV6() {
-				n++
-			}
-		}
-		for _, d := range as.DeadTargets {
-			if d.Is6() {
-				n++
-			}
-		}
+		n += asV6AddrCount(as)
 	}
 	return n
-}
-
-// each visits the ASes selected by indices (nil = all) in order.
-func each(p *Population, indices []int, fn func(*ASSpec)) {
-	if indices == nil {
-		for _, as := range p.ASes {
-			fn(as)
-		}
-		return
-	}
-	for _, i := range indices {
-		fn(p.ASes[i])
-	}
 }

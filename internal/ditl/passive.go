@@ -19,11 +19,12 @@ type PassiveSample struct {
 // following each resolver's History2018: resolvers that were already
 // fixed-port in 2018 show a single port; resolvers that regressed show
 // randomized ports; absent resolvers have no entry.
-func Passive2018(pop *Population, seed int64) map[netip.Addr]PassiveSample {
+func Passive2018(pop Pop, seed int64) map[netip.Addr]PassiveSample {
 	rng := detrand.Rand(uint64(seed), saltPassive)
 	out := make(map[netip.Addr]PassiveSample)
-	for _, as := range pop.ASes {
-		for _, r := range as.Resolvers {
+	pop.EachAS(nil, func(_ int, as *ASSpec) {
+		for k := 0; k < as.NumResolvers(); k++ {
+			r := as.Resolver(k)
 			addr := r.Addr4
 			if !addr.IsValid() {
 				addr = r.Addr6
@@ -55,6 +56,6 @@ func Passive2018(pop *Population, seed int64) map[netip.Addr]PassiveSample {
 			}
 			out[addr] = PassiveSample{Addr: addr, Ports: ports}
 		}
-	}
+	})
 	return out
 }

@@ -150,7 +150,9 @@ func (r *ResolverSpec) HasV4() bool { return r.Addr4.IsValid() }
 // HasV6 reports whether the resolver has an IPv6 address.
 func (r *ResolverSpec) HasV6() bool { return r.Addr6.IsValid() }
 
-// ASSpec describes one target AS.
+// ASSpec describes one target AS. Resolver specs live in a shared
+// struct-of-arrays slab (the AS owns rows [lo, hi)); access them
+// through NumResolvers/Resolver.
 type ASSpec struct {
 	ASN          routing.ASN
 	V4Prefixes   []netip.Prefix
@@ -162,8 +164,23 @@ type ASSpec struct {
 	Middlebox    bool
 	Countries    []string
 
-	Resolvers   []*ResolverSpec
 	DeadTargets []netip.Addr
+
+	slab   *resolverSlab
+	lo, hi int
+}
+
+// NumResolvers returns the AS's live resolver count.
+func (a *ASSpec) NumResolvers() int { return a.hi - a.lo }
+
+// Resolver materializes the AS's k-th resolver spec.
+func (a *ASSpec) Resolver(k int) ResolverSpec { return a.slab.spec(a.lo + k) }
+
+// appendResolver adds a resolver to the AS; the AS's rows must be the
+// slab's tail (generation and JSON import both build ASes in order).
+func (a *ASSpec) appendResolver(r *ResolverSpec) {
+	a.slab.appendSpec(r)
+	a.hi = a.slab.len()
 }
 
 // Prefixes returns all announced prefixes.
@@ -238,85 +255,103 @@ func carvePrefixes(block netip.Prefix, rng *rand.Rand) []netip.Prefix {
 	}
 }
 
-// Generate builds a population.
+// Generate builds a population eagerly. NewView builds the same
+// population as a streaming view; both synthesize each AS through
+// genAS so the draw streams are identical.
 func Generate(p Params) *Population {
 	p = p.withDefaults()
 	rng := detrand.Rand(uint64(p.Seed), saltPopulation)
 	pop := &Population{Params: p}
+	slab := newResolverSlab()
+	used := make(map[netip.Addr]bool)
 	resolverIdx := 0
 	for i := 0; i < p.ASes; i++ {
-		country := pickCountry(rng)
-		prefixes := carvePrefixes(v4BlockFor(i), rng)
-		// Large ISPs filter martians near-universally; the residual
-		// bogon-accepting networks are small ones.
-		bogonP := p.BogonFilterFraction
-		if asSizeBoost(&ASSpec{V4Prefixes: prefixes}) > 1.5 {
-			bogonP = 1 - (1-bogonP)/3
-		}
-		as := &ASSpec{
-			ASN:          routing.ASN(1000 + i),
-			V4Prefixes:   prefixes,
-			DSAV:         rng.Float64() >= country.dsavLack,
-			OSAV:         rng.Float64() < 0.7,
-			FilterBogons: rng.Float64() < bogonP,
-			IDS:          rng.Float64() < p.IDSASFraction,
-			Middlebox:    rng.Float64() < p.MiddleboxASFraction,
-			Countries:    []string{country.code},
-		}
-		if rng.Float64() < 0.1 { // some ASes span two countries (§4)
-			second := pickCountry(rng)
-			if second.code != country.code {
-				as.Countries = append(as.Countries, second.code)
-			}
-		}
-		if rng.Float64() < p.V6ASFraction {
-			as.V6Prefixes = []netip.Prefix{v6BlockFor(i)}
-		}
+		as := &ASSpec{slab: slab}
+		resolverIdx = genAS(p, rng, i, resolverIdx, as, used)
+		pop.ASes = append(pop.ASes, as)
+	}
+	return pop
+}
 
-		// Live resolvers. Larger ASes host more resolvers (and more dead
-		// targets below): the paper's target counts are dominated by big
-		// ISPs (Table 1: the US averages ~175 targets per AS).
-		sizeBoost := asSizeBoost(as)
-		liveMean := int(float64(p.LiveResolverMean) * country.liveBoost * sizeBoost)
-		if liveMean > 8 {
-			liveMean = 8
-		}
-		nLive := 1 + geomRand(rng, liveMean)
-		if nLive > 30 {
-			nLive = 30 // no single AS may dominate the population
-		}
-		used := make(map[netip.Addr]bool)
-		for k := 0; k < nLive; k++ {
-			spec := genResolver(p, rng, as, country, resolverIdx, used)
-			resolverIdx++
-			as.Resolvers = append(as.Resolvers, spec)
-		}
+// genAS synthesizes population AS i into as, drawing from rng the
+// exact sequence the eager generator has always drawn (the stream is
+// pinned by the golden report). All fields of as are reset except the
+// slab (resolver rows are appended at its tail) and the DeadTargets
+// backing array (reused in place, so streaming callers recycle one
+// scratch ASSpec). used is per-AS address-dedup scratch, cleared on
+// entry. Returns the global resolver index after this AS.
+func genAS(p Params, rng *rand.Rand, i, resolverIdx int, as *ASSpec, used map[netip.Addr]bool) int {
+	clear(used)
+	slab, dead := as.slab, as.DeadTargets[:0]
+	*as = ASSpec{slab: slab, lo: slab.len(), hi: slab.len(), DeadTargets: dead}
 
-		// Dead targets (DITL sources that no longer respond, §3.6.2).
-		nDead := geomRand(rng, int(float64(p.DeadTargetMean)*sizeBoost))
-		for k := 0; k < nDead; k++ {
-			pref := as.V4Prefixes[rng.Intn(len(as.V4Prefixes))]
-			sub := routing.EnumerateSubnets(pref, 64)
+	country := pickCountry(rng)
+	prefixes := carvePrefixes(v4BlockFor(i), rng)
+	// Large ISPs filter martians near-universally; the residual
+	// bogon-accepting networks are small ones.
+	bogonP := p.BogonFilterFraction
+	if asSizeBoost(&ASSpec{V4Prefixes: prefixes}) > 1.5 {
+		bogonP = 1 - (1-bogonP)/3
+	}
+	as.ASN = routing.ASN(1000 + i)
+	as.V4Prefixes = prefixes
+	as.DSAV = rng.Float64() >= country.dsavLack
+	as.OSAV = rng.Float64() < 0.7
+	as.FilterBogons = rng.Float64() < bogonP
+	as.IDS = rng.Float64() < p.IDSASFraction
+	as.Middlebox = rng.Float64() < p.MiddleboxASFraction
+	as.Countries = []string{country.code}
+	if rng.Float64() < 0.1 { // some ASes span two countries (§4)
+		second := pickCountry(rng)
+		if second.code != country.code {
+			as.Countries = append(as.Countries, second.code)
+		}
+	}
+	if rng.Float64() < p.V6ASFraction {
+		as.V6Prefixes = []netip.Prefix{v6BlockFor(i)}
+	}
+
+	// Live resolvers. Larger ASes host more resolvers (and more dead
+	// targets below): the paper's target counts are dominated by big
+	// ISPs (Table 1: the US averages ~175 targets per AS).
+	sizeBoost := asSizeBoost(as)
+	liveMean := int(float64(p.LiveResolverMean) * country.liveBoost * sizeBoost)
+	if liveMean > 8 {
+		liveMean = 8
+	}
+	nLive := 1 + geomRand(rng, liveMean)
+	if nLive > 30 {
+		nLive = 30 // no single AS may dominate the population
+	}
+	for k := 0; k < nLive; k++ {
+		spec := genResolver(p, rng, as, country, resolverIdx, used)
+		resolverIdx++
+		as.appendResolver(&spec)
+	}
+
+	// Dead targets (DITL sources that no longer respond, §3.6.2).
+	nDead := geomRand(rng, int(float64(p.DeadTargetMean)*sizeBoost))
+	for k := 0; k < nDead; k++ {
+		pref := as.V4Prefixes[rng.Intn(len(as.V4Prefixes))]
+		sub := routing.EnumerateSubnets(pref, 64)
+		a := routing.RandomHostAddr(sub[rng.Intn(len(sub))], rng)
+		if !used[a] {
+			used[a] = true
+			as.DeadTargets = append(as.DeadTargets, a)
+		}
+	}
+	if len(as.V6Prefixes) > 0 {
+		nDead6 := geomRand(rng, p.DeadTargetMeanV6)
+		for k := 0; k < nDead6; k++ {
+			sub := routing.EnumerateSubnets(as.V6Prefixes[0], 16)
 			a := routing.RandomHostAddr(sub[rng.Intn(len(sub))], rng)
 			if !used[a] {
 				used[a] = true
 				as.DeadTargets = append(as.DeadTargets, a)
 			}
 		}
-		if len(as.V6Prefixes) > 0 {
-			nDead6 := geomRand(rng, p.DeadTargetMeanV6)
-			for k := 0; k < nDead6; k++ {
-				sub := routing.EnumerateSubnets(as.V6Prefixes[0], 16)
-				a := routing.RandomHostAddr(sub[rng.Intn(len(sub))], rng)
-				if !used[a] {
-					used[a] = true
-					as.DeadTargets = append(as.DeadTargets, a)
-				}
-			}
-		}
-		pop.ASes = append(pop.ASes, as)
 	}
-	return pop
+	return resolverIdx
 }
 
 // asSizeBoost scales per-AS population with announced space: 1x for a
@@ -357,8 +392,8 @@ func osMix(rng *rand.Rand) *oskernel.Profile {
 }
 
 // genResolver samples one live resolver's joint configuration.
-func genResolver(p Params, rng *rand.Rand, as *ASSpec, country countryProfile, idx int, used map[netip.Addr]bool) *ResolverSpec {
-	spec := &ResolverSpec{
+func genResolver(p Params, rng *rand.Rand, as *ASSpec, country countryProfile, idx int, used map[netip.Addr]bool) ResolverSpec {
+	spec := ResolverSpec{
 		Index: idx,
 		ASN:   as.ASN,
 		Seed:  p.Seed*1_000_003 + int64(idx),
@@ -412,7 +447,7 @@ func genResolver(p Params, rng *rand.Rand, as *ASSpec, country countryProfile, i
 		open := rng.Float64() < p.ForwarderOpenFraction*country.openBoost
 		spec.Scope = closedScope(rng, open, spec.HasV6())
 	} else {
-		genDirect(rng, spec, country)
+		genDirect(rng, &spec, country)
 	}
 
 	if spec.HasV6() && spec.Scope == ScopeOpen && rng.Float64() < 0.85 {
@@ -642,7 +677,8 @@ func (p *Population) Summarize() Stats {
 				s.TargetsV6++
 			}
 		}
-		for _, r := range as.Resolvers {
+		for k := 0; k < as.NumResolvers(); k++ {
+			r := as.Resolver(k)
 			s.LiveResolvers++
 			if r.Forward {
 				s.Forwarders++

@@ -1,0 +1,188 @@
+package ditl
+
+import (
+	"net/netip"
+
+	"repro/internal/oskernel"
+	"repro/internal/resolver"
+	"repro/internal/routing"
+)
+
+// resolverSlab stores resolver specs as struct-of-arrays columns.
+// A population holds one slab shared by every ASSpec (each AS owns the
+// contiguous row range [lo, hi)); the streaming view reuses a single
+// truncated slab as per-AS scratch. Compared to the former
+// []*ResolverSpec graph this is 16 slice allocations total instead of
+// one heap object per resolver, and sequential column scans instead of
+// pointer chasing.
+type resolverSlab struct {
+	index     []int32
+	asn       []uint32
+	addr4     []netip.Addr
+	addr6     []netip.Addr
+	os        []*oskernel.Profile
+	software  []int32
+	smallPool []int32
+	seqSize   []int32
+	fixedPort []uint16
+	scope     []int32
+	flags     []uint8
+	fwdFrac   []float64
+	upstream  []int32
+	seed      []int64
+	band      []uint16
+	history   []int32
+
+	// Band strings are interned: the generated population draws from a
+	// fixed archetype set, so the table stays tiny no matter how many
+	// resolvers stream through.
+	bands   []Band
+	bandIdx map[Band]uint16
+}
+
+// Packed boolean flags.
+const (
+	slabFlagLoopback = 1 << iota
+	slabFlagQmin
+	slabFlagQminStrict
+	slabFlagForward
+	slabFlagScrub
+)
+
+func newResolverSlab() *resolverSlab {
+	return &resolverSlab{bandIdx: make(map[Band]uint16)}
+}
+
+func (s *resolverSlab) len() int { return len(s.index) }
+
+// truncate drops all rows but keeps column capacity and the band
+// intern table — the streaming view's per-AS reset.
+func (s *resolverSlab) truncate() {
+	s.index = s.index[:0]
+	s.asn = s.asn[:0]
+	s.addr4 = s.addr4[:0]
+	s.addr6 = s.addr6[:0]
+	s.os = s.os[:0]
+	s.software = s.software[:0]
+	s.smallPool = s.smallPool[:0]
+	s.seqSize = s.seqSize[:0]
+	s.fixedPort = s.fixedPort[:0]
+	s.scope = s.scope[:0]
+	s.flags = s.flags[:0]
+	s.fwdFrac = s.fwdFrac[:0]
+	s.upstream = s.upstream[:0]
+	s.seed = s.seed[:0]
+	s.band = s.band[:0]
+	s.history = s.history[:0]
+}
+
+func (s *resolverSlab) internBand(b Band) uint16 {
+	if i, ok := s.bandIdx[b]; ok {
+		return i
+	}
+	i := uint16(len(s.bands))
+	s.bands = append(s.bands, b)
+	s.bandIdx[b] = i
+	return i
+}
+
+// appendSpec adds one resolver as a new row.
+func (s *resolverSlab) appendSpec(r *ResolverSpec) {
+	var flags uint8
+	if r.ACLAllowLoopback {
+		flags |= slabFlagLoopback
+	}
+	if r.QnameMin {
+		flags |= slabFlagQmin
+	}
+	if r.QnameMinStrict {
+		flags |= slabFlagQminStrict
+	}
+	if r.Forward {
+		flags |= slabFlagForward
+	}
+	if r.Scrub {
+		flags |= slabFlagScrub
+	}
+	s.index = append(s.index, int32(r.Index))
+	s.asn = append(s.asn, uint32(r.ASN))
+	s.addr4 = append(s.addr4, r.Addr4)
+	s.addr6 = append(s.addr6, r.Addr6)
+	s.os = append(s.os, r.OS)
+	s.software = append(s.software, int32(r.Software))
+	s.smallPool = append(s.smallPool, int32(r.SmallPoolSize))
+	s.seqSize = append(s.seqSize, int32(r.SeqSize))
+	s.fixedPort = append(s.fixedPort, r.FixedPortOverride)
+	s.scope = append(s.scope, int32(r.Scope))
+	s.flags = append(s.flags, flags)
+	s.fwdFrac = append(s.fwdFrac, r.ForwardFraction)
+	s.upstream = append(s.upstream, int32(r.Upstream))
+	s.seed = append(s.seed, r.Seed)
+	s.band = append(s.band, s.internBand(r.Band))
+	s.history = append(s.history, int32(r.History))
+}
+
+// setResolver overwrites the AS's k-th resolver (corruption-injection
+// hook for validation tests; generation never rewrites rows).
+func (a *ASSpec) setResolver(k int, r ResolverSpec) {
+	s, row := a.slab, a.lo+k
+	var flags uint8
+	if r.ACLAllowLoopback {
+		flags |= slabFlagLoopback
+	}
+	if r.QnameMin {
+		flags |= slabFlagQmin
+	}
+	if r.QnameMinStrict {
+		flags |= slabFlagQminStrict
+	}
+	if r.Forward {
+		flags |= slabFlagForward
+	}
+	if r.Scrub {
+		flags |= slabFlagScrub
+	}
+	s.index[row] = int32(r.Index)
+	s.asn[row] = uint32(r.ASN)
+	s.addr4[row] = r.Addr4
+	s.addr6[row] = r.Addr6
+	s.os[row] = r.OS
+	s.software[row] = int32(r.Software)
+	s.smallPool[row] = int32(r.SmallPoolSize)
+	s.seqSize[row] = int32(r.SeqSize)
+	s.fixedPort[row] = r.FixedPortOverride
+	s.scope[row] = int32(r.Scope)
+	s.flags[row] = flags
+	s.fwdFrac[row] = r.ForwardFraction
+	s.upstream[row] = int32(r.Upstream)
+	s.seed[row] = r.Seed
+	s.band[row] = s.internBand(r.Band)
+	s.history[row] = int32(r.History)
+}
+
+// spec materializes row k as a ResolverSpec value.
+func (s *resolverSlab) spec(k int) ResolverSpec {
+	flags := s.flags[k]
+	return ResolverSpec{
+		Index:             int(s.index[k]),
+		ASN:               routing.ASN(s.asn[k]),
+		Addr4:             s.addr4[k],
+		Addr6:             s.addr6[k],
+		OS:                s.os[k],
+		Software:          resolver.Software(s.software[k]),
+		SmallPoolSize:     int(s.smallPool[k]),
+		SeqSize:           int(s.seqSize[k]),
+		FixedPortOverride: s.fixedPort[k],
+		Scope:             ACLScope(s.scope[k]),
+		ACLAllowLoopback:  flags&slabFlagLoopback != 0,
+		QnameMin:          flags&slabFlagQmin != 0,
+		QnameMinStrict:    flags&slabFlagQminStrict != 0,
+		Forward:           flags&slabFlagForward != 0,
+		ForwardFraction:   s.fwdFrac[k],
+		Upstream:          UpstreamKind(s.upstream[k]),
+		Scrub:             flags&slabFlagScrub != 0,
+		Seed:              s.seed[k],
+		Band:              s.bands[s.band[k]],
+		History:           History2018(s.history[k]),
+	}
+}

@@ -1,0 +1,152 @@
+package ditl
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+// collectAS snapshots one AS (the view's scratch spec is only valid
+// during the callback, so tests copy what they compare).
+type asSnapshot struct {
+	ASN          uint32
+	V4Prefixes   []netip.Prefix
+	V6Prefixes   []netip.Prefix
+	DSAV         bool
+	OSAV         bool
+	FilterBogons bool
+	IDS          bool
+	Middlebox    bool
+	Countries    []string
+	Resolvers    []ResolverSpec
+	DeadTargets  []netip.Addr
+}
+
+func snapshot(as *ASSpec) asSnapshot {
+	s := asSnapshot{
+		ASN:          uint32(as.ASN),
+		V4Prefixes:   append([]netip.Prefix(nil), as.V4Prefixes...),
+		V6Prefixes:   append([]netip.Prefix(nil), as.V6Prefixes...),
+		DSAV:         as.DSAV,
+		OSAV:         as.OSAV,
+		FilterBogons: as.FilterBogons,
+		IDS:          as.IDS,
+		Middlebox:    as.Middlebox,
+		Countries:    append([]string(nil), as.Countries...),
+		DeadTargets:  append([]netip.Addr(nil), as.DeadTargets...),
+	}
+	for k := 0; k < as.NumResolvers(); k++ {
+		s.Resolvers = append(s.Resolvers, as.Resolver(k))
+	}
+	return s
+}
+
+// TestViewMatchesGenerateAcrossShards pins the tentpole guarantee:
+// for K=1, 2, 8 shard slices, the streaming view synthesizes
+// byte-identical ASSpecs/ResolverSpecs to the eagerly generated
+// population — same draw stream, same specs, any slice.
+func TestViewMatchesGenerateAcrossShards(t *testing.T) {
+	params := Params{Seed: 7, ASes: 40}
+	pop := Generate(params)
+	view := NewView(params)
+
+	if got, want := view.NumASes(), pop.NumASes(); got != want {
+		t.Fatalf("view has %d ASes, want %d", got, want)
+	}
+	for _, k := range []int{1, 2, 8} {
+		for shard, indices := range PartitionIndices(pop.NumASes(), k) {
+			want := make(map[int]asSnapshot)
+			pop.EachAS(indices, func(i int, as *ASSpec) { want[i] = snapshot(as) })
+			seen := 0
+			view.EachAS(indices, func(i int, as *ASSpec) {
+				seen++
+				if got := snapshot(as); !reflect.DeepEqual(got, want[i]) {
+					t.Fatalf("K=%d shard %d AS %d differs:\nstreamed: %+v\neager:    %+v",
+						k, shard, i, got, want[i])
+				}
+			})
+			if seen != len(indices) {
+				t.Fatalf("K=%d shard %d visited %d ASes, want %d", k, shard, seen, len(indices))
+			}
+			if got, want := view.CandidateCount(indices), pop.CandidateCount(indices); got != want {
+				t.Fatalf("K=%d shard %d candidate count %d, want %d", k, shard, got, want)
+			}
+		}
+	}
+	if got, want := view.V6AddrCount(), pop.V6AddrCount(); got != want {
+		t.Fatalf("view v6 count %d, want %d", got, want)
+	}
+	if got, want := view.Summarize(), pop.Summarize(); got != want {
+		t.Fatalf("view summary %+v, want %+v", got, want)
+	}
+	if got, want := view.CandidateCount(nil), pop.CandidateCount(nil); got != want {
+		t.Fatalf("view total candidates %d, want %d", got, want)
+	}
+}
+
+// TestViewRevisitAndBackwardJump exercises the stream-restart path: a
+// second EachAS over an earlier slice (and out-of-order indices) must
+// reproduce the same specs.
+func TestViewRevisitAndBackwardJump(t *testing.T) {
+	params := Params{Seed: 11, ASes: 20}
+	pop := Generate(params)
+	view := NewView(params)
+	for _, order := range [][]int{{15, 16, 17}, {3, 4, 5}, {12, 2, 7}} {
+		view.EachAS(order, func(i int, as *ASSpec) {
+			if got, want := snapshot(as), snapshot(pop.ASes[i]); !reflect.DeepEqual(got, want) {
+				t.Fatalf("indices %v: AS %d differs", order, i)
+			}
+		})
+	}
+}
+
+// TestViewPassiveMatchesEager pins that the synthesized 2018 passive
+// view is identical over both representations (it walks resolvers in
+// population order through the Pop interface).
+func TestViewPassiveMatchesEager(t *testing.T) {
+	params := Params{Seed: 13, ASes: 30}
+	eager := Passive2018(Generate(params), 99)
+	streamed := Passive2018(NewView(params), 99)
+	if !reflect.DeepEqual(streamed, eager) {
+		t.Fatalf("passive views differ: %d vs %d samples", len(streamed), len(eager))
+	}
+}
+
+// TestPartitionIndicesProperties is the property test for the shard
+// partitioner: for a grid of (n, k), the concatenation of the slices
+// is exactly 0..n-1 and slice sizes are balanced within one.
+func TestPartitionIndicesProperties(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 40, 100, 1023} {
+		for _, k := range []int{-1, 0, 1, 2, 3, 5, 8, 16, 101} {
+			parts := PartitionIndices(n, k)
+			wantK := k
+			if wantK < 1 {
+				wantK = 1
+			}
+			if len(parts) != wantK {
+				t.Fatalf("n=%d k=%d: got %d slices", n, k, len(parts))
+			}
+			next, min, max := 0, n, 0
+			for _, part := range parts {
+				for _, i := range part {
+					if i != next {
+						t.Fatalf("n=%d k=%d: concatenation yields %d at position %d", n, k, i, next)
+					}
+					next++
+				}
+				if len(part) < min {
+					min = len(part)
+				}
+				if len(part) > max {
+					max = len(part)
+				}
+			}
+			if next != n {
+				t.Fatalf("n=%d k=%d: concatenation covers %d indices, want %d", n, k, next, n)
+			}
+			if max-min > 1 {
+				t.Fatalf("n=%d k=%d: imbalance %d (min %d, max %d)", n, k, max-min, min, max)
+			}
+		}
+	}
+}

@@ -309,6 +309,21 @@ func New(host *netsim.Host, addr4, addr6 netip.Addr, reg *routing.Registry, auth
 	return s, nil
 }
 
+// NewPlanner creates a host-less scanner usable only for Admit and
+// Plan — the world-free probe-count pass of a streaming campaign.
+// Plan depends solely on the admitted targets, the registry, and the
+// config, so a planner's probe count (and per-target source plans)
+// matches the full scanner's exactly; Schedule and the auth-log
+// monitor need a built world and must go through New.
+func NewPlanner(reg *routing.Registry, cfg Config) *Scanner {
+	return &Scanner{
+		Reg:      reg,
+		Cfg:      cfg.withDefaults(),
+		seed:     uint64(cfg.Seed),
+		followed: make(map[netip.Addr]bool),
+	}
+}
+
 // OptOut excludes a prefix from all future probing (§3.8).
 func (s *Scanner) OptOut(p netip.Prefix) { s.optOut = append(s.optOut, p) }
 

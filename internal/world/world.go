@@ -94,7 +94,7 @@ type Options struct {
 
 // World is the built simulation.
 type World struct {
-	Pop *ditl.Population
+	Pop ditl.Pop
 	Net *netsim.Network
 	Reg *routing.Registry
 
@@ -229,7 +229,7 @@ const (
 // policy. The registry is read-only after construction and safe for
 // concurrent lookups, so a sharded survey builds it once and shares it
 // across every shard's network.
-func BuildRegistry(pop *ditl.Population, opts Options) (*routing.Registry, error) {
+func BuildRegistry(pop ditl.Pop, opts Options) (*routing.Registry, error) {
 	reg := routing.NewRegistry()
 
 	infraAS := &routing.AS{ASN: InfraASN, Prefixes: []netip.Prefix{infraPrefix4, infraPrefix6}, Infra: true}
@@ -241,7 +241,11 @@ func BuildRegistry(pop *ditl.Population, opts Options) (*routing.Registry, error
 			return nil, err
 		}
 	}
-	for _, spec := range pop.ASes {
+	var addErr error
+	pop.EachAS(nil, func(_ int, spec *ditl.ASSpec) {
+		if addErr != nil {
+			return
+		}
 		dsav := spec.DSAV
 		if opts.AllDSAV {
 			dsav = true
@@ -254,15 +258,16 @@ func BuildRegistry(pop *ditl.Population, opts Options) (*routing.Registry, error
 			DSAV: dsav, OSAV: spec.OSAV, FilterBogons: spec.FilterBogons,
 			Countries: spec.Countries,
 		}
-		if err := reg.Add(as); err != nil {
-			return nil, err
-		}
+		addErr = reg.Add(as)
+	})
+	if addErr != nil {
+		return nil, addErr
 	}
 	return reg, nil
 }
 
 // Build constructs the world with every population AS instantiated.
-func Build(pop *ditl.Population, opts Options) (*World, error) {
+func Build(pop ditl.Pop, opts Options) (*World, error) {
 	reg, err := BuildRegistry(pop, opts)
 	if err != nil {
 		return nil, err
@@ -276,7 +281,7 @@ func Build(pop *ditl.Population, opts Options) (*World, error) {
 // always describes the full population, so routing and filtering
 // behave identically no matter how ASes are split across shard worlds;
 // only host instantiation is restricted.
-func BuildWith(pop *ditl.Population, reg *routing.Registry, opts Options, asIndices []int) (*World, error) {
+func BuildWith(pop ditl.Pop, reg *routing.Registry, opts Options, asIndices []int) (*World, error) {
 	infraAS := reg.AS(InfraASN)
 	scannerAS := reg.AS(ScannerASN)
 
@@ -302,7 +307,7 @@ func BuildWith(pop *ditl.Population, reg *routing.Registry, opts Options, asIndi
 	if err := w.buildInfra(infraAS, opts); err != nil {
 		return nil, err
 	}
-	if err := w.buildReverseDNS(infraAS, pop); err != nil {
+	if err := w.buildReverseDNS(infraAS, pop, asIndices); err != nil {
 		return nil, err
 	}
 	if err := w.buildScanner(scannerAS); err != nil {
@@ -312,18 +317,15 @@ func BuildWith(pop *ditl.Population, reg *routing.Registry, opts Options, asIndi
 		return nil, err
 	}
 
-	if asIndices == nil {
-		asIndices = make([]int, len(pop.ASes))
-		for i := range asIndices {
-			asIndices[i] = i
+	var buildErr error
+	pop.EachAS(asIndices, func(i int, spec *ditl.ASSpec) {
+		if buildErr != nil {
+			return
 		}
-	}
-	for _, i := range asIndices {
-		spec := pop.ASes[i]
-		as := reg.AS(spec.ASN)
-		if err := w.buildTargetAS(i, spec, as); err != nil {
-			return nil, err
-		}
+		buildErr = w.buildTargetAS(i, spec, reg.AS(spec.ASN))
+	})
+	if buildErr != nil {
+		return nil, buildErr
 	}
 	w.wireIDS()
 	return w, nil
@@ -443,8 +445,12 @@ func PublishesPTR(spec *ditl.ResolverSpec) bool { return spec.Index%10 < 7 }
 // buildReverseDNS attaches the in-addr.arpa / ip6.arpa / example.net
 // server used by the §5.2.1 contact-discovery pipeline: PTR records for
 // resolvers that publish them, and per-AS SOA records whose RNAME
-// carries the operator contact.
-func (w *World) buildReverseDNS(as *routing.AS, pop *ditl.Population) error {
+// carries the operator contact. Zones are scoped to the ASes named by
+// asIndices (nil = all): campaign traffic never queries these zones,
+// so a shard world only carries its own shard's records — in a
+// streaming survey this is what keeps reverse-DNS state O(shard)
+// instead of O(population).
+func (w *World) buildReverseDNS(as *routing.AS, pop ditl.Pop, asIndices []int) error {
 	addr := addrAt4(infraPrefix4, 6)
 	host, err := w.Net.Attach("rdns", as, addr)
 	if err != nil {
@@ -458,11 +464,12 @@ func (w *World) buildReverseDNS(as *routing.AS, pop *ditl.Population) error {
 	v6rev := authserver.NewZone("ip6.arpa", soa)
 	opdom := authserver.NewZone("example.net", soa)
 
-	for _, asSpec := range pop.ASes {
+	pop.EachAS(asIndices, func(_ int, asSpec *ditl.ASSpec) {
 		domain := dnswire.Name(fmt.Sprintf("as%d.example.net", asSpec.ASN))
 		hasPTR := false
-		for _, rs := range asSpec.Resolvers {
-			if !PublishesPTR(rs) {
+		for k := 0; k < asSpec.NumResolvers(); k++ {
+			rs := asSpec.Resolver(k)
+			if !PublishesPTR(&rs) {
 				continue
 			}
 			target := dnswire.Name(fmt.Sprintf("r%d.%s", rs.Index, domain))
@@ -490,7 +497,7 @@ func (w *World) buildReverseDNS(as *routing.AS, pop *ditl.Population) error {
 				},
 			})
 		}
-	}
+	})
 	if _, err := authserver.New(host, v4rev, v6rev, opdom); err != nil {
 		return err
 	}
@@ -674,7 +681,8 @@ func aclFor(spec *ditl.ResolverSpec, as *routing.AS) resolver.ACL {
 }
 
 func (w *World) buildTargetAS(i int, spec *ditl.ASSpec, as *routing.AS) error {
-	for _, rs := range spec.Resolvers {
+	for k := 0; k < spec.NumResolvers(); k++ {
+		rs := spec.Resolver(k)
 		var addrs []netip.Addr
 		if rs.Addr4.IsValid() {
 			addrs = append(addrs, rs.Addr4)
@@ -693,7 +701,7 @@ func (w *World) buildTargetAS(i int, spec *ditl.ASSpec, as *routing.AS) error {
 		h.ScrubFingerprint = rs.Scrub
 
 		cfg := resolver.Config{
-			ACL:             aclFor(rs, as),
+			ACL:             aclFor(&rs, as),
 			Ports:           rs.Allocator(),
 			QnameMin:        rs.QnameMin,
 			QnameMinLenient: rs.QnameMin && !rs.QnameMinStrict,

@@ -36,7 +36,8 @@ func TestBuildBasicInvariants(t *testing.T) {
 	// Every live resolver with an address must be built.
 	want := 0
 	for _, as := range pop.ASes {
-		for _, r := range as.Resolvers {
+		for k := 0; k < as.NumResolvers(); k++ {
+			r := as.Resolver(k)
 			if r.HasV4() || r.HasV6() {
 				want++
 			}

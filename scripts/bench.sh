@@ -5,22 +5,40 @@
 # single-CPU machine the sharded numbers match the serial ones; the
 # speedup shows up with GOMAXPROCS > 1.
 #
-# With a second argument naming a baseline JSON (a previous run's
-# output), the script also guards against regressions: if the new
-# BenchmarkHeadlineReachability ns_per_op exceeds the baseline's by
-# more than 5%, it exits non-zero after writing the new file.
+# With --mem, the script additionally runs the 1M-target streaming
+# survey (BenchmarkHeadlineReachability1M, one iteration) under
+# GOMEMLIMIT (default 4GiB, override via BENCH_MEMLIMIT) — completing
+# under the limit is the flat-peak-memory check — and writes a heap
+# profile next to the JSON output (<out>.memprofile).
 #
-#   ./scripts/bench.sh                         # write BENCH_1.json
-#   ./scripts/bench.sh BENCH_5.json BENCH_1.json   # write + compare
+# With a baseline JSON argument (a previous run's output), the script
+# also guards against regressions: if the new
+# BenchmarkHeadlineReachability ns_per_op OR allocs_per_op exceeds the
+# baseline's by more than 5%, it exits non-zero after writing the new
+# file.
+#
+#   ./scripts/bench.sh                              # write BENCH_1.json
+#   ./scripts/bench.sh BENCH_5.json BENCH_1.json    # write + compare
+#   ./scripts/bench.sh --mem BENCH_6.json BENCH_5.json  # + 1M streaming bench
 set -e
 cd "$(dirname "$0")/.."
+mem=0
+if [ "$1" = "--mem" ]; then
+    mem=1
+    shift
+fi
 out="${1:-BENCH_1.json}"
 baseline="${2:-}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench 'BenchmarkQueue$' -benchmem -count=1 ./internal/eventq | tee -a "$tmp"
-go test -run '^$' -bench 'BenchmarkHeadlineReachability' -benchmem -count=1 -benchtime 3x -timeout 30m . | tee -a "$tmp"
+go test -run '^$' -bench '^BenchmarkHeadlineReachability(Sharded)?$' -benchmem -count=1 -benchtime 3x -timeout 30m . | tee -a "$tmp"
+if [ "$mem" = 1 ]; then
+    GOMEMLIMIT="${BENCH_MEMLIMIT:-4GiB}" go test -run '^$' -bench '^BenchmarkHeadlineReachability1M$' \
+        -benchmem -count=1 -benchtime 1x -timeout 60m \
+        -memprofile "$out.memprofile" . | tee -a "$tmp"
+fi
 
 awk -v cpus="$(go env GOMAXPROCS 2>/dev/null || nproc)" '
 BEGIN { print "{"; first = 1 }
@@ -40,26 +58,34 @@ if [ -n "$baseline" ]; then
         echo "bench: baseline $baseline not found, skipping comparison" >&2
         exit 0
     fi
-    # Pull one benchmark's ns_per_op out of the flat JSON both files use.
-    ns_of() {
-        awk -v key="\"$2\"" '$0 ~ key {
-            if (match($0, /"ns_per_op": [0-9.]+/))
-                print substr($0, RSTART + 13, RLENGTH - 13)
+    # Pull one benchmark's metric out of the flat JSON both files use.
+    # The key is quote-anchored, so BenchmarkHeadlineReachability never
+    # matches the Sharded or 1M variants.
+    metric_of() {
+        awk -v key="\"$2\"" -v metric="\"$3\"" '$0 ~ key {
+            if (match($0, metric ": [0-9.]+"))
+                print substr($0, RSTART + length(metric) + 2, RLENGTH - length(metric) - 2)
         }' "$1"
     }
-    new_ns="$(ns_of "$out" BenchmarkHeadlineReachability)"
-    old_ns="$(ns_of "$baseline" BenchmarkHeadlineReachability)"
-    if [ -z "$new_ns" ] || [ -z "$old_ns" ]; then
-        echo "bench: BenchmarkHeadlineReachability missing from $out or $baseline" >&2
-        exit 1
-    fi
-    awk -v new="$new_ns" -v old="$old_ns" 'BEGIN {
-        ratio = new / old
-        printf "headline survey: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%)\n", \
-            new, old, 100 * (ratio - 1)
-        if (ratio > 1.05) {
-            printf "bench: REGRESSION: headline survey slowed by more than 5%%\n" > "/dev/stderr"
-            exit 1
-        }
-    }'
+    guard() {
+        metric="$1"
+        label="$2"
+        new_v="$(metric_of "$out" BenchmarkHeadlineReachability "$metric")"
+        old_v="$(metric_of "$baseline" BenchmarkHeadlineReachability "$metric")"
+        if [ -z "$new_v" ] || [ -z "$old_v" ]; then
+            echo "bench: BenchmarkHeadlineReachability $metric missing from $out or $baseline" >&2
+            return 1
+        fi
+        awk -v new="$new_v" -v old="$old_v" -v label="$label" 'BEGIN {
+            ratio = new / old
+            printf "headline survey: %.0f %s vs baseline %.0f %s (%+.1f%%)\n", \
+                new, label, old, label, 100 * (ratio - 1)
+            if (ratio > 1.05) {
+                printf "bench: REGRESSION: headline survey %s grew by more than 5%%\n", label > "/dev/stderr"
+                exit 1
+            }
+        }'
+    }
+    guard ns_per_op "ns/op"
+    guard allocs_per_op "allocs/op"
 fi
