@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 5s
 BIN ?= bin
 
-.PHONY: check build vet lint pragmas test race fuzz bench
+.PHONY: check build vet lint pragmas test race fuzz bench conformance
 
 # Tier-1 verification: build + vet + determinism lint + full tests +
 # race detector over the parallel sharded engine + a short fuzz smoke
@@ -41,11 +41,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short native-fuzz smoke over the wire parsers (one -fuzz target per
-# invocation is a go tool limitation). Raise FUZZTIME for a real hunt.
+# Short native-fuzz smoke over the wire parsers and the resolver
+# layer-stack builder (one -fuzz target per invocation is a go tool
+# limitation). Raise FUZZTIME for a real hunt.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzUnpack -fuzztime=$(FUZZTIME) ./internal/dnswire
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/packet
+	$(GO) test -run='^$$' -fuzz=FuzzStackBuild -fuzztime=$(FUZZTIME) ./internal/resolver
+
+# Resolver conformance: the differential suite proving the layered
+# middleware stack event-for-event identical to the frozen pre-refactor
+# monolith (internal/resolver/monolith) across the query × config ×
+# fault matrix, plus the forwarder-chain loop-detection property tests,
+# all under the race detector.
+conformance:
+	$(GO) test -race -run 'TestConformance|TestLoopDetection|TestSelfForwarding|TestTwoNodeForwardCycle|TestForwardChain|TestCrashWith' -v ./internal/resolver
 
 # Headline performance numbers (event-queue allocations, survey
 # wall-clock single-shard vs sharded), recorded as BENCH_1.json.

@@ -1,0 +1,218 @@
+package resolver
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// aclLayer refuses clients outside the configured ACL. An open ACL
+// compiles to no acl layer at all (DefaultStack), so open resolvers —
+// the vast majority of a survey population — skip the check entirely.
+type aclLayer struct{ r *Resolver }
+
+func (l *aclLayer) Name() string { return LayerACL }
+
+func (l *aclLayer) Admit(src netip.Addr) bool { return l.r.cfg.ACL.Allows(src) }
+
+// cacheLayer serves and maintains the positive/negative/delegation
+// cache. It owns crash semantics for cached state: a crash-and-restart
+// flushes, because the cache is process memory — and a stack compiled
+// without a cache layer has nothing to lose.
+type cacheLayer struct {
+	r *Resolver
+	c *cache
+}
+
+func (l *cacheLayer) Name() string { return LayerCache }
+
+func (l *cacheLayer) Step(j *job, depth int) bool {
+	if rrs, ok := l.c.getPositive(j.qname, j.qtype); ok {
+		l.r.finish(j, dnswire.RCodeNoError, rrs)
+		return true
+	}
+	if l.c.getNegative(j.qname) {
+		l.r.finish(j, dnswire.RCodeNXDomain, nil)
+		return true
+	}
+	return false
+}
+
+func (l *cacheLayer) OnCrash(now time.Duration) { l.c.flush() }
+
+// qminLayer implements RFC 7816 QNAME minimization. It has no Step of
+// its own: it rewrites the iterate layer's outgoing question and
+// supplies the policy for intermediate NXDOMAIN/NODATA responses,
+// including the strict-vs-lenient fallback split of §3.6.4.
+type qminLayer struct{ r *Resolver }
+
+func (l *qminLayer) Name() string { return LayerQMin }
+
+// rewrite minimizes the question sent to zone's servers: one label
+// beyond what is already proven, as TypeNS, until the full name is
+// reached (or the job fell back to full-name queries).
+func (l *qminLayer) rewrite(j *job, zone dnswire.Name) (dnswire.Name, dnswire.Type) {
+	if j.fullFallback {
+		return j.qname, j.qtype
+	}
+	base := zone.CountLabels()
+	if j.minConfirmed > base {
+		base = j.minConfirmed
+	}
+	total := j.qname.CountLabels()
+	if base+1 < total {
+		return suffixLabels(j.qname, base+1), dnswire.TypeNS
+	}
+	return j.qname, j.qtype
+}
+
+// onNXDomain handles NXDOMAIN for a minimized (intermediate) query.
+// A lenient implementation distrusts the intermediate NXDOMAIN: it
+// neither caches it nor halts — it retries with the full name (RFC
+// 7816 fallback). Returning false leaves the strict path — cache per
+// RFC 8020 and halt (§3.6.4's 55%) — to the core, which treats it like
+// any other NXDOMAIN.
+func (l *qminLayer) onNXDomain(j *job, out *outstanding, msg *dnswire.Message) bool {
+	if !l.r.cfg.QnameMinLenient || j.fullFallback || out.qname.Equal(j.qname) {
+		return false
+	}
+	j.fullFallback = true
+	l.r.step(j)
+	return true
+}
+
+// onNoData handles NODATA for a minimized query: the intermediate name
+// exists, so record the proven labels and descend.
+func (l *qminLayer) onNoData(j *job, out *outstanding) bool {
+	if j.fullFallback || out.qname.Equal(j.qname) {
+		return false
+	}
+	j.minConfirmed = out.qname.CountLabels()
+	l.r.step(j)
+	return true
+}
+
+// fwdKey identifies a question for the forward layer's loop guard.
+type fwdKey struct {
+	name  dnswire.Name
+	qtype dnswire.Type
+}
+
+// forwardLayer sends queries to configured upstreams instead of
+// recursing. Two modes:
+//
+//   - Single-upstream (Config.Forward): one upstream is drawn per
+//     query, exactly the monolith's behaviour — including spending an
+//     RNG draw when only one upstream is configured, which the
+//     conformance harness pins.
+//   - Chain (Config.ForwardChain): hops are tried in order; when a hop
+//     fails, the core calls advance to move to the next. Chains arm
+//     the loop guard: each forwarded question is registered in-flight,
+//     and a client query for a question already in flight is REFUSED.
+//     That terminates forwarding cycles — A→B→A bounces the query
+//     back to A while A still awaits B, and self-forwarding re-arrives
+//     immediately — in one round-trip instead of cascading timeouts,
+//     and never duplicates a probe for the looping question.
+type forwardLayer struct {
+	r        *Resolver
+	chain    []netip.Addr
+	inflight map[fwdKey]int // nil unless chain mode
+}
+
+func (l *forwardLayer) Name() string { return LayerForward }
+
+func (l *forwardLayer) Step(j *job, depth int) bool {
+	r := l.r
+	if !r.forwardFractionHit(j.qname) {
+		return false
+	}
+	if l.chain == nil {
+		up := r.cfg.Forward[r.rng.Intn(len(r.cfg.Forward))]
+		r.Stats.Forwarded++
+		r.sendUpstream(j, up, j.qname, j.qtype, true)
+		return true
+	}
+	if !j.fwdGuarded {
+		key := fwdKey{j.qname.Canonical(), j.qtype}
+		if l.inflight[key] > 0 {
+			// The question is already in flight upstream: this query is
+			// our own, come back around a forwarding cycle. Refuse it.
+			r.Stats.LoopsDetected++
+			r.finish(j, dnswire.RCodeRefused, nil)
+			return true
+		}
+		l.inflight[key]++
+		j.fwdGuarded = true
+	}
+	r.Stats.Forwarded++
+	r.sendUpstream(j, l.chain[j.fwdHop], j.qname, j.qtype, true)
+	return true
+}
+
+// advance moves j to the next chain hop, reporting false when the chain
+// (or single mode, which has no hops to advance) is exhausted.
+func (l *forwardLayer) advance(j *job) (netip.Addr, bool) {
+	if l.chain == nil || j.fwdHop+1 >= len(l.chain) {
+		return netip.Addr{}, false
+	}
+	j.fwdHop++
+	return l.chain[j.fwdHop], true
+}
+
+func (l *forwardLayer) OnFinish(j *job) {
+	if !j.fwdGuarded {
+		return
+	}
+	j.fwdGuarded = false
+	key := fwdKey{j.qname.Canonical(), j.qtype}
+	if n := l.inflight[key]; n <= 1 {
+		delete(l.inflight, key)
+	} else {
+		l.inflight[key] = n - 1
+	}
+}
+
+// OnCrash drops the loop-guard registrations: the jobs they belong to
+// died with the process, so their OnFinish will never run.
+func (l *forwardLayer) OnCrash(now time.Duration) {
+	if l.inflight != nil {
+		clear(l.inflight)
+	}
+}
+
+// iterateLayer resolves iteratively from the closest known delegation
+// (or the root hints), consulting the qmin layer — when one is
+// compiled in — for the minimized question.
+type iterateLayer struct{ r *Resolver }
+
+func (l *iterateLayer) Name() string { return LayerIterate }
+
+func (l *iterateLayer) Step(j *job, depth int) bool {
+	r := l.r
+	if len(r.Roots) == 0 {
+		r.finish(j, dnswire.RCodeServFail, nil)
+		return true
+	}
+
+	zone := dnswire.Root
+	servers := r.Roots
+	if c := r.stack.cache; c != nil {
+		if d, ok := c.c.closestDelegation(j.qname); ok {
+			zone, servers = d.apex, d.addrs
+		}
+	}
+
+	qname, qtype := j.qname, j.qtype
+	if q := r.stack.qmin; q != nil {
+		qname, qtype = q.rewrite(j, zone)
+	}
+
+	server, ok := r.pickServer(servers)
+	if !ok {
+		r.finish(j, dnswire.RCodeServFail, nil)
+		return true
+	}
+	r.sendUpstream(j, server, qname, qtype, false)
+	return true
+}

@@ -1,26 +1,15 @@
-// Package resolver implements the recursive DNS resolvers that populate
-// the simulated Internet as a stack of composable middleware layers.
+// Package monolith is a FROZEN copy of internal/resolver as it stood
+// before the composable layer-stack refactor. It exists for exactly one
+// purpose: the differential resolver-conformance harness replays the
+// full query × config × chaos matrix through this snapshot and through
+// the layered stack and asserts the two are event-for-event identical
+// (auth-server logs, client responses, stats, cache-observer traces).
 //
-// A resolver is a small event-driven core — client-query admission,
-// upstream I/O (UDP retransmission, TCP retry on truncation), transaction
-// and port bookkeeping — plus a per-resolver compiled stack of Layer
-// values that carry all policy: client ACLs ("acl"), positive/negative/
-// delegation caching ("cache"), RFC 7816 QNAME minimization ("qmin"),
-// forwarding — single-upstream or multi-hop chains with loop detection —
-// ("forward"), and iterative resolution from root hints ("iterate").
-// Layers are registered by name; Config.Layers selects a stack
-// explicitly, and DefaultStack derives one from the rest of the
-// configuration so a resolver's hot path walks only the layers it
-// actually uses. See DESIGN.md §11 for the layer contract.
-//
-// The package's behaviour is pinned by a differential conformance
-// harness against internal/resolver/monolith, a frozen copy of the
-// pre-refactor implementation: for every configuration the monolith can
-// express, the layered stack emits bit-identical events (packets, RNG
-// draws, cache-observer traces). New capability — forwarder chains,
-// loop detection, cache-less stacks — lives strictly outside that
-// shared configuration space.
-package resolver
+// Do not fix, extend, or modernize this package. Behavioral divergence
+// from the layered resolver is the signal the harness exists to detect;
+// changing the snapshot erases the baseline. The package is imported
+// only from _test.go files, so it is never linked into shipped binaries.
+package monolith
 
 import (
 	"encoding/binary"
@@ -35,17 +24,14 @@ import (
 	"repro/internal/netsim"
 )
 
-// Salt constants for the resolver's detrand domains (band 61+; the
-// saltbands analyzer in internal/lint registers every `salt* = N +
-// iota` block and rejects overlaps between packages). The frozen
-// monolith snapshot (internal/resolver/monolith) keys its stream on the
-// same value 61 — deliberately, and deliberately without registering a
-// second band — so the two implementations draw identical streams.
-const (
-	// saltStream keys the resolver's per-instance draw stream (txn
-	// IDs, 0x20 case bits, server selection) on its configured seed.
-	saltStream = 61 + iota
-)
+// monoStream is the frozen snapshot of the live resolver's saltStream
+// (band 61, registered by internal/resolver). The name deliberately
+// avoids the `salt` prefix: the saltbands registry would report a
+// spurious cross-package overlap for a second `salt* = 61 + iota`
+// block, but the monolith MUST key its per-instance stream on the very
+// same salt — bit-identical draw streams are the whole point of the
+// differential harness.
+const monoStream = 61
 
 // ACL is a resolver's client access policy. The paper's "closed"
 // resolvers are ACLs restricted to prefixes the operator trusts —
@@ -73,29 +59,17 @@ func (a ACL) Allows(src netip.Addr) bool {
 
 // Config parameterizes a resolver.
 type Config struct {
-	// ACL is the client access policy (enforced by the "acl" layer;
-	// an Open ACL compiles to no layer at all).
+	// ACL is the client access policy.
 	ACL ACL
 	// Ports allocates source ports for outgoing queries.
 	Ports PortAllocator
 	// Forward, when non-empty, lists upstream resolvers to forward to
-	// instead of recursing; one is drawn per query. Mutually exclusive
-	// with ForwardChain.
+	// instead of recursing.
 	Forward []netip.Addr
-	// ForwardChain, when non-empty, is an ordered multi-hop forwarder
-	// chain: hop 0 is tried first, and when a hop fails — its
-	// retransmissions exhaust, or it answers with a non-useful RCode —
-	// the next hop is tried before giving up. Chains also arm the
-	// forward layer's loop guard: a client query for a question this
-	// resolver already holds in flight upstream is answered REFUSED,
-	// which is what terminates forwarding cycles (A→B→A and
-	// self-forwarding included) instead of letting them amplify until
-	// every hop's timeout fires. Mutually exclusive with Forward.
-	ForwardChain []netip.Addr
 	// ForwardFraction is the fraction of queries forwarded when Forward
-	// or ForwardChain is set (1.0 = pure forwarder; intermediate values
-	// model the mixed-behaviour targets of §5.4). Selection is by
-	// query-name hash, so it is deterministic.
+	// is set (1.0 = pure forwarder; intermediate values model the
+	// mixed-behaviour targets of §5.4). Selection is by query-name hash,
+	// so it is deterministic.
 	ForwardFraction float64
 	// QnameMin enables RFC 7816 QNAME minimization.
 	QnameMin bool
@@ -109,28 +83,19 @@ type Config struct {
 	// (default 2).
 	Retries int
 	// MaxSteps bounds resolution work per client query (default 40).
-	// It is the job's depth budget: every re-entry into the layer
-	// stack spends one unit, and an exhausted budget ends the job with
-	// SERVFAIL — the depth-based loop detection of the layer contract.
 	MaxSteps int
 	// Use0x20 randomizes query-name letter case on upstream queries
 	// (draft-vixie-dnsext-dns0x20): responses whose question does not
 	// echo the exact case are rejected, adding ~1 bit of anti-spoofing
 	// entropy per letter on top of the port and transaction ID.
-	// 0x20 is a core wire transform, not a layer: it rewrites every
-	// upstream query whatever stack is compiled.
 	Use0x20 bool
 	// Seed seeds the resolver's private RNG (transaction IDs, server
 	// selection, port randomness).
 	Seed int64
 	// CacheObserver, when set, receives cache put/serve/flush events —
 	// the hook the world's invariant checker uses to assert TTL safety
-	// under churn and crash. Observed events are emitted by the cache
-	// layer; a stack compiled without one emits nothing.
+	// under churn and crash.
 	CacheObserver CacheObserver
-	// Layers names the middleware stack explicitly, in canonical order
-	// (see ValidateStack). nil derives DefaultStack(roots, cfg).
-	Layers []string
 }
 
 // Stats counts resolver activity.
@@ -144,9 +109,6 @@ type Stats struct {
 	Timeouts        uint64
 	ServFail        uint64
 	Crashes         uint64
-	// LoopsDetected counts client queries the forward layer's loop
-	// guard refused (forwarder chains only; always 0 otherwise).
-	LoopsDetected uint64
 }
 
 // Resolver is a recursive DNS resolver (or forwarder) bound to a
@@ -158,11 +120,9 @@ type Resolver struct {
 
 	cfg     Config
 	rng     *rand.Rand
+	cache   *cache
 	pending map[pendKey]*outstanding
 	portRef map[uint16]int
-
-	stack stack
-	lyr   layerSet
 }
 
 type pendKey struct {
@@ -179,7 +139,6 @@ type outstanding struct {
 	wireName dnswire.Name // case-randomized form when 0x20 is enabled
 	qtype    dnswire.Type
 	attempt  int
-	rd       bool // recursive (forwarded) rather than iterative
 	done     bool
 }
 
@@ -193,17 +152,14 @@ type job struct {
 	qname      dnswire.Name
 	qtype      dnswire.Type
 
-	depth        int  // remaining stack re-entries (MaxSteps budget)
+	steps        int
 	minConfirmed int  // labels proven to exist (QNAME minimization)
 	fullFallback bool // lenient qmin switched to full-name queries
-	fwdHop       int  // current hop in a forwarder chain
-	fwdGuarded   bool // job holds a loop-guard in-flight registration
 	finished     bool
 }
 
 // New binds a resolver to host. roots are the root server addresses
-// (root hints). The middleware stack is cfg.Layers when set, otherwise
-// DefaultStack(roots, cfg).
+// (root hints).
 func New(host *netsim.Host, roots []netip.Addr, cfg Config) (*Resolver, error) {
 	if cfg.Ports == nil {
 		return nil, fmt.Errorf("resolver: %s: nil port allocator", host.Name)
@@ -217,25 +173,20 @@ func New(host *netsim.Host, roots []netip.Addr, cfg Config) (*Resolver, error) {
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = 40
 	}
-	if len(cfg.Forward) > 0 && len(cfg.ForwardChain) > 0 {
-		return nil, fmt.Errorf("resolver: %s: Forward and ForwardChain are mutually exclusive", host.Name)
-	}
-	if len(roots) == 0 && len(cfg.Forward) == 0 && len(cfg.ForwardChain) == 0 {
+	if len(roots) == 0 && len(cfg.Forward) == 0 {
 		return nil, fmt.Errorf("resolver: %s: no root hints and no forwarders", host.Name)
 	}
 	r := &Resolver{
 		Host: host, Roots: roots, cfg: cfg,
-		rng:     detrand.Rand(uint64(cfg.Seed), saltStream),
+		rng:     detrand.Rand(uint64(cfg.Seed), monoStream),
+		cache:   newCache(host.Network().Now),
 		pending: make(map[pendKey]*outstanding),
 		portRef: make(map[uint16]int),
 	}
-	names := cfg.Layers
-	if names == nil {
-		names = DefaultStack(roots, cfg)
+	if len(host.Addrs) > 0 {
+		r.cache.owner = host.Addrs[0]
 	}
-	if err := r.compileStack(names); err != nil {
-		return nil, fmt.Errorf("resolver: %s: %w", host.Name, err)
-	}
+	r.cache.obs = cfg.CacheObserver
 	if err := host.BindUDP(53, r.dispatch); err != nil {
 		return nil, err
 	}
@@ -245,9 +196,6 @@ func New(host *netsim.Host, roots []netip.Addr, cfg Config) (*Resolver, error) {
 
 // Config returns the resolver's configuration.
 func (r *Resolver) Config() Config { return r.cfg }
-
-// StackNames returns the compiled middleware stack, outermost first.
-func (r *Resolver) StackNames() []string { return r.stack.names }
 
 // dispatch routes every received UDP datagram: responses to pending
 // upstream queries by (port, id); everything else is a client query.
@@ -285,7 +233,7 @@ func (r *Resolver) HandleQuery(now time.Duration, src netip.Addr, srcPort uint16
 	}
 	r.Stats.ClientQueries++
 	q := msg.Q()
-	if a := r.stack.admit; a != nil && !a.Admit(src) {
+	if !r.cfg.ACL.Allows(src) {
 		r.Stats.Refused++
 		rep := msg.Reply()
 		rep.RCode = dnswire.RCodeRefused
@@ -295,7 +243,6 @@ func (r *Resolver) HandleQuery(now time.Duration, src netip.Addr, srcPort uint16
 	j := &job{
 		client: src, clientPort: srcPort, local: local,
 		id: msg.ID, rd: msg.RD, qname: q.Name, qtype: q.Type,
-		depth: r.cfg.MaxSteps,
 	}
 	r.step(j)
 }
@@ -310,16 +257,12 @@ func (r *Resolver) reply(client netip.Addr, clientPort uint16, local netip.Addr,
 	r.Host.SendUDP(local, 53, client, clientPort, out)
 }
 
-// finish responds to the job's client and marks it complete, notifying
-// any layers holding per-job state (the forward layer's loop guard).
+// finish responds to the job's client and marks it complete.
 func (r *Resolver) finish(j *job, rcode dnswire.RCode, answers []dnswire.RR) {
 	if j.finished {
 		return
 	}
 	j.finished = true
-	for _, l := range r.stack.finish {
-		l.OnFinish(j)
-	}
 	r.Stats.Responded++
 	if rcode == dnswire.RCodeServFail {
 		r.Stats.ServFail++
@@ -330,40 +273,13 @@ func (r *Resolver) finish(j *job, rcode dnswire.RCode, answers []dnswire.RR) {
 	r.reply(j.client, j.clientPort, j.local, rep)
 }
 
-// step re-enters the layer stack for j, spending one unit of its depth
-// budget; an exhausted budget ends the job with SERVFAIL.
-func (r *Resolver) step(j *job) {
-	if j.finished {
-		return
+// shouldForward applies the forwarding policy for a query name.
+func (r *Resolver) shouldForward(name dnswire.Name) bool {
+	if len(r.cfg.Forward) == 0 {
+		return false
 	}
-	j.depth--
-	if j.depth < 0 {
-		r.finish(j, dnswire.RCodeServFail, nil)
-		return
-	}
-	r.resolve(j, j.depth)
-}
-
-// resolve is the stack core: it walks the compiled step layers in
-// order until one disposes of the step (serves from cache, issues an
-// upstream query, or finishes the job). A stack whose layers all
-// decline — a forwarder whose fraction excludes the name and no
-// iterate layer, say — ends in SERVFAIL, exactly as the monolith's
-// fall-through did.
-func (r *Resolver) resolve(j *job, depth int) {
-	for _, l := range r.stack.steps {
-		if l.Step(j, depth) {
-			return
-		}
-	}
-	r.finish(j, dnswire.RCodeServFail, nil)
-}
-
-// forwardFractionHit applies the ForwardFraction policy for a query
-// name (shared by the single-upstream and chain forwarding modes).
-func (r *Resolver) forwardFractionHit(name dnswire.Name) bool {
 	if r.cfg.ForwardFraction >= 1 || r.cfg.ForwardFraction == 0 {
-		return true // forwarding configured: default is a pure forwarder
+		return true // Forward set: default is a pure forwarder
 	}
 	h := fnv.New32a()
 	h.Write([]byte(name.Canonical()))
@@ -377,6 +293,64 @@ func suffixLabels(name dnswire.Name, k int) dnswire.Name {
 		return name
 	}
 	return dnswire.NewName(labels[len(labels)-k:]...)
+}
+
+// step advances a job: cache, forwarding, or the next upstream query.
+func (r *Resolver) step(j *job) {
+	if j.finished {
+		return
+	}
+	j.steps++
+	if j.steps > r.cfg.MaxSteps {
+		r.finish(j, dnswire.RCodeServFail, nil)
+		return
+	}
+
+	if rrs, ok := r.cache.getPositive(j.qname, j.qtype); ok {
+		r.finish(j, dnswire.RCodeNoError, rrs)
+		return
+	}
+	if r.cache.getNegative(j.qname) {
+		r.finish(j, dnswire.RCodeNXDomain, nil)
+		return
+	}
+
+	if r.shouldForward(j.qname) {
+		up := r.cfg.Forward[r.rng.Intn(len(r.cfg.Forward))]
+		r.Stats.Forwarded++
+		r.sendUpstream(j, up, j.qname, j.qtype, true)
+		return
+	}
+	if len(r.Roots) == 0 {
+		r.finish(j, dnswire.RCodeServFail, nil)
+		return
+	}
+
+	// Iterative resolution from the closest known delegation.
+	zone := dnswire.Root
+	servers := r.Roots
+	if d, ok := r.cache.closestDelegation(j.qname); ok {
+		zone, servers = d.apex, d.addrs
+	}
+
+	qname, qtype := j.qname, j.qtype
+	if r.cfg.QnameMin && !j.fullFallback {
+		base := zone.CountLabels()
+		if j.minConfirmed > base {
+			base = j.minConfirmed
+		}
+		total := j.qname.CountLabels()
+		if base+1 < total {
+			qname, qtype = suffixLabels(j.qname, base+1), dnswire.TypeNS
+		}
+	}
+
+	server, ok := r.pickServer(servers)
+	if !ok {
+		r.finish(j, dnswire.RCodeServFail, nil)
+		return
+	}
+	r.sendUpstream(j, server, qname, qtype, false)
 }
 
 // pickServer chooses a server address reachable from the host's address
@@ -452,7 +426,7 @@ func (r *Resolver) sendUpstream(j *job, server netip.Addr, qname dnswire.Name, q
 		r.finish(j, dnswire.RCodeServFail, nil)
 		return
 	}
-	out := &outstanding{job: j, key: key, server: server, qname: qname, wireName: wireName, qtype: qtype, rd: rd}
+	out := &outstanding{job: j, key: key, server: server, qname: qname, wireName: wireName, qtype: qtype}
 	r.pending[key] = out
 	r.Stats.UpstreamQueries++
 	r.Host.SendUDP(local, port, server, 53, payload)
@@ -466,11 +440,11 @@ func (r *Resolver) sendUpstream(j *job, server netip.Addr, qname dnswire.Name, q
 		r.releasePort(port)
 		r.Stats.Timeouts++
 		if out.attempt < r.cfg.Retries {
-			next := &outstanding{job: j, server: server, qname: qname, qtype: qtype, attempt: out.attempt + 1, rd: rd}
+			next := &outstanding{job: j, server: server, qname: qname, qtype: qtype, attempt: out.attempt + 1}
 			r.retransmit(next, rd)
 			return
 		}
-		r.upstreamFailed(j, rd)
+		r.finish(j, dnswire.RCodeServFail, nil)
 	})
 }
 
@@ -519,32 +493,15 @@ func (r *Resolver) retransmit(out *outstanding, rd bool) {
 		r.releasePort(port)
 		r.Stats.Timeouts++
 		if attempt < r.cfg.Retries {
-			next := &outstanding{job: j, server: out.server, qname: out.qname, qtype: out.qtype, attempt: attempt + 1, rd: rd}
+			next := &outstanding{job: j, server: out.server, qname: out.qname, qtype: out.qtype, attempt: attempt + 1}
 			r.retransmit(next, rd)
 			return
 		}
-		r.upstreamFailed(j, rd)
+		r.finish(j, dnswire.RCodeServFail, nil)
 	})
 }
 
-// upstreamFailed ends an upstream attempt whose retransmissions are
-// exhausted (or that answered uselessly). A forward layer with chain
-// hops remaining advances to the next hop; otherwise the job fails —
-// the monolith's unconditional SERVFAIL.
-func (r *Resolver) upstreamFailed(j *job, rd bool) {
-	if rd && r.stack.fwd != nil {
-		if next, ok := r.stack.fwd.advance(j); ok {
-			r.Stats.Forwarded++
-			r.sendUpstream(j, next, j.qname, j.qtype, true)
-			return
-		}
-	}
-	r.finish(j, dnswire.RCodeServFail, nil)
-}
-
-// onResponse processes an upstream response (UDP or TCP). The skeleton
-// classifies the message; the qmin and cache layers supply the policy
-// for intermediate results and for what gets remembered.
+// onResponse processes an upstream response (UDP or TCP).
 func (r *Resolver) onResponse(out *outstanding, msg *dnswire.Message, viaTCP bool) {
 	j := out.job
 	if j.finished {
@@ -560,15 +517,27 @@ func (r *Resolver) onResponse(out *outstanding, msg *dnswire.Message, viaTCP boo
 
 	switch {
 	case msg.RCode == dnswire.RCodeNXDomain:
-		if q := r.stack.qmin; q != nil && q.onNXDomain(j, out, msg) {
+		if r.cfg.QnameMin && !j.fullFallback && !out.qname.Equal(j.qname) {
+			if r.cfg.QnameMinLenient {
+				// A lenient implementation distrusts the intermediate
+				// NXDOMAIN: it neither caches it nor halts.
+				// RFC 7816 fallback: some implementations retry the full
+				// name; others (the 55% of §3.6.4) halt here.
+				j.fullFallback = true
+				r.step(j)
+				return
+			}
+			// Strict: cache per RFC 8020 and halt (§3.6.4's 55%).
+			r.cache.putNegative(out.qname, negativeTTL(msg))
+			r.finish(j, dnswire.RCodeNXDomain, nil)
 			return
 		}
-		r.stack.cacheNegative(out.qname, negativeTTL(msg))
+		r.cache.putNegative(out.qname, negativeTTL(msg))
 		r.finish(j, dnswire.RCodeNXDomain, nil)
 
 	case len(msg.Answer) > 0:
 		ttl := msg.Answer[0].TTL
-		r.stack.cachePositive(out.qname, out.qtype, msg.Answer, ttl)
+		r.cache.putPositive(out.qname, out.qtype, msg.Answer, ttl)
 		if out.qname.Equal(j.qname) && out.qtype == j.qtype {
 			r.finish(j, dnswire.RCodeNoError, msg.Answer)
 			return
@@ -583,18 +552,20 @@ func (r *Resolver) onResponse(out *outstanding, msg *dnswire.Message, viaTCP boo
 			r.finish(j, dnswire.RCodeServFail, nil)
 			return
 		}
-		r.stack.cacheDelegation(apex, addrs, ttl)
+		r.cache.putDelegation(apex, addrs, ttl)
 		r.step(j)
 
 	case msg.RCode == dnswire.RCodeNoError:
 		// NODATA: the name exists but has no records of this type.
-		if q := r.stack.qmin; q != nil && q.onNoData(j, out) {
+		if r.cfg.QnameMin && !j.fullFallback && !out.qname.Equal(j.qname) {
+			j.minConfirmed = out.qname.CountLabels()
+			r.step(j)
 			return
 		}
 		r.finish(j, dnswire.RCodeNoError, nil)
 
 	default:
-		r.upstreamFailed(j, out.rd)
+		r.finish(j, dnswire.RCodeServFail, nil)
 	}
 }
 
@@ -700,29 +671,21 @@ func negativeTTL(msg *dnswire.Message) uint32 {
 }
 
 // CachedAnswer exposes the positive cache for inspection — used by the
-// attack simulator's verification step and by tests. A stack compiled
-// without a cache layer has nothing to expose.
+// attack simulator's verification step and by tests.
 func (r *Resolver) CachedAnswer(name dnswire.Name, typ dnswire.Type) ([]dnswire.RR, bool) {
-	if r.stack.cache == nil {
-		return nil, false
-	}
-	return r.stack.cache.c.getPositive(name, typ)
+	return r.cache.getPositive(name, typ)
 }
 
-// Crash simulates a process crash and immediate restart: every layer
-// holding soft state drops it (the cache layer flushes — a stack
-// without one has no cache to lose and survives with nothing but its
-// pending queries abandoned), every in-flight upstream query is
-// abandoned (its response, if it arrives, no longer matches any pending
-// state), and ephemeral ports are released. Clients whose queries were
-// in flight simply never hear back — exactly what a restarted resolver
-// looks like from outside. The port-53 service binding survives because
-// the supervisor restarts the process instantly in virtual time.
+// Crash simulates a process crash and immediate restart: the cache is
+// lost, every in-flight upstream query is abandoned (its response, if it
+// arrives, no longer matches any pending state), and ephemeral ports are
+// released. Clients whose queries were in flight simply never hear back
+// — exactly what a restarted resolver looks like from outside. The port-
+// 53 service binding survives because the supervisor restarts the
+// process instantly in virtual time.
 func (r *Resolver) Crash(now time.Duration) {
 	r.Stats.Crashes++
-	for _, l := range r.stack.crash {
-		l.OnCrash(now)
-	}
+	r.cache.flush()
 	for key, out := range r.pending {
 		out.done = true
 		delete(r.pending, key)

@@ -1,0 +1,13 @@
+package monolith
+
+// PortAllocator mirrors the live resolver package's interface of the
+// same name. The method set is identical on purpose: the conformance
+// harness constructs one allocator per implementation from the live
+// package's concrete types (FixedPort, Uniform, Sequential, ...), which
+// satisfy this interface structurally.
+type PortAllocator interface {
+	// Next returns the port for the next outgoing query.
+	Next() uint16
+	// Strategy names the allocation behaviour (for reports).
+	Strategy() string
+}

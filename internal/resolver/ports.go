@@ -1,9 +1,5 @@
-// Package resolver implements the recursive DNS resolvers that populate
-// the simulated Internet: caching iterative resolution from root hints,
-// client ACLs (open vs. closed), forwarding, QNAME minimization, TCP
-// retry on truncation, retransmission, and — centrally for the paper —
-// pluggable source-port allocation strategies reproducing the behaviours
-// of Table 5.
+// Source-port allocation strategies — centrally for the paper —
+// reproducing the behaviours of Table 5. (Package doc: resolver.go.)
 package resolver
 
 import (
