@@ -1,6 +1,6 @@
-// Command doorsvet runs the determinism lint suite (internal/lint):
-// detrandonly, saltbands, sortedemit, wallclock, frozenshare and
-// shardcapture.
+// Command doorsvet runs the determinism and hot-path lint suite
+// (internal/lint): detrandonly, saltbands, sortedemit, wallclock,
+// frozenshare, shardcapture, hotalloc and retain.
 //
 // It speaks the go vet vettool protocol, which is how `make lint`
 // invokes it:
@@ -9,14 +9,21 @@
 //	go vet -vettool=$(pwd)/bin/doorsvet ./...
 //
 // Given package patterns instead of a vet config file, it loads and
-// checks them standalone, which is convenient during development:
+// checks them standalone, which is convenient during development.
+// Standalone runs memoize per-package results under
+// bin/.doorsvet-cache, keyed by tool identity + source content +
+// dependency keys, so repeat runs only re-analyze what changed; pass
+// -nocache to force a full analysis:
 //
 //	doorsvet ./...
+//	doorsvet -nocache ./...
 //
 // The -pragmas mode audits the suppression surface instead of
-// linting: it lists every //lint:allow pragma in the tree
-// (file:line, check, reason) and exits 2 if any pragma is missing its
-// reason or names an unknown check:
+// linting: it lists every //lint:allow pragma in the tree (file:line,
+// check, reason), then replays the full analysis with usage recording
+// to prove each pragma still suppresses a finding. It exits 2 if any
+// pragma is missing its reason, names an unknown check, or is stale —
+// suppressing nothing, so it should be deleted:
 //
 //	doorsvet -pragmas [dir]
 package main
@@ -24,6 +31,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/lint"
@@ -32,17 +40,33 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "-pragmas" {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "-pragmas" {
 		root := "."
-		if len(os.Args) > 2 {
-			root = os.Args[2]
+		if len(args) > 1 {
+			root = args[1]
 		}
-		os.Exit(listPragmas(root))
+		os.Exit(auditPragmas(root))
+	}
+	nocache := false
+	if len(args) > 0 && args[0] == "-nocache" {
+		nocache = true
+		args = args[1:]
 	}
 	// Package patterns (no flags, no *.cfg) select standalone mode;
 	// everything else follows the vettool protocol.
-	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") && !strings.HasSuffix(os.Args[1], ".cfg") {
-		diags, err := loader.Run(".", os.Args[1:], lint.Suite())
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") && !strings.HasSuffix(args[0], ".cfg") {
+		var diags []loader.Diagnostic
+		var err error
+		if nocache {
+			diags, err = loader.Run(".", args, lint.Suite())
+		} else {
+			var stats loader.CacheStats
+			diags, stats, err = loader.RunCached(".", args, lint.Suite(), filepath.Join("bin", ".doorsvet-cache"))
+			if err == nil && stats.Hits+stats.Misses > 0 {
+				fmt.Fprintf(os.Stderr, "doorsvet: cache: %d hits, %d misses\n", stats.Hits, stats.Misses)
+			}
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "doorsvet: %v\n", err)
 			os.Exit(2)
@@ -58,10 +82,13 @@ func main() {
 	unitchecker.Main(lint.Suite()...)
 }
 
-// listPragmas prints the suppression audit and returns the exit code:
-// 0 when every pragma is well-formed, 2 when one lacks a reason or
-// names a check the suite does not have.
-func listPragmas(root string) int {
+// auditPragmas prints the suppression audit and returns the exit
+// code: 0 when every pragma is well-formed and live, 2 when one lacks
+// a reason, names a check the suite does not have, or is stale. The
+// staleness proof is a full uncached analyzer run with pragma-usage
+// recording switched on: any pragma the run never consulted to
+// suppress a finding no longer earns its place in the tree.
+func auditPragmas(root string) int {
 	pragmas, err := lint.ListPragmas(root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "doorsvet: %v\n", err)
@@ -77,6 +104,28 @@ func listPragmas(root string) int {
 		}
 		if !p.Known {
 			fmt.Fprintf(os.Stderr, "doorsvet: %s:%d: //lint:allow %s names an unknown check\n",
+				p.File, p.Line, p.Check)
+			bad++
+		}
+	}
+
+	// Stale detection: re-run the suite (uncached — cache hits skip
+	// analysis and would record nothing) recording which pragmas fire.
+	lint.RecordPragmaUsage()
+	if _, err := loader.Run(root, []string{"./..."}, lint.Suite()); err != nil {
+		fmt.Fprintf(os.Stderr, "doorsvet: pragma usage analysis: %v\n", err)
+		return 2
+	}
+	for _, p := range pragmas {
+		if p.Reason == "" || !p.Known {
+			continue // already flagged above
+		}
+		abs, err := filepath.Abs(filepath.Join(root, filepath.FromSlash(p.File)))
+		if err != nil {
+			abs = filepath.Join(root, filepath.FromSlash(p.File))
+		}
+		if !lint.PragmaUsed(abs, p.Line) {
+			fmt.Fprintf(os.Stderr, "doorsvet: %s:%d: //lint:allow %s is stale: it suppresses no finding; delete it\n",
 				p.File, p.Line, p.Check)
 			bad++
 		}

@@ -31,6 +31,8 @@ func splitmix64(x uint64) uint64 {
 }
 
 // Mix folds the values into a single well-distributed 64-bit hash.
+//
+//doors:hotpath
 func Mix(vals ...uint64) uint64 {
 	h := uint64(0x6a09e667f3bcc909) // fractional bits of sqrt(2)
 	for _, v := range vals {
@@ -42,6 +44,8 @@ func Mix(vals ...uint64) uint64 {
 // HashBytes folds a byte slice (e.g. a serialized packet) into a seed
 // hash. FNV-1a accumulates the bytes; splitmix64 finalizes so that
 // single-bit input differences avalanche across the output.
+//
+//doors:hotpath
 func HashBytes(seed uint64, b []byte) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -56,6 +60,8 @@ func HashBytes(seed uint64, b []byte) uint64 {
 
 // AddrWords returns an address as two 64-bit words (the 16-byte form,
 // big-endian halves). Invalid addresses hash as zero words.
+//
+//doors:hotpath
 func AddrWords(a netip.Addr) (uint64, uint64) {
 	if !a.IsValid() {
 		return 0, 0
@@ -69,11 +75,15 @@ func AddrWords(a netip.Addr) (uint64, uint64) {
 }
 
 // Float64 maps the mixed hash of vals to [0, 1).
+//
+//doors:hotpath
 func Float64(vals ...uint64) float64 {
 	return float64(Mix(vals...)>>11) / (1 << 53)
 }
 
 // Intn maps the mixed hash of vals to [0, n). n must be > 0.
+//
+//doors:hotpath
 func Intn(n int, vals ...uint64) int {
 	return int(Mix(vals...) % uint64(n))
 }

@@ -171,9 +171,13 @@ type ASSpec struct {
 }
 
 // NumResolvers returns the AS's live resolver count.
+//
+//doors:hotpath
 func (a *ASSpec) NumResolvers() int { return a.hi - a.lo }
 
 // Resolver materializes the AS's k-th resolver spec.
+//
+//doors:hotpath
 func (a *ASSpec) Resolver(k int) ResolverSpec { return a.slab.spec(a.lo + k) }
 
 // appendResolver adds a resolver to the AS; the AS's rows must be the
@@ -280,6 +284,8 @@ func Generate(p Params) *Population {
 // backing array (reused in place, so streaming callers recycle one
 // scratch ASSpec). used is per-AS address-dedup scratch, cleared on
 // entry. Returns the global resolver index after this AS.
+//
+//doors:scratch as used
 func genAS(p Params, rng *rand.Rand, i, resolverIdx int, as *ASSpec, used map[netip.Addr]bool) int {
 	clear(used)
 	slab, dead := as.slab, as.DeadTargets[:0]
@@ -392,6 +398,8 @@ func osMix(rng *rand.Rand) *oskernel.Profile {
 }
 
 // genResolver samples one live resolver's joint configuration.
+//
+//doors:scratch as used
 func genResolver(p Params, rng *rand.Rand, as *ASSpec, country countryProfile, idx int, used map[netip.Addr]bool) ResolverSpec {
 	spec := ResolverSpec{
 		Index: idx,

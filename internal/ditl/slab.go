@@ -161,6 +161,8 @@ func (a *ASSpec) setResolver(k int, r ResolverSpec) {
 }
 
 // spec materializes row k as a ResolverSpec value.
+//
+//doors:hotpath
 func (s *resolverSlab) spec(k int) ResolverSpec {
 	flags := s.flags[k]
 	return ResolverSpec{

@@ -167,6 +167,8 @@ func (v *View) V6AddrCount() int { return v.v6Total }
 func (v *View) Summarize() Stats { return v.stats }
 
 // asCandidateCount counts an AS's candidate target addresses.
+//
+//doors:scratch as
 func asCandidateCount(as *ASSpec) int {
 	n := len(as.DeadTargets)
 	for k := 0; k < as.NumResolvers(); k++ {
@@ -182,6 +184,8 @@ func asCandidateCount(as *ASSpec) int {
 }
 
 // asV6AddrCount counts an AS's IPv6 candidate addresses.
+//
+//doors:scratch as
 func asV6AddrCount(as *ASSpec) int {
 	n := 0
 	for k := 0; k < as.NumResolvers(); k++ {
@@ -199,6 +203,8 @@ func asV6AddrCount(as *ASSpec) int {
 }
 
 // tallyAS folds one AS into population statistics.
+//
+//doors:scratch as
 func tallyAS(s *Stats, as *ASSpec) {
 	s.ASes++
 	if !as.DSAV {

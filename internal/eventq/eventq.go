@@ -97,6 +97,8 @@ func (q *Queue) siftDown(i int) {
 // At schedules fn to run at virtual time at. Scheduling in the past is a
 // programming error; such events are clamped to run "now" so the clock
 // never moves backward.
+//
+//doors:hotpath
 func (q *Queue) At(at time.Duration, fn Event) {
 	if at < q.now {
 		at = q.now
@@ -116,6 +118,8 @@ func (q *Queue) At(at time.Duration, fn Event) {
 }
 
 // After schedules fn to run d after the current virtual time.
+//
+//doors:hotpath
 func (q *Queue) After(d time.Duration, fn Event) {
 	if d < 0 {
 		d = 0
@@ -129,6 +133,8 @@ func (q *Queue) Stop() { q.stopped = true }
 
 // Step runs the single earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event ran.
+//
+//doors:hotpath
 func (q *Queue) Step() bool {
 	if len(q.heap) == 0 {
 		return false
@@ -146,6 +152,7 @@ func (q *Queue) Step() bool {
 	q.free = append(q.free, idx)
 	q.now = at
 	q.ran++
+	//lint:allow hotalloc -- dispatching the event IS the queue's job; what the callback allocates is charged to its owner, not the queue
 	fn(q.now)
 	return true
 }

@@ -38,7 +38,7 @@ import (
 // in the unitchecker's -V=full content hash, so bumping it (when fact
 // types or the gob envelope change incompatibly) invalidates every
 // cached vet result that might hold stale fact bytes.
-const FactSchemaVersion = 1
+const FactSchemaVersion = 2
 
 // Facts is a suite-global fact store. It is not safe for concurrent
 // use; drivers are single-threaded per process.
@@ -179,15 +179,32 @@ type gobFact struct {
 // Encode serializes the whole store — own facts and inherited ones —
 // as a deterministic gob stream.
 func (s *Facts) Encode() ([]byte, error) {
+	return s.encode(nil)
+}
+
+// EncodePackage serializes only the facts attached to pkgPath — its
+// objects' facts and its package facts. This is the per-package slice
+// the loader's result cache persists, so a cache hit can restore one
+// package's exports without replaying the rest of the store.
+func (s *Facts) EncodePackage(pkgPath string) ([]byte, error) {
+	return s.encode(func(p string) bool { return p == pkgPath })
+}
+
+func (s *Facts) encode(keep func(pkgPath string) bool) ([]byte, error) {
 	var entries []gobFact
 	for k, f := range s.objects {
 		path, ok := objectPath(k.obj)
 		if !ok {
 			continue // facts on unaddressable objects stay process-local
 		}
-		entries = append(entries, gobFact{PkgPath: pkgPathOf(k.obj), Object: path, Fact: f})
+		if pp := pkgPathOf(k.obj); keep == nil || keep(pp) {
+			entries = append(entries, gobFact{PkgPath: pp, Object: path, Fact: f})
+		}
 	}
 	for k, f := range s.packages {
+		if keep != nil && !keep(k.path) {
+			continue
+		}
 		entries = append(entries, gobFact{PkgPath: k.path, Fact: f})
 	}
 	sort.Slice(entries, func(i, j int) bool {

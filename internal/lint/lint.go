@@ -1,7 +1,9 @@
-// Package lint is the doorsvet analyzer suite: six checks that turn
-// the repository's determinism discipline — the conventions that make
-// the sharded survey engine merge into a bit-identical analysis.Report
-// at any shard count — from reviewer lore into compiler-checked rules.
+// Package lint is the doorsvet analyzer suite: eight checks that turn
+// the repository's determinism and performance discipline — the
+// conventions that make the sharded survey engine merge into a
+// bit-identical analysis.Report at any shard count, and keep its hot
+// paths allocation-free — from reviewer lore into compiler-checked
+// rules.
 //
 //   - detrandonly: randomness must be derived from causal identity via
 //     internal/detrand, never drawn from raw math/rand streams.
@@ -16,6 +18,12 @@
 //     analyzer facts).
 //   - shardcapture: shard goroutine closures capture only shard-local
 //     or frozen state (consumes frozenshare's facts).
+//   - hotalloc: //doors:hotpath functions are transitively
+//     allocation-free, proven over the call graph via AllocFact
+//     object facts with full call-chain witnesses.
+//   - retain: //doors:scratch parameters are never retained past the
+//     call — not stored, sent, appended away, captured, or passed to
+//     a retaining callee (interprocedural, via RetainsFact facts).
 //
 // Every check honors a line-scoped escape hatch:
 //
@@ -30,8 +38,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 
 	"repro/internal/lint/analysis"
 )
@@ -39,7 +49,9 @@ import (
 // Suite returns the full doorsvet analyzer suite. Order matters:
 // drivers run analyzers in slice order over each package, and
 // shardcapture consumes the FrozenType facts frozenshare exports, so
-// FrozenShare must precede ShardCapture.
+// FrozenShare must precede ShardCapture. HotAlloc and Retain only
+// consume their own facts, which both drivers persist per analyzer,
+// so their position is free; they run last as the newest checks.
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		DetrandOnly,
@@ -48,15 +60,20 @@ func Suite() []*analysis.Analyzer {
 		WallClock,
 		FrozenShare,
 		ShardCapture,
+		HotAlloc,
+		Retain,
 	}
 }
 
 var pragmaRE = regexp.MustCompile(`^//lint:allow\s+([a-z]+)\s*(?:--\s*(.*))?$`)
 
 // allowed records which source lines carry a //lint:allow pragma for
-// one check, within one file.
+// one check, within one file. Each covered line maps back to the line
+// the pragma itself sits on, so usage recording (the stale-pragma
+// audit) can credit the right suppression.
 type allowed struct {
-	lines map[int]bool
+	file  string
+	lines map[int]int // covered line -> pragma line
 }
 
 // allowsFor scans f's comments for pragmas naming check. A pragma
@@ -64,7 +81,8 @@ type allowed struct {
 // offending statement and on a line of its own above it. Pragmas
 // without a reason string are reported immediately.
 func allowsFor(pass *analysis.Pass, f *ast.File, check string) allowed {
-	lines := make(map[int]bool)
+	lines := make(map[int]int)
+	file := ""
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			m := pragmaRE.FindStringSubmatch(c.Text)
@@ -75,16 +93,74 @@ func allowsFor(pass *analysis.Pass, f *ast.File, check string) allowed {
 				pass.Reportf(c.Pos(), "lint:allow %s pragma requires a reason: //lint:allow %s -- <why>", check, check)
 				continue
 			}
-			line := pass.Fset.Position(c.Pos()).Line
-			lines[line] = true
-			lines[line+1] = true
+			p := pass.Fset.Position(c.Pos())
+			file = p.Filename
+			lines[p.Line] = p.Line
+			lines[p.Line+1] = p.Line
 		}
 	}
-	return allowed{lines: lines}
+	return allowed{file: file, lines: lines}
 }
 
 func (a allowed) at(pass *analysis.Pass, pos token.Pos) bool {
-	return a.lines[pass.Fset.Position(pos).Line]
+	pragmaLine, ok := a.lines[pass.Fset.Position(pos).Line]
+	if !ok {
+		return false
+	}
+	markPragmaUsed(a.file, pragmaLine)
+	return true
+}
+
+// pragmaUsage is the opt-in recorder behind the stale-pragma audit:
+// when enabled, every pragma that actually suppresses a finding is
+// noted here, and `doorsvet -pragmas` flags the rest as stale. The
+// mutex guards against drivers that may analyze packages concurrently.
+var pragmaUsage struct {
+	sync.Mutex
+	used map[string]map[int]bool // file path (as seen by the driver) -> pragma lines hit
+}
+
+// RecordPragmaUsage enables pragma-usage recording for subsequent
+// analyzer runs in this process.
+func RecordPragmaUsage() {
+	pragmaUsage.Lock()
+	pragmaUsage.used = make(map[string]map[int]bool)
+	pragmaUsage.Unlock()
+}
+
+func markPragmaUsed(file string, line int) {
+	pragmaUsage.Lock()
+	defer pragmaUsage.Unlock()
+	if pragmaUsage.used == nil || file == "" {
+		return
+	}
+	m := pragmaUsage.used[file]
+	if m == nil {
+		m = make(map[int]bool)
+		pragmaUsage.used[file] = m
+	}
+	m[line] = true
+}
+
+// PragmaUsed reports whether a recorded run saw the pragma at
+// file:line suppress at least one finding. file is compared as an
+// absolute path.
+func PragmaUsed(file string, line int) bool {
+	pragmaUsage.Lock()
+	defer pragmaUsage.Unlock()
+	for recorded, lines := range pragmaUsage.used {
+		if !lines[line] {
+			continue
+		}
+		abs, err := filepath.Abs(recorded)
+		if err != nil {
+			abs = recorded
+		}
+		if abs == file {
+			return true
+		}
+	}
+	return false
 }
 
 // isTestFile reports whether the file is a _test.go file.

@@ -31,6 +31,21 @@ func TestFrozenShare(t *testing.T) {
 		[]*analysis.Analyzer{lint.FrozenShare}, "p1", "p2")
 }
 
+func TestHotAlloc(t *testing.T) {
+	// ha2 imports ha1: its verdicts and witness chains only exist if
+	// ha1's AllocFacts crossed the package boundary. internal/eventq
+	// exercises the auto-mark table (path-suffix match, no marker).
+	analysistest.RunWith(t, "testdata/hotalloc",
+		[]*analysis.Analyzer{lint.HotAlloc}, "ha1", "ha2", "internal/eventq")
+}
+
+func TestRetain(t *testing.T) {
+	// rt2 imports rt1: cross-package RetainsFact flow, both positive
+	// verdicts (with witnesses) and empty ones (proven clean).
+	analysistest.RunWith(t, "testdata/retain",
+		[]*analysis.Analyzer{lint.Retain}, "rt1", "rt2")
+}
+
 func TestShardCapture(t *testing.T) {
 	// FrozenShare must run first: shardcapture's frozen-capture
 	// exemption consumes its FrozenType facts.

@@ -1,0 +1,171 @@
+// The loader's persistent result cache: `doorsvet ./...` re-analyzes
+// the full `go list -deps` graph on every invocation, which is almost
+// always wasted work — lint runs bracket small edits. Each in-module
+// package's diagnostics and exported facts are stored under
+// bin/.doorsvet-cache (or any directory the caller picks), keyed by a
+// content hash that mirrors the unitchecker's -V=full tool identity:
+//
+//	tool key = sha256(doorsvet executable bytes,
+//	                  analysis.FactSchemaVersion,
+//	                  Go toolchain version,
+//	                  analyzer names)
+//	pkg key  = sha256(tool key, import path,
+//	                  every GoFile's content hash,
+//	                  every in-module dependency's pkg key)
+//
+// Rebuilding doorsvet, bumping the fact schema, switching toolchains,
+// or editing any transitively reachable source file all change the
+// key, so entries are never invalidated in place — stale keys are
+// simply never looked up again. A broken or unwritable cache degrades
+// to an uncached run rather than failing the lint.
+package loader
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// CacheStats counts cache outcomes over the analyzed (in-module)
+// packages of one run.
+type CacheStats struct {
+	Hits   int
+	Misses int
+}
+
+// Sentinel key values for packages that contribute to dependents' keys
+// without having cacheable results themselves.
+const (
+	keyStdlib      = "std" // covered by the tool key's toolchain version
+	keyUncacheable = ""    // poisons every dependent's key
+)
+
+// cacheEntry is one package's stored result: the diagnostics its
+// analysis produced and its exported facts (the EncodePackage gob
+// stream, base64 via JSON).
+type cacheEntry struct {
+	Diags []Diagnostic
+	Facts []byte
+}
+
+type resultCache struct {
+	dir     string
+	toolKey string
+	keys    map[string]string // import path -> package key (memo, post-order)
+}
+
+// openCache prepares a cache rooted at dir and computes the tool key.
+// Any failure — unreadable executable, unwritable directory — is
+// returned so the caller can fall back to an uncached run.
+func openCache(dir string, analyzers []*analysis.Analyzer) (*resultCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("no cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	bin, err := os.ReadFile(exe)
+	if err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	h.Write(bin)
+	fmt.Fprintf(h, "\nfactschema=%d\ngo=%s\n", analysis.FactSchemaVersion, runtime.Version())
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "analyzer=%s\n", a.Name)
+	}
+	return &resultCache{
+		dir:     dir,
+		toolKey: hex.EncodeToString(h.Sum(nil)),
+		keys:    make(map[string]string),
+	}, nil
+}
+
+// keyFor computes (and memoizes) p's package key. Because run visits
+// packages in dependency post-order, every dependency's key is already
+// memoized; a dependency with no key (skipped, unreadable) poisons p's
+// key so p is never served stale results.
+func (c *resultCache) keyFor(p *listPackage) string {
+	if k, ok := c.keys[p.ImportPath]; ok {
+		return k
+	}
+	k := c.computeKey(p)
+	c.keys[p.ImportPath] = k
+	return k
+}
+
+func (c *resultCache) computeKey(p *listPackage) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "tool=%s\npkg=%s\n", c.toolKey, p.ImportPath)
+	for _, name := range p.GoFiles {
+		b, err := os.ReadFile(filepath.Join(p.Dir, name))
+		if err != nil {
+			return keyUncacheable
+		}
+		sum := sha256.Sum256(b)
+		fmt.Fprintf(h, "file=%s:%x\n", name, sum)
+	}
+	// Deps is the transitive closure, so one level of key lookup sees
+	// every reachable in-module package's content.
+	deps := append([]string(nil), p.Deps...)
+	sort.Strings(deps)
+	for _, d := range deps {
+		k, ok := c.keys[d]
+		if !ok || k == keyUncacheable {
+			return keyUncacheable
+		}
+		if k == keyStdlib {
+			continue
+		}
+		fmt.Fprintf(h, "dep=%s:%s\n", d, k)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (c *resultCache) entryPath(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+func (c *resultCache) load(key string) (*cacheEntry, bool) {
+	b, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		return nil, false
+	}
+	e := new(cacheEntry)
+	if json.Unmarshal(b, e) != nil {
+		return nil, false // corrupt entry: treat as a miss, overwrite on store
+	}
+	return e, true
+}
+
+// store writes the entry atomically (write-to-temp + rename), so a
+// concurrent reader never sees a torn file. Store failures are
+// ignored: the cache is an accelerator, not a correctness surface.
+func (c *resultCache) store(key string, diags []Diagnostic, facts []byte) {
+	path := c.entryPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	b, err := json.Marshal(cacheEntry{Diags: diags, Facts: facts})
+	if err != nil {
+		return
+	}
+	tmp := fmt.Sprintf("%s.%d.tmp", path, os.Getpid())
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+	}
+}

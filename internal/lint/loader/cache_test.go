@@ -1,0 +1,164 @@
+package loader_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/loader"
+)
+
+// scratchModule writes a two-package module where p2's findings depend
+// on p1's facts (a frozen-registry mutation and a hot-path call into
+// an allocating p1 function), so cache hits must restore both
+// diagnostics and cross-package fact flow to be correct.
+func scratchModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module m\n\ngo 1.22\n")
+	write("p1/p1.go", `// Package p1 allocates.
+package p1
+
+// Grow allocates per call.
+func Grow(n int) []int { return make([]int, n) }
+`)
+	write("p2/p2.go", `// Package p2 puts a hot obligation on a p1 call.
+package p2
+
+import "m/p1"
+
+// Hot violates its marker through p1's fact.
+//
+//doors:hotpath
+func Hot(n int) []int { return p1.Grow(n) }
+`)
+	return dir
+}
+
+// TestCacheRoundTrip proves the memoized runs: a cold run misses
+// everything, a warm run hits everything, and both produce identical
+// diagnostics — including the cross-package witness that depends on
+// p1's cached facts decoding against export data.
+func TestCacheRoundTrip(t *testing.T) {
+	dir := scratchModule(t)
+	cacheDir := filepath.Join(dir, "cache")
+
+	cold, coldStats, err := loader.RunCached(dir, []string{"./..."}, lint.Suite(), cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.Hits != 0 || coldStats.Misses == 0 {
+		t.Fatalf("cold run: want 0 hits and >0 misses, got %+v", coldStats)
+	}
+	if len(cold) != 1 || cold[0].Analyzer != "hotalloc" {
+		t.Fatalf("cold run diagnostics: %v", cold)
+	}
+
+	warm, warmStats, err := loader.RunCached(dir, []string{"./..."}, lint.Suite(), cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.Misses != 0 || warmStats.Hits != coldStats.Misses {
+		t.Fatalf("warm run: want %d hits and 0 misses, got %+v", coldStats.Misses, warmStats)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("cached diagnostics diverge:\ncold: %v\nwarm: %v", cold, warm)
+	}
+}
+
+// TestCacheInvalidation proves content-keyed invalidation: editing p1
+// re-analyzes p1 and its dependent p2 (whose key embeds p1's), and the
+// fixed source clears the finding even though a stale entry for the
+// old content still sits in the cache.
+func TestCacheInvalidation(t *testing.T) {
+	dir := scratchModule(t)
+	cacheDir := filepath.Join(dir, "cache")
+
+	if _, _, err := loader.RunCached(dir, []string{"./..."}, lint.Suite(), cacheDir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fix p1: Grow no longer allocates, so p2's hot obligation passes.
+	fixed := `// Package p1 no longer allocates.
+package p1
+
+var buf []int
+
+// Grow reuses the shared buffer.
+func Grow(n int) []int { return buf[:0] }
+`
+	if err := os.WriteFile(filepath.Join(dir, "p1", "p1.go"), []byte(fixed), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	diags, stats, err := loader.RunCached(dir, []string{"./..."}, lint.Suite(), cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Misses != 2 {
+		t.Fatalf("edit should invalidate exactly p1 and p2: %+v", stats)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("fixed module should be clean, got %v", diags)
+	}
+
+	// Unrelated third package: adding it leaves p1/p2 as hits.
+	if err := os.MkdirAll(filepath.Join(dir, "p3"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	p3 := "// Package p3 is independent.\npackage p3\n\n// Three is three.\nfunc Three() int { return 3 }\n"
+	if err := os.WriteFile(filepath.Join(dir, "p3", "p3.go"), []byte(p3), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err = loader.RunCached(dir, []string{"./..."}, lint.Suite(), cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Misses != 1 || stats.Hits != 2 {
+		t.Fatalf("new package should be the only miss: %+v", stats)
+	}
+}
+
+// TestCacheTargetPromotion proves a package first analyzed as a
+// dependency (diagnostics suppressed) still replays its findings when
+// a later run names it directly: entries always record the findings,
+// and the target filter applies at replay time.
+func TestCacheTargetPromotion(t *testing.T) {
+	dir := scratchModule(t)
+	cacheDir := filepath.Join(dir, "cache")
+
+	// Name only p2: p1 is analyzed as a dependency. Neither package
+	// reports anything in p1 here, but p1's entry is cached.
+	first, _, err := loader.RunCached(dir, []string{"./p2"}, lint.Suite(), cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 1 {
+		t.Fatalf("p2 run: %v", first)
+	}
+
+	// A second run naming everything must surface the same p2 finding
+	// from p1+p2 cache hits.
+	second, stats, err := loader.RunCached(dir, []string{"./..."}, lint.Suite(), cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Misses != 0 {
+		t.Fatalf("promotion run should be all hits: %+v", stats)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("promoted diagnostics diverge:\nfirst:  %v\nsecond: %v", first, second)
+	}
+}

@@ -46,6 +46,7 @@ type listPackage struct {
 	GoFiles    []string
 	CgoFiles   []string
 	Export     string
+	Deps       []string
 	DepOnly    bool
 	Standard   bool
 	Module     *struct{ Path string }
@@ -70,8 +71,29 @@ type checkedPkg struct {
 // importer), and returns the diagnostics of the non-dependency target
 // packages sorted by position.
 func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	diags, _, err := run(dir, patterns, analyzers, nil)
+	return diags, err
+}
+
+// RunCached is Run backed by the persistent per-package result cache
+// rooted at cacheDir (see cache.go): packages whose key — tool
+// identity, source content, dependency keys — matches a stored entry
+// skip analysis entirely, replaying their recorded diagnostics and
+// re-binding their exported facts from export data.
+func RunCached(dir string, patterns []string, analyzers []*analysis.Analyzer, cacheDir string) ([]Diagnostic, CacheStats, error) {
+	c, err := openCache(cacheDir, analyzers)
+	if err != nil {
+		// A broken cache must never break the lint: run uncached.
+		diags, runErr := Run(dir, patterns, analyzers)
+		return diags, CacheStats{}, runErr
+	}
+	return run(dir, patterns, analyzers, c)
+}
+
+func run(dir string, patterns []string, analyzers []*analysis.Analyzer, cache *resultCache) ([]Diagnostic, CacheStats, error) {
+	var stats CacheStats
 	if err := analysis.Validate(analyzers); err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -80,7 +102,7 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+		return nil, stats, fmt.Errorf("go list: %v\n%s", err, stderr.String())
 	}
 
 	// go list -deps emits a depth-first post-order: every package
@@ -94,7 +116,7 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 		if err := dec.Decode(p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("go list output: %v", err)
+			return nil, stats, fmt.Errorf("go list output: %v", err)
 		}
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
@@ -122,23 +144,68 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 	var diags []Diagnostic
 	for _, p := range ordered {
 		if p.Standard {
+			if cache != nil {
+				cache.keys[p.ImportPath] = keyStdlib // covered by the tool key's Go version
+			}
 			continue // stdlib: export data only, never analyzed
 		}
 		if len(p.CgoFiles) > 0 {
 			if p.DepOnly {
+				if cache != nil {
+					cache.keys[p.ImportPath] = keyUncacheable
+				}
 				continue
 			}
-			return nil, fmt.Errorf("%s: cgo packages are not supported", p.ImportPath)
+			return nil, stats, fmt.Errorf("%s: cgo packages are not supported", p.ImportPath)
 		}
+
+		// Cache probe: a package whose key — tool identity, source
+		// bytes, dependency keys — matches a stored entry replays its
+		// recorded diagnostics and re-binds its exported facts from
+		// export data, skipping parse, type-check and analysis. The
+		// export-data requirement keeps fact identity sound: importers
+		// type-checked from source resolve the hit package through the
+		// same gcImporter the fact decode used.
+		var cacheKey string
+		if cache != nil {
+			cacheKey = cache.keyFor(p)
+			if cacheKey != "" && exports[p.ImportPath] != "" {
+				if e, ok := cache.load(cacheKey); ok {
+					stats.Hits++
+					if !p.DepOnly {
+						diags = append(diags, e.Diags...)
+					}
+					lookup := func(path string) *types.Package {
+						if cp, ok := checked[path]; ok {
+							return cp.pkg
+						}
+						pkg, err := gcImporter.Import(path)
+						if err != nil {
+							return nil
+						}
+						return pkg
+					}
+					if err := facts.Decode(e.Facts, lookup); err != nil {
+						return nil, stats, fmt.Errorf("%s: cached facts: %v", p.ImportPath, err)
+					}
+					continue
+				}
+			}
+			stats.Misses++
+		}
+
 		var files []*ast.File
 		for _, name := range p.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
 			if err != nil {
-				return nil, err
+				return nil, stats, err
 			}
 			files = append(files, f)
 		}
 		if len(files) == 0 {
+			if cache != nil {
+				cache.keys[p.ImportPath] = keyUncacheable
+			}
 			continue
 		}
 		info := &types.Info{
@@ -153,7 +220,7 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 		tc := &types.Config{Importer: imp, Sizes: types.SizesFor("gc", build.Default.GOARCH)}
 		pkg, err := tc.Check(p.ImportPath, fset, files, info)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+			return nil, stats, fmt.Errorf("%s: %v", p.ImportPath, err)
 		}
 		checked[p.ImportPath] = &checkedPkg{pkg: pkg, files: files, info: info}
 		module := ""
@@ -161,6 +228,11 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 			module = p.Module.Path
 		}
 		target := !p.DepOnly
+		// Diagnostics are always collected per package — even for
+		// dependency passes, whose findings are dropped from this run's
+		// output — because the cache entry must replay them faithfully
+		// if a later run names this package as a target.
+		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
 			a := a
 			pass := &analysis.Pass{
@@ -172,10 +244,7 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 				Module:    module,
 				Dir:       p.Dir,
 				Report: func(d analysis.Diagnostic) {
-					if !target {
-						return // dependency pass: facts only
-					}
-					diags = append(diags, Diagnostic{
+					pkgDiags = append(pkgDiags, Diagnostic{
 						Analyzer: a.Name,
 						Position: fset.Position(d.Pos),
 						Message:  d.Message,
@@ -184,7 +253,15 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 			}
 			facts.Bind(pass)
 			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %v", p.ImportPath, a.Name, err)
+				return nil, stats, fmt.Errorf("%s: %s: %v", p.ImportPath, a.Name, err)
+			}
+		}
+		if target {
+			diags = append(diags, pkgDiags...)
+		}
+		if cache != nil && cacheKey != "" {
+			if factBytes, err := facts.EncodePackage(p.ImportPath); err == nil {
+				cache.store(cacheKey, pkgDiags, factBytes)
 			}
 		}
 	}
@@ -202,7 +279,7 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 		}
 		return a.Message < b.Message
 	})
-	return diags, nil
+	return diags, stats, nil
 }
 
 type importerFunc func(path string) (*types.Package, error)

@@ -37,6 +37,8 @@ var checkNames = map[string]bool{
 	"wallclock":    true,
 	"frozenshare":  true,
 	"shardcapture": true,
+	"hotalloc":     true,
+	"retain":       true,
 }
 
 // ListPragmas walks the tree under root and returns every //lint:allow

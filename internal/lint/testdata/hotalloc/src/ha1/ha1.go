@@ -1,0 +1,125 @@
+// Package ha1 exercises the hotalloc lattice: local allocation
+// intrinsics, the amortized-append and lazy-init exemptions, pragma
+// escapes, and witness chains through same-package calls.
+package ha1
+
+import "fmt"
+
+var sink []int
+
+// PureAdd touches nothing but registers.
+func PureAdd(a, b int) int { return a + b } // want PureAdd:`never`
+
+// MakeSlice allocates on every call.
+func MakeSlice(n int) []int { // want MakeSlice:`unbounded`
+	return make([]int, n)
+}
+
+var table map[int]int
+
+// LazyInit allocates once, under a nil guard on the assigned root:
+// Bounded, not Unbounded.
+func LazyInit(k int) int { // want LazyInit:`bounded`
+	if table == nil {
+		table = make(map[int]int)
+	}
+	return table[k]
+}
+
+// Buf grows amortized: self-append is Never in steady state.
+type Buf struct{ xs []int }
+
+//doors:hotpath
+func (b *Buf) Push(x int) { // want Push:`never`
+	b.xs = append(b.xs, x)
+}
+
+// Reuse truncates a caller-owned buffer and refills it: Never.
+//
+//doors:hotpath
+func Reuse(dst []byte, b byte) []byte { // want Reuse:`never`
+	return append(dst[:0], b)
+}
+
+// CopyAppend materializes a new backing array.
+func CopyAppend(xs []int) []int { // want CopyAppend:`unbounded`
+	ys := append(xs, 1)
+	return ys
+}
+
+// Box boxes an integer into an interface.
+func Box(x int) interface{} { return x } // want Box:`unbounded`
+
+// Concat builds a new string.
+func Concat(a, b string) string { return a + b } // want Concat:`unbounded`
+
+// Closure captures n, so the func value carries a heap cell.
+func Closure(n int) func() int { // want Closure:`unbounded`
+	return func() int { return n }
+}
+
+// StaticFn returns a capture-free literal: a static function value.
+//
+//doors:hotpath
+func StaticFn() func() int { // want StaticFn:`never`
+	return func() int { return 1 }
+}
+
+// DeferLoop defers per iteration.
+func DeferLoop(fs []func()) { // want DeferLoop:`unbounded`
+	for _, f := range fs {
+		defer f()
+	}
+}
+
+// MapWrite may grow the table.
+func MapWrite(m map[string]int, k string) { // want MapWrite:`unbounded`
+	m[k] = 1
+}
+
+// Fmt calls into fmt, which allocates by contract.
+func Fmt(x int) string { // want Fmt:`unbounded`
+	return fmt.Sprintf("%d", x)
+}
+
+// Hot violates its own marker with a direct allocation; the witness
+// names the intrinsic and the site.
+//
+//doors:hotpath
+func Hot(n int) []int { // want `hot-path function Hot \(//doors:hotpath\) must be allocation-free, but allocates \(unbounded\): ha1\.Hot: make allocates \(ha1\.go:\d+\)`
+	return make([]int, n)
+}
+
+// HotCaller is clean itself but calls an allocating helper: the
+// witness chains through the call edge to the underlying site.
+//
+//doors:hotpath
+func HotCaller() []int { // want `hot-path function HotCaller \(//doors:hotpath\) must be allocation-free.*calls ha1\.helper \(ha1\.go:\d+\) -> ha1\.helper: make allocates`
+	return helper()
+}
+
+func helper() []int { // want helper:`unbounded`
+	return make([]int, 4)
+}
+
+// HotLazy is only Bounded — still a violation: hot paths must be
+// transitively Never, not merely amortized.
+var lazy map[int]int
+
+//doors:hotpath
+func HotLazy(k int) int { // want `hot-path function HotLazy \(//doors:hotpath\) must be allocation-free, but allocates \(bounded\): ha1\.HotLazy: one-time lazy make under nil guard`
+	if lazy == nil {
+		lazy = make(map[int]int)
+	}
+	return lazy[k]
+}
+
+// HotPragma escapes its allocation with a reasoned pragma, which
+// removes the site from classification entirely: the exported fact is
+// never, so callers prove clean through it.
+//
+//doors:hotpath
+func HotPragma() { // want HotPragma:`never`
+	//lint:allow hotalloc -- fixture: boundary allocation exempted by design
+	sink = make([]int, 1)
+}

@@ -1,0 +1,31 @@
+// Package ha2 exercises cross-package fact flow: its verdicts rest
+// entirely on the AllocFacts ha1's pass exported, including the
+// precomputed witness chains that let a violation here name the
+// allocating expression in ha1 without re-analyzing it.
+package ha2
+
+import "ha1"
+
+// UseClean is provable only through ha1.Buf.Push's imported never
+// fact.
+//
+//doors:hotpath
+func UseClean(b *ha1.Buf) { // want UseClean:`never`
+	b.Push(1)
+}
+
+// UseAlloc calls an unbounded ha1 function; the witness chain crosses
+// the package boundary via the imported fact.
+//
+//doors:hotpath
+func UseAlloc(n int) []int { // want `hot-path function UseAlloc \(//doors:hotpath\) must be allocation-free, but allocates \(unbounded\): ha2\.UseAlloc: calls ha1\.MakeSlice \(ha2\.go:\d+\) -> ha1\.MakeSlice: make allocates \(ha1\.go:\d+\)`
+	return ha1.MakeSlice(n)
+}
+
+// ThroughPragma calls the function whose allocation was pragma'd away
+// in ha1: the improved fact (never, not merely suppressed) propagates.
+//
+//doors:hotpath
+func ThroughPragma() { // want ThroughPragma:`never`
+	ha1.HotPragma()
+}

@@ -1,0 +1,30 @@
+// Package rt2 exercises cross-package retention facts: rt1's
+// RetainsFact verdicts — positive and empty — flow through the fact
+// store, and unknown externals default to retaining.
+package rt2
+
+import "rt1"
+
+// Relay passes scratch to an imported retainer: the violation quotes
+// rt1's exported witness.
+//
+//doors:scratch p
+func Relay(p *rt1.Node) { // want Relay:`retains\(1\)`
+	rt1.StoreGlobal(p) // want `scratch parameter "p" of Relay may be retained: passed to rt1\.StoreGlobal, which retains it: stored in package variable global`
+}
+
+// RelayClean passes scratch to an imported function whose empty
+// RetainsFact proves it safe.
+//
+//doors:scratch p
+func RelayClean(p *rt1.Node) { // want RelayClean:`retains\(\)`
+	rt1.ReadOnly(p)
+}
+
+// RelayPragma crosses into the function whose retention rt1 pragma'd
+// away: the improved fact propagates, not just the suppression.
+//
+//doors:scratch p
+func RelayPragma(p *rt1.Node) { // want RelayPragma:`retains\(\)`
+	rt1.Pragma(p)
+}

@@ -89,12 +89,16 @@ func (c *cache) getPositive(name dnswire.Name, typ dnswire.Type) ([]dnswire.RR, 
 }
 
 // flush discards every cached entry — the cold cache a resolver restarts
-// with after a crash.
+// with after a crash. It clears the maps in place rather than
+// reallocating them: flush sits on the crash-recovery hot path
+// (cacheLayer.OnCrash), and the emptied maps keep their buckets for
+// the refill that follows.
 func (c *cache) flush() {
-	c.pos = make(map[cacheKey]posEntry)
-	c.neg = make(map[dnswire.Name]negEntry)
-	c.deleg = make(map[dnswire.Name]delegation)
+	clear(c.pos)
+	clear(c.neg)
+	clear(c.deleg)
 	if c.obs != nil {
+		//lint:allow hotalloc -- observer hook is a dynamic interface call; nil in production surveys, only instrumented by tests
 		c.obs.CacheFlush(c.owner, c.now())
 	}
 }

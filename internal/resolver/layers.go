@@ -144,6 +144,7 @@ func (l *forwardLayer) Step(j *job, depth int) bool {
 		}
 		l.inflight[key]++
 		j.fwdGuarded = true
+		j.fwdGuard = key
 	}
 	r.Stats.Forwarded++
 	r.sendUpstream(j, l.chain[j.fwdHop], j.qname, j.qtype, true)
@@ -160,15 +161,19 @@ func (l *forwardLayer) advance(j *job) (netip.Addr, bool) {
 	return l.chain[j.fwdHop], true
 }
 
+// OnFinish releases the loop-guard registration taken in Step. It
+// reuses the key recorded at guard time — recomputing it would
+// re-canonicalize the qname, an allocation hotalloc forbids here.
 func (l *forwardLayer) OnFinish(j *job) {
 	if !j.fwdGuarded {
 		return
 	}
 	j.fwdGuarded = false
-	key := fwdKey{j.qname.Canonical(), j.qtype}
+	key := j.fwdGuard
 	if n := l.inflight[key]; n <= 1 {
 		delete(l.inflight, key)
 	} else {
+		//lint:allow hotalloc -- decrementing an existing in-flight count; the key was inserted by Step, so no bucket growth
 		l.inflight[key] = n - 1
 	}
 }

@@ -59,6 +59,8 @@ type ACL struct {
 }
 
 // Allows reports whether a client source address is accepted.
+//
+//doors:hotpath
 func (a ACL) Allows(src netip.Addr) bool {
 	if a.Open {
 		return true
@@ -193,11 +195,12 @@ type job struct {
 	qname      dnswire.Name
 	qtype      dnswire.Type
 
-	depth        int  // remaining stack re-entries (MaxSteps budget)
-	minConfirmed int  // labels proven to exist (QNAME minimization)
-	fullFallback bool // lenient qmin switched to full-name queries
-	fwdHop       int  // current hop in a forwarder chain
-	fwdGuarded   bool // job holds a loop-guard in-flight registration
+	depth        int    // remaining stack re-entries (MaxSteps budget)
+	minConfirmed int    // labels proven to exist (QNAME minimization)
+	fullFallback bool   // lenient qmin switched to full-name queries
+	fwdHop       int    // current hop in a forwarder chain
+	fwdGuarded   bool   // job holds a loop-guard in-flight registration
+	fwdGuard     fwdKey // the registered key, kept so OnFinish releases it without re-canonicalizing
 	finished     bool
 }
 

@@ -123,6 +123,8 @@ func (r *Registry) ASNs() []ASN {
 
 // OriginOf returns the AS originating addr's longest-matching announced
 // prefix, or nil if the address is unrouted.
+//
+//doors:hotpath
 func (r *Registry) OriginOf(addr netip.Addr) *AS {
 	asn, ok := r.trie.Lookup(addr)
 	if !ok {
@@ -132,6 +134,8 @@ func (r *Registry) OriginOf(addr netip.Addr) *AS {
 }
 
 // Routed reports whether addr is covered by any announced prefix.
+//
+//doors:hotpath
 func (r *Registry) Routed(addr netip.Addr) bool {
 	_, ok := r.trie.Lookup(addr)
 	return ok

@@ -46,6 +46,8 @@ var specialPurpose = func() []netip.Prefix {
 
 // IsSpecialPurpose reports whether addr falls in an IANA special-purpose
 // block (RFC 6890): private, loopback, documentation, multicast, etc.
+//
+//doors:hotpath
 func IsSpecialPurpose(addr netip.Addr) bool {
 	for _, p := range specialPurpose {
 		if p.Contains(addr) {
@@ -55,11 +57,19 @@ func IsSpecialPurpose(addr netip.Addr) bool {
 	return false
 }
 
+// uniqueLocal is fc00::/7, parsed once: IsPrivate sits on the scanner
+// categorization hot path and must not re-parse the prefix per call.
+var uniqueLocal = netip.MustParsePrefix("fc00::/7")
+
 // IsPrivate reports whether addr is RFC 1918 private or IPv6 unique-local
 // space — the category the paper spoofs as "private or unique local".
+//
+//doors:hotpath
 func IsPrivate(addr netip.Addr) bool {
-	return addr.IsPrivate() || (addr.Is6() && netip.MustParsePrefix("fc00::/7").Contains(addr))
+	return addr.IsPrivate() || (addr.Is6() && uniqueLocal.Contains(addr))
 }
 
 // IsLoopback reports whether addr is the IPv4 or IPv6 loopback.
+//
+//doors:hotpath
 func IsLoopback(addr netip.Addr) bool { return addr.IsLoopback() }

@@ -22,6 +22,8 @@ const (
 )
 
 // SubnetOf returns the enclosing /24 (IPv4) or /64 (IPv6) of addr.
+//
+//doors:hotpath
 func SubnetOf(addr netip.Addr) netip.Prefix {
 	bits := V6SubnetBits
 	if addr.Is4() {

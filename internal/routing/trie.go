@@ -71,6 +71,8 @@ func (t *Trie) Insert(prefix netip.Prefix, asn ASN) {
 
 // Lookup returns the origin ASN for the longest matching prefix and
 // whether any prefix matched.
+//
+//doors:hotpath
 func (t *Trie) Lookup(addr netip.Addr) (ASN, bool) {
 	root := &t.v6
 	bits := 128

@@ -68,6 +68,8 @@ func (c SourceCategory) String() string {
 // unmapped first so ::ffff:192.0.2.1 categorizes as its embedded IPv4
 // address would; invalid addresses (decode failures upstream) fall into
 // the other-prefix bucket rather than comparing equal to each other.
+//
+//doors:hotpath
 func Categorize(src, dst netip.Addr, scannerAddrs []netip.Addr) SourceCategory {
 	src, dst = src.Unmap(), dst.Unmap()
 	for _, a := range scannerAddrs {
@@ -327,6 +329,7 @@ func NewPlanner(reg *routing.Registry, cfg Config) *Scanner {
 // OptOut excludes a prefix from all future probing (§3.8).
 func (s *Scanner) OptOut(p netip.Prefix) { s.optOut = append(s.optOut, p) }
 
+//doors:hotpath
 func (s *Scanner) optedOut(a netip.Addr) bool {
 	for _, p := range s.optOut {
 		if p.Contains(a) {
@@ -539,6 +542,8 @@ func (s *Scanner) ScheduleAll() (int, time.Duration) {
 // probeIDs derives the transaction ID and source port for a probe from
 // its identity (send time, spoofed source, target, kind): deterministic
 // and shard-invariant, no shared counter or RNG stream.
+//
+//doors:hotpath
 func (s *Scanner) probeIDs(now time.Duration, src, dst netip.Addr, kind ProbeKind) (txn uint16, sport uint16) {
 	sh, sl := detrand.AddrWords(src)
 	dh, dl := detrand.AddrWords(dst)
@@ -551,10 +556,13 @@ func (s *Scanner) probeIDs(now time.Duration, src, dst netip.Addr, kind ProbeKin
 // sendPlanned emits one planned main probe using the precomputed name
 // skeleton, avoiding the per-probe name/message allocations of
 // SendProbe.
+//
+//doors:hotpath
 func (s *Scanner) sendPlanned(now time.Duration, pi, j int) {
 	p := &s.plans[pi]
 	t := p.target
 	if p.nameTail == nil {
+		//lint:allow hotalloc -- fallback for plans without a precompiled name skeleton; rare by construction, and SendProbe's allocations are its own
 		s.SendProbe(now, p.sources[j], t, ProbeMain)
 		return
 	}
@@ -575,11 +583,13 @@ func (s *Scanner) sendPlanned(now time.Duration, pi, j int) {
 	s.nameBuf = nb
 
 	s.msgBuf = dnswire.AppendQuery(s.msgBuf[:0], txn, nb, dnswire.TypeA)
+	//lint:allow hotalloc -- packet serialization hands ownership of the raw bytes to the simulated network; reusing that buffer would corrupt in-flight frames
 	raw, err := packet.BuildUDP(src, t.Addr, sport, 53, 64, s.msgBuf)
 	if err != nil {
 		return
 	}
 	s.Stats.ProbesSent++
+	//lint:allow hotalloc -- Host is the netsim boundary interface; delivery scheduling beyond it is the simulator's cost, not the scanner's
 	s.Host.SendRaw(raw)
 }
 

@@ -682,6 +682,7 @@ func aclFor(spec *ditl.ResolverSpec, as *routing.AS) resolver.ACL {
 	return acl
 }
 
+//doors:scratch spec
 func (w *World) buildTargetAS(i int, spec *ditl.ASSpec, as *routing.AS) error {
 	for k := 0; k < spec.NumResolvers(); k++ {
 		rs := spec.Resolver(k)
