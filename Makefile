@@ -2,12 +2,12 @@ GO ?= go
 FUZZTIME ?= 5s
 BIN ?= bin
 
-.PHONY: check build vet lint pragmas test race fuzz bench conformance
+.PHONY: check build vet lint pragmas test race racestress fuzz bench conformance
 
 # Tier-1 verification: build + vet + determinism lint + full tests +
-# race detector over the parallel sharded engine + a short fuzz smoke
-# over the wire parsers.
-check: build vet lint test race fuzz
+# race detector over the parallel sharded engine + the concurrency
+# cross-validation harness + a short fuzz smoke over the wire parsers.
+check: build vet lint test race racestress fuzz
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Concurrency cross-validation: two streaming campaigns race through a
+# shared campaign.Runner at MaxParallel 4 under the race detector, and
+# the concurrency-bearing packages must come back clean from lockguard
+# and golifetime — the dynamic and static halves of the same claim.
+racestress:
+	$(GO) test -race -run 'TestRaceStress' -v .
 
 # Short native-fuzz smoke over the wire parsers and the resolver
 # layer-stack builder (one -fuzz target per invocation is a go tool

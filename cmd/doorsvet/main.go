@@ -1,6 +1,7 @@
-// Command doorsvet runs the determinism and hot-path lint suite
-// (internal/lint): detrandonly, saltbands, sortedemit, wallclock,
-// frozenshare, shardcapture, hotalloc and retain.
+// Command doorsvet runs the determinism, hot-path and concurrency
+// lint suite (internal/lint): detrandonly, saltbands, sortedemit,
+// wallclock, frozenshare, shardcapture, hotalloc, retain, lockguard
+// and golifetime.
 //
 // It speaks the go vet vettool protocol, which is how `make lint`
 // invokes it:
@@ -10,13 +11,16 @@
 //
 // Given package patterns instead of a vet config file, it loads and
 // checks them standalone, which is convenient during development.
-// Standalone runs memoize per-package results under
-// bin/.doorsvet-cache, keyed by tool identity + source content +
-// dependency keys, so repeat runs only re-analyze what changed; pass
-// -nocache to force a full analysis:
+// Standalone runs analyze independent packages of the dependency
+// graph concurrently (bounded by GOMAXPROCS; -parallel N overrides
+// the pool size, -parallel 1 forces the sequential walk) and memoize
+// per-package results under bin/.doorsvet-cache, keyed by tool
+// identity + source content + dependency keys, so repeat runs only
+// re-analyze what changed; pass -nocache to force a full analysis:
 //
 //	doorsvet ./...
 //	doorsvet -nocache ./...
+//	doorsvet -parallel 1 ./...
 //
 // The -pragmas mode audits the suppression surface instead of
 // linting: it lists every //lint:allow pragma in the tree (file:line,
@@ -32,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/internal/lint"
@@ -49,23 +54,35 @@ func main() {
 		os.Exit(auditPragmas(root))
 	}
 	nocache := false
-	if len(args) > 0 && args[0] == "-nocache" {
-		nocache = true
-		args = args[1:]
+	parallel := 0
+	for len(args) > 0 {
+		if args[0] == "-nocache" {
+			nocache = true
+			args = args[1:]
+			continue
+		}
+		if args[0] == "-parallel" && len(args) > 1 {
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "doorsvet: -parallel wants a positive integer, got %q\n", args[1])
+				os.Exit(2)
+			}
+			parallel = n
+			args = args[2:]
+			continue
+		}
+		break
 	}
 	// Package patterns (no flags, no *.cfg) select standalone mode;
 	// everything else follows the vettool protocol.
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") && !strings.HasSuffix(args[0], ".cfg") {
-		var diags []loader.Diagnostic
-		var err error
-		if nocache {
-			diags, err = loader.Run(".", args, lint.Suite())
-		} else {
-			var stats loader.CacheStats
-			diags, stats, err = loader.RunCached(".", args, lint.Suite(), filepath.Join("bin", ".doorsvet-cache"))
-			if err == nil && stats.Hits+stats.Misses > 0 {
-				fmt.Fprintf(os.Stderr, "doorsvet: cache: %d hits, %d misses\n", stats.Hits, stats.Misses)
-			}
+		opts := loader.Options{Parallel: parallel}
+		if !nocache {
+			opts.CacheDir = filepath.Join("bin", ".doorsvet-cache")
+		}
+		diags, stats, err := loader.RunWith(".", args, lint.Suite(), opts)
+		if err == nil && !nocache && stats.Hits+stats.Misses > 0 {
+			fmt.Fprintf(os.Stderr, "doorsvet: cache: %d hits, %d misses\n", stats.Hits, stats.Misses)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "doorsvet: %v\n", err)

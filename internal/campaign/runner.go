@@ -11,6 +11,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/ditl"
 	"repro/internal/geo"
+	"repro/internal/resolver"
 	"repro/internal/routing"
 	"repro/internal/scanner"
 	"repro/internal/world"
@@ -109,6 +110,12 @@ type Result struct {
 	Probes   int
 	Duration time.Duration
 
+	// ResolverStats sums every simulated resolver's counters across all
+	// shards — the server-side complement to Scanner.Stats. Shards
+	// contribute as their simulations finish, in any order; the total
+	// is deterministic because stats addition is commutative.
+	ResolverStats resolver.Stats
+
 	// Invariants is the merged invariant-checker report (nil when the
 	// checker was disabled).
 	Invariants *world.InvariantReport
@@ -118,6 +125,87 @@ type Result struct {
 	// its middleware stack to drop its soft state (cache flush when a
 	// cache layer is compiled in).
 	ChaosCrashes int
+}
+
+// Runner executes campaigns. One Runner is safe for concurrent Run
+// calls — the racestress harness and parameter sweeps drive several
+// campaigns at once through a shared Runner: the registry memo and the
+// progress counters below are the only cross-campaign state, every
+// access to them holds mu, and everything a shard goroutine touches is
+// either read-only (registry, geo database, campaign, population view)
+// or handed to it as an argument.
+type Runner struct {
+	mu sync.Mutex
+	// regCache memoizes BuildRegistry by population identity and world
+	// options: concurrent campaigns over the same population build the
+	// routing registry once and share it read-only.
+	//doors:guardedby mu
+	regCache map[regKey]*routing.Registry
+	// active counts campaigns currently inside Run.
+	//doors:guardedby mu
+	active int
+	// completed counts campaigns that have finished, success or error.
+	//doors:guardedby mu
+	completed int
+	// shardsDone counts shard simulations completed across all runs.
+	//doors:guardedby mu
+	shardsDone int
+}
+
+// regKey identifies one memoized registry. Pop implementations are
+// pointers and Options is a flat value struct, so the key is
+// comparable.
+type regKey struct {
+	pop  ditl.Pop
+	opts world.Options
+}
+
+// NewRunner returns a Runner ready for concurrent use.
+func NewRunner() *Runner {
+	return &Runner{regCache: make(map[regKey]*routing.Registry)}
+}
+
+// Progress reports the Runner's lifetime counters: campaigns currently
+// running, campaigns completed, and shard simulations finished.
+func (r *Runner) Progress() (active, completed, shardsDone int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.active, r.completed, r.shardsDone
+}
+
+// shardDone records one finished shard simulation. Called from shard
+// goroutines.
+func (r *Runner) shardDone() {
+	r.mu.Lock()
+	r.shardsDone++
+	r.mu.Unlock()
+}
+
+// registryFor returns the memoized registry for (pop, opts), building
+// it on first use. The build runs outside the lock — registries take
+// real work to construct and BuildRegistry is deterministic, so two
+// racing builders produce equivalent registries and the first to
+// publish wins.
+func (r *Runner) registryFor(pop ditl.Pop, opts world.Options) (*routing.Registry, error) {
+	key := regKey{pop: pop, opts: opts}
+	r.mu.Lock()
+	cached := r.regCache[key]
+	r.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	reg, err := world.BuildRegistry(pop, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if prior := r.regCache[key]; prior != nil {
+		reg = prior // a concurrent builder published first
+	} else {
+		r.regCache[key] = reg
+	}
+	r.mu.Unlock()
+	return reg, nil
 }
 
 // Run executes the campaign over the population: build each shard's
@@ -138,7 +226,16 @@ type Result struct {
 //
 // Config.Stream selects the memory-flat engine (see runStreaming); the
 // default retains every shard's world on the Result.
-func Run(c *Campaign, pop ditl.Pop, cfg Config) (*Result, error) {
+func (r *Runner) Run(c *Campaign, pop ditl.Pop, cfg Config) (*Result, error) {
+	r.mu.Lock()
+	r.active++
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.active--
+		r.completed++
+		r.mu.Unlock()
+	}()
 	if c == nil {
 		c = NewSurvey()
 	}
@@ -146,14 +243,21 @@ func Run(c *Campaign, pop ditl.Pop, cfg Config) (*Result, error) {
 		cfg.Scanner.V6HitList = V6HitList(pop)
 	}
 	cfg.World.Invariants = !cfg.DisableInvariants
-	reg, err := world.BuildRegistry(pop, cfg.World)
+	reg, err := r.registryFor(pop, cfg.World)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.Stream {
-		return runStreaming(c, pop, cfg, reg)
+		return r.runStreaming(c, pop, cfg, reg)
 	}
-	return runRetained(c, pop, cfg, reg)
+	return r.runRetained(c, pop, cfg, reg)
+}
+
+// Run executes one campaign on a fresh Runner. It is the one-shot
+// entry point; callers running several campaigns (especially
+// concurrently, or over the same population) should share a Runner.
+func Run(c *Campaign, pop ditl.Pop, cfg Config) (*Result, error) {
+	return NewRunner().Run(c, pop, cfg)
 }
 
 // shardInput assembles one shard's analysis input: its own buffers over
@@ -183,7 +287,7 @@ func shardInput(sc *scanner.Scanner, addr4, addr6 netip.Addr, reg *routing.Regis
 // each shard's observations are partitioned on the shard's own
 // goroutine as soon as its simulation finishes, and the partial
 // reductions merge under the canonically ordered buffers.
-func runRetained(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Registry) (*Result, error) {
+func (r *Runner) runRetained(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Registry) (*Result, error) {
 	shards := cfg.ShardCount()
 
 	// Stage 1: build each shard's world and scanner, and let every
@@ -247,22 +351,28 @@ func runRetained(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Registry) (
 	// Stage 3: run the shard simulations in parallel and partition each
 	// shard's observations the moment its simulation finishes, still on
 	// the shard's goroutine. The shards share only the read-only
-	// registry, geo database, campaign and population, so no locking is
-	// needed.
+	// registry, geo database, campaign and population — plus the
+	// resolver-stats sink and the Runner's progress counter, which take
+	// their own locks.
 	gdb := GeoDB(pop)
 	ctxs := make([]*analysis.Context, shards)
+	var rsink resolver.StatsSink
 	if shards == 1 {
 		worlds[0].Net.Run()
 		ctxs[0] = analysis.Partition(shardInput(shs[0].Scanner, worlds[0].ScannerAddr4, worlds[0].ScannerAddr6, reg, gdb, cfg))
+		rsink.Add(worlds[0].ResolverStats())
+		r.shardDone()
 	} else {
 		var wg sync.WaitGroup
 		for k := range worlds {
 			wg.Add(1)
-			go func(k int, gdb *geo.DB, cfg Config) {
+			go func(k int, gdb *geo.DB, cfg Config, r *Runner, rsink *resolver.StatsSink) {
 				defer wg.Done()
 				worlds[k].Net.Run()
 				ctxs[k] = analysis.Partition(shardInput(shs[k].Scanner, worlds[k].ScannerAddr4, worlds[k].ScannerAddr6, reg, gdb, cfg))
-			}(k, gdb, cfg)
+				rsink.Add(worlds[k].ResolverStats())
+				r.shardDone()
+			}(k, gdb, cfg, r, &rsink)
 		}
 		wg.Wait()
 	}
@@ -307,7 +417,8 @@ func runRetained(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Registry) (
 		Population: pop, World: worlds[0], Worlds: worlds,
 		Scanner: sc, Report: report, Geo: gdb, PublicDNS: publicDNS,
 		Probes: probes, Duration: duration,
-		Invariants: inv, ChaosCrashes: chaosCrashes,
+		ResolverStats: rsink.Total(),
+		Invariants:    inv, ChaosCrashes: chaosCrashes,
 	}
 	if inv != nil && !inv.Ok() {
 		return result, fmt.Errorf("campaign: %d simulation invariant violation(s); first: %s",
@@ -329,6 +440,7 @@ type shardOut struct {
 	cfg          scanner.Config
 	addr4, addr6 netip.Addr
 	ctx          *analysis.Context
+	rstats       resolver.Stats
 	publicDNS    []netip.Addr
 	asPublicDNS  []netip.Addr
 	inv          world.InvariantReport
@@ -358,7 +470,7 @@ type shardOut struct {
 // The merge is byte-for-byte the retained engine's: targets concatenate
 // in shard order, hits and partials sort canonically, and the disjoint
 // per-shard partial reductions union under the merged Input.
-func runStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Registry) (*Result, error) {
+func (r *Runner) runStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Registry) (*Result, error) {
 	shards := cfg.ShardCount()
 	parts := ditl.PartitionIndices(pop.NumASes(), shards)
 
@@ -386,19 +498,23 @@ func runStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Registry) 
 
 	// Pass B: simulate shards on a bounded worker pool. The injector,
 	// registry, geo database, campaign and population view are all
-	// read-only across workers.
+	// read-only across workers; the resolver-stats sink and the
+	// Runner's progress counter take their own locks.
 	gdb := GeoDB(pop)
 	outs := make([]*shardOut, shards)
+	var rsink resolver.StatsSink
 	sem := make(chan struct{}, cfg.maxParallel())
 	var wg sync.WaitGroup
 	for k := range parts {
 		wg.Add(1)
-		go func(k int, pop ditl.Pop, cfg Config, gdb *geo.DB, inj *chaos.Injector) {
+		go func(k int, pop ditl.Pop, cfg Config, gdb *geo.DB, inj *chaos.Injector, r *Runner, rsink *resolver.StatsSink) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			outs[k] = runShardStreaming(c, pop, cfg, reg, gdb, inj, k, parts[k], duration)
-		}(k, pop, cfg, gdb, inj)
+			rsink.Add(outs[k].rstats)
+			r.shardDone()
+		}(k, pop, cfg, gdb, inj, r, &rsink)
 	}
 	wg.Wait()
 	for _, o := range outs {
@@ -469,7 +585,8 @@ func runStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Registry) 
 		Population: pop,
 		Scanner:    sc, Report: report, Geo: gdb, PublicDNS: publicDNS,
 		Probes: probes, Duration: duration,
-		Invariants: inv, ChaosCrashes: chaosCrashes,
+		ResolverStats: rsink.Total(),
+		Invariants:    inv, ChaosCrashes: chaosCrashes,
 	}
 	if inv != nil && !inv.Ok() {
 		return result, fmt.Errorf("campaign: %d simulation invariant violation(s); first: %s",
@@ -510,6 +627,7 @@ func runShardStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Regis
 	}
 	w.Net.Run()
 	out.ctx = analysis.Partition(shardInput(sc, w.ScannerAddr4, w.ScannerAddr6, reg, gdb, cfg))
+	out.rstats = w.ResolverStats()
 	out.targets, out.hits, out.partials = sc.Targets, sc.Hits, sc.Partials
 	out.stats, out.cfg = sc.Stats, sc.Cfg
 	out.addr4, out.addr6 = w.ScannerAddr4, w.ScannerAddr6

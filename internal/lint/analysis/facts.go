@@ -32,22 +32,32 @@ import (
 	"reflect"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // FactSchemaVersion identifies the fact wire format. It participates
 // in the unitchecker's -V=full content hash, so bumping it (when fact
 // types or the gob envelope change incompatibly) invalidates every
-// cached vet result that might hold stale fact bytes.
-const FactSchemaVersion = 2
+// cached vet result that might hold stale fact bytes. v3 adds the
+// lockguard GuardFact/LockFact pair.
+const FactSchemaVersion = 3
 
-// Facts is a suite-global fact store. It is not safe for concurrent
-// use; drivers are single-threaded per process.
+// Facts is a suite-global fact store, safe for concurrent use: the
+// parallel loader analyzes independent packages from many goroutines,
+// all exporting into and importing from this one store. (The
+// dependency order still guarantees a package's facts are complete
+// before any importer asks for them; the mutex only protects the map
+// structure.)
 type Facts struct {
-	objects  map[objectFactKey]Fact
+	mu sync.Mutex
+	//doors:guardedby mu
+	objects map[objectFactKey]Fact
+	//doors:guardedby mu
 	packages map[packageFactKey]Fact
 	// pkgByPath remembers the *types.Package behind each package-fact
 	// path when one is known (in-process export, successful decode
 	// lookup), so AllPackageFacts can surface it.
+	//doors:guardedby mu
 	pkgByPath map[string]*types.Package
 }
 
@@ -79,17 +89,27 @@ func (s *Facts) Bind(pass *Pass) {
 		if obj == nil || obj.Pkg() != pass.Pkg {
 			panic(fmt.Sprintf("%s: ExportObjectFact(%v): object not defined in package under analysis", pass, obj))
 		}
+		s.mu.Lock()
 		s.objects[objectFactKey{obj, factType(fact)}] = fact
+		s.mu.Unlock()
 	}
 	pass.ImportObjectFact = func(obj types.Object, ptr Fact) bool {
-		return copyFact(s.objects[objectFactKey{obj, factType(ptr)}], ptr)
+		s.mu.Lock()
+		src := s.objects[objectFactKey{obj, factType(ptr)}]
+		s.mu.Unlock()
+		return copyFact(src, ptr)
 	}
 	pass.ExportPackageFact = func(fact Fact) {
+		s.mu.Lock()
 		s.packages[packageFactKey{pass.Pkg.Path(), factType(fact)}] = fact
 		s.pkgByPath[pass.Pkg.Path()] = pass.Pkg
+		s.mu.Unlock()
 	}
 	pass.ImportPackageFact = func(pkg *types.Package, ptr Fact) bool {
-		return copyFact(s.packages[packageFactKey{pkg.Path(), factType(ptr)}], ptr)
+		s.mu.Lock()
+		src := s.packages[packageFactKey{pkg.Path(), factType(ptr)}]
+		s.mu.Unlock()
+		return copyFact(src, ptr)
 	}
 	pass.AllObjectFacts = s.AllObjectFacts
 	pass.AllPackageFacts = s.AllPackageFacts
@@ -98,10 +118,12 @@ func (s *Facts) Bind(pass *Pass) {
 // AllObjectFacts lists every object fact, sorted by package path,
 // object path and fact type.
 func (s *Facts) AllObjectFacts() []ObjectFact {
+	s.mu.Lock()
 	out := make([]ObjectFact, 0, len(s.objects))
 	for k, f := range s.objects {
 		out = append(out, ObjectFact{Object: k.obj, Fact: f})
 	}
+	s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if pa, pb := pkgPathOf(a.Object), pkgPathOf(b.Object); pa != pb {
@@ -125,6 +147,7 @@ func (s *Facts) AllPackageFacts() []PackageFact {
 		path string
 		f    Fact
 	}
+	s.mu.Lock()
 	entries := make([]entry, 0, len(s.packages))
 	for k, f := range s.packages {
 		entries = append(entries, entry{k.path, f})
@@ -139,6 +162,7 @@ func (s *Facts) AllPackageFacts() []PackageFact {
 	for i, e := range entries {
 		out[i] = PackageFact{Package: s.pkgByPath[e.path], Fact: e.f}
 	}
+	s.mu.Unlock()
 	return out
 }
 
@@ -179,6 +203,8 @@ type gobFact struct {
 // Encode serializes the whole store — own facts and inherited ones —
 // as a deterministic gob stream.
 func (s *Facts) Encode() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.encode(nil)
 }
 
@@ -187,9 +213,12 @@ func (s *Facts) Encode() ([]byte, error) {
 // the loader's result cache persists, so a cache hit can restore one
 // package's exports without replaying the rest of the store.
 func (s *Facts) EncodePackage(pkgPath string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.encode(func(p string) bool { return p == pkgPath })
 }
 
+//doors:requires-lock s.mu
 func (s *Facts) encode(keep func(pkgPath string) bool) ([]byte, error) {
 	var entries []gobFact
 	for k, f := range s.objects {
@@ -238,15 +267,29 @@ func (s *Facts) Decode(data []byte, lookup func(path string) *types.Package) err
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&entries); err != nil {
 		return fmt.Errorf("decoding facts: %v", err)
 	}
+	// Resolve every entry before taking the lock: lookup may be
+	// arbitrarily expensive (the loader's importer reads export data
+	// under its own mutex), and calling out while holding s.mu would
+	// couple the two lock orders.
+	type resolved struct {
+		objKey *objectFactKey
+		pkgKey *packageFactKey
+		pkg    *types.Package
+		path   string
+		fact   Fact
+	}
+	var inserts []resolved
 	for _, e := range entries {
 		if e.Fact == nil {
 			continue
 		}
 		if e.Object == "" {
-			s.packages[packageFactKey{e.PkgPath, factType(e.Fact)}] = e.Fact
-			if pkg := lookup(e.PkgPath); pkg != nil {
-				s.pkgByPath[e.PkgPath] = pkg
-			}
+			inserts = append(inserts, resolved{
+				pkgKey: &packageFactKey{e.PkgPath, factType(e.Fact)},
+				pkg:    lookup(e.PkgPath),
+				path:   e.PkgPath,
+				fact:   e.Fact,
+			})
 			continue
 		}
 		pkg := lookup(e.PkgPath)
@@ -257,7 +300,20 @@ func (s *Facts) Decode(data []byte, lookup func(path string) *types.Package) err
 		if !ok {
 			continue
 		}
-		s.objects[objectFactKey{obj, factType(e.Fact)}] = e.Fact
+		inserts = append(inserts, resolved{objKey: &objectFactKey{obj, factType(e.Fact)}, fact: e.Fact})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range inserts {
+		switch {
+		case r.objKey != nil:
+			s.objects[*r.objKey] = r.fact
+		case r.pkgKey != nil:
+			s.packages[*r.pkgKey] = r.fact
+			if r.pkg != nil {
+				s.pkgByPath[r.path] = r.pkg
+			}
+		}
 	}
 	return nil
 }

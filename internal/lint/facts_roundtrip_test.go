@@ -13,6 +13,7 @@ package lint_test
 
 import (
 	"go/ast"
+	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -32,11 +33,12 @@ type checkedFixture struct {
 	info  *types.Info
 }
 
-// typecheckFixture parses and type-checks testdata/frozenshare/src/<path>
-// in the given FileSet, resolving imports against deps.
-func typecheckFixture(t *testing.T, fset *token.FileSet, path string, deps map[string]*types.Package) *checkedFixture {
+// typecheckFixture parses and type-checks testdata/<testdata>/src/<path>
+// in the given FileSet, resolving imports first against deps and then
+// against the source importer (for stdlib packages like sync).
+func typecheckFixture(t *testing.T, fset *token.FileSet, testdata, path string, deps map[string]*types.Package) *checkedFixture {
 	t.Helper()
-	dir := filepath.Join("testdata", "frozenshare", "src", path)
+	dir := filepath.Join("testdata", testdata, "src", path)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +61,7 @@ func typecheckFixture(t *testing.T, fset *token.FileSet, path string, deps map[s
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	tc := &types.Config{Importer: mapImporter(deps)}
+	tc := &types.Config{Importer: fixtureImporter{deps: deps, std: importer.ForCompiler(fset, "source", nil)}}
 	pkg, err := tc.Check(path, fset, files, info)
 	if err != nil {
 		t.Fatalf("type-checking %s: %v", path, err)
@@ -67,13 +69,16 @@ func typecheckFixture(t *testing.T, fset *token.FileSet, path string, deps map[s
 	return &checkedFixture{pkg: pkg, files: files, info: info}
 }
 
-type mapImporter map[string]*types.Package
+type fixtureImporter struct {
+	deps map[string]*types.Package
+	std  types.Importer
+}
 
-func (m mapImporter) Import(path string) (*types.Package, error) {
-	if p, ok := m[path]; ok {
+func (f fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := f.deps[path]; ok {
 		return p, nil
 	}
-	return nil, os.ErrNotExist
+	return f.std.Import(path)
 }
 
 // runPass applies a to one fixture package with the given fact store.
@@ -102,7 +107,7 @@ func TestObjectFactsSurviveSerialization(t *testing.T) {
 
 	// Unit 1 ("process" A): analyze p1, serialize its facts.
 	fsetA := token.NewFileSet()
-	p1A := typecheckFixture(t, fsetA, "p1", nil)
+	p1A := typecheckFixture(t, fsetA, "frozenshare", "p1", nil)
 	factsA := analysis.NewFacts()
 	runPass(t, fsetA, lint.FrozenShare, p1A, factsA)
 	vetx, err := factsA.Encode()
@@ -117,8 +122,8 @@ func TestObjectFactsSurviveSerialization(t *testing.T) {
 	// from scratch so no object is shared with world A — receives the
 	// bytes, exactly as an importing vet unit receives PackageVetx.
 	fsetB := token.NewFileSet()
-	p1B := typecheckFixture(t, fsetB, "p1", nil)
-	p2B := typecheckFixture(t, fsetB, "p2", map[string]*types.Package{"p1": p1B.pkg})
+	p1B := typecheckFixture(t, fsetB, "frozenshare", "p1", nil)
+	p2B := typecheckFixture(t, fsetB, "frozenshare", "p2", map[string]*types.Package{"p1": p1B.pkg})
 	factsB := analysis.NewFacts()
 	if err := factsB.Decode(vetx, func(path string) *types.Package {
 		if path == "p1" {
@@ -185,7 +190,7 @@ func TestPackageFactsSurviveSerialization(t *testing.T) {
 	}
 
 	fsetA := token.NewFileSet()
-	p1A := typecheckFixture(t, fsetA, "p1", nil)
+	p1A := typecheckFixture(t, fsetA, "frozenshare", "p1", nil)
 	factsA := analysis.NewFacts()
 	exporter := &analysis.Pass{Analyzer: lint.SaltBands, Fset: fsetA, Pkg: p1A.pkg, TypesInfo: p1A.info}
 	factsA.Bind(exporter)
@@ -196,7 +201,7 @@ func TestPackageFactsSurviveSerialization(t *testing.T) {
 	}
 
 	fsetB := token.NewFileSet()
-	p1B := typecheckFixture(t, fsetB, "p1", nil)
+	p1B := typecheckFixture(t, fsetB, "frozenshare", "p1", nil)
 	factsB := analysis.NewFacts()
 	if err := factsB.Decode(data, func(path string) *types.Package {
 		if path == "p1" {
@@ -214,5 +219,113 @@ func TestPackageFactsSurviveSerialization(t *testing.T) {
 	}
 	if got.String() != "bands(saltP1 [41,44))" {
 		t.Errorf("BandsFact round-tripped wrong: %s", got.String())
+	}
+}
+
+// TestLockFactsSurviveSerialization proves the fact-schema-v3 pair —
+// GuardFact on annotated types, LockFact on acquiring/requiring
+// functions — crosses a process boundary: lg1's facts are encoded in
+// one type-checker world and decoded into a fresh one, where lg2's
+// pass must reproduce every cross-package lockguard finding.
+func TestLockFactsSurviveSerialization(t *testing.T) {
+	if v := analysis.FactSchemaVersion; v != 3 {
+		t.Fatalf("FactSchemaVersion = %d, want 3 (lockguard facts entered the schema at v3)", v)
+	}
+	if err := analysis.Validate([]*analysis.Analyzer{lint.LockGuard}); err != nil {
+		t.Fatal(err)
+	}
+
+	// World A: analyze lg1, serialize its facts.
+	fsetA := token.NewFileSet()
+	lg1A := typecheckFixture(t, fsetA, "lockguard", "lg1", nil)
+	factsA := analysis.NewFacts()
+	runPass(t, fsetA, lint.LockGuard, lg1A, factsA)
+	vetx, err := factsA.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vetx) == 0 {
+		t.Fatal("lg1 produced no serialized lock facts")
+	}
+
+	// World B: fresh FileSet, lg1 re-checked from scratch, facts
+	// arriving only as bytes.
+	fsetB := token.NewFileSet()
+	lg1B := typecheckFixture(t, fsetB, "lockguard", "lg1", nil)
+	lg2B := typecheckFixture(t, fsetB, "lockguard", "lg2", map[string]*types.Package{"lg1": lg1B.pkg})
+	factsB := analysis.NewFacts()
+	if err := factsB.Decode(vetx, func(path string) *types.Package {
+		if path == "lg1" {
+			return lg1B.pkg
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := runPass(t, fsetB, lint.LockGuard, lg2B, factsB)
+
+	// Store probes: the GuardFact rides on the Table type name, the
+	// LockFacts on its methods.
+	probe := &analysis.Pass{Analyzer: lint.LockGuard, Fset: fsetB, Pkg: lg2B.pkg, TypesInfo: lg2B.info}
+	factsB.Bind(probe)
+	table := lg1B.pkg.Scope().Lookup("Table")
+	var guard lint.GuardFact
+	if !probe.ImportObjectFact(table, &guard) || guard.Guards["Rows"] != "Mu" {
+		t.Errorf("GuardFact on lg1.Table did not survive the round trip: %+v", guard.Guards)
+	}
+	named := table.(*types.TypeName).Type().(*types.Named)
+	method := func(name string) types.Object {
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i).Name() == name {
+				return named.Method(i)
+			}
+		}
+		return nil
+	}
+	var lf lint.LockFact
+	if m := method("MustHold"); m == nil || !probe.ImportObjectFact(m, &lf) || len(lf.Requires) == 0 {
+		t.Errorf("LockFact(requires) on lg1.Table.MustHold did not survive: %+v", lf)
+	}
+	lf = lint.LockFact{}
+	if m := method("Touch"); m == nil || !probe.ImportObjectFact(m, &lf) {
+		t.Errorf("LockFact on lg1.Table.Touch did not survive")
+	} else {
+		var acquiresMu bool
+		for _, a := range lf.Acquires {
+			if a == "lg1.Table.Mu" {
+				acquiresMu = true
+			}
+		}
+		if !acquiresMu {
+			t.Errorf("Touch's LockFact lost its acquire set: %+v", lf.Acquires)
+		}
+	}
+
+	// Every lg2 finding class must survive the serialization path.
+	wants := map[string]bool{
+		"guarded field Rows":    false, // PutBad/ReadBad via GuardFact
+		"requires holding":      false, // CallBad via LockFact.Requires
+		"which is already held": false, // DoubleVia via LockFact.Acquires
+		"lock-order inversion":  false, // OrderBA via LockFact.Pairs
+	}
+	for _, d := range diags {
+		for w := range wants {
+			if strings.Contains(d.Message, w) {
+				wants[w] = true
+			}
+		}
+	}
+	for w, seen := range wants {
+		if !seen {
+			t.Errorf("lg2 pass with deserialized facts missed %q findings in %d diagnostics", w, len(diags))
+		}
+	}
+
+	// Without the facts only annotation-free local checks remain: none
+	// of the cross-package findings may appear.
+	bare := runPass(t, fsetB, lint.LockGuard, lg2B, analysis.NewFacts())
+	for _, d := range bare {
+		t.Errorf("lg2 pass without facts unexpectedly reported: %s", d.Message)
 	}
 }

@@ -1,8 +1,9 @@
-// Package lint is the doorsvet analyzer suite: eight checks that turn
-// the repository's determinism and performance discipline — the
-// conventions that make the sharded survey engine merge into a
-// bit-identical analysis.Report at any shard count, and keep its hot
-// paths allocation-free — from reviewer lore into compiler-checked
+// Package lint is the doorsvet analyzer suite: ten checks that turn
+// the repository's determinism, performance and concurrency discipline
+// — the conventions that make the sharded survey engine merge into a
+// bit-identical analysis.Report at any shard count, keep its hot paths
+// allocation-free, and make its shared mutable state safe to drive
+// from concurrent callers — from reviewer lore into compiler-checked
 // rules.
 //
 //   - detrandonly: randomness must be derived from causal identity via
@@ -24,6 +25,14 @@
 //   - retain: //doors:scratch parameters are never retained past the
 //     call — not stored, sent, appended away, captured, or passed to
 //     a retaining callee (interprocedural, via RetainsFact facts).
+//   - lockguard: //doors:guardedby fields are only touched inside
+//     their mutex's critical section and //doors:requires-lock methods
+//     are only called with the lock held; double-acquires and
+//     lock-order inversions are caught too (interprocedural, via
+//     GuardFact and LockFact facts).
+//   - golifetime: every go statement is joined (WaitGroup, result
+//     channel) or cancelable (context, done channel) — no leaked
+//     goroutines.
 //
 // Every check honors a line-scoped escape hatch:
 //
@@ -49,9 +58,10 @@ import (
 // Suite returns the full doorsvet analyzer suite. Order matters:
 // drivers run analyzers in slice order over each package, and
 // shardcapture consumes the FrozenType facts frozenshare exports, so
-// FrozenShare must precede ShardCapture. HotAlloc and Retain only
-// consume their own facts, which both drivers persist per analyzer,
-// so their position is free; they run last as the newest checks.
+// FrozenShare must precede ShardCapture. HotAlloc, Retain, LockGuard
+// and GoLifetime only consume their own facts, which both drivers
+// persist per analyzer, so their positions are free; they run last as
+// the newest checks.
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		DetrandOnly,
@@ -62,6 +72,8 @@ func Suite() []*analysis.Analyzer {
 		ShardCapture,
 		HotAlloc,
 		Retain,
+		LockGuard,
+		GoLifetime,
 	}
 }
 
@@ -111,26 +123,32 @@ func (a allowed) at(pass *analysis.Pass, pos token.Pos) bool {
 	return true
 }
 
-// pragmaUsage is the opt-in recorder behind the stale-pragma audit:
+// pragmaRecorder is the opt-in recorder behind the stale-pragma audit:
 // when enabled, every pragma that actually suppresses a finding is
 // noted here, and `doorsvet -pragmas` flags the rest as stale. The
-// mutex guards against drivers that may analyze packages concurrently.
-var pragmaUsage struct {
-	sync.Mutex
-	used map[string]map[int]bool // file path (as seen by the driver) -> pragma lines hit
+// parallel loader runs analyzers from many goroutines, so the state is
+// lockguard-annotated and mutex-guarded — the suite checks its own
+// recorder.
+type pragmaRecorder struct {
+	mu sync.Mutex
+	// used maps file path (as seen by the driver) -> pragma lines hit.
+	//doors:guardedby mu
+	used map[string]map[int]bool
 }
+
+var pragmaUsage pragmaRecorder
 
 // RecordPragmaUsage enables pragma-usage recording for subsequent
 // analyzer runs in this process.
 func RecordPragmaUsage() {
-	pragmaUsage.Lock()
+	pragmaUsage.mu.Lock()
 	pragmaUsage.used = make(map[string]map[int]bool)
-	pragmaUsage.Unlock()
+	pragmaUsage.mu.Unlock()
 }
 
 func markPragmaUsed(file string, line int) {
-	pragmaUsage.Lock()
-	defer pragmaUsage.Unlock()
+	pragmaUsage.mu.Lock()
+	defer pragmaUsage.mu.Unlock()
 	if pragmaUsage.used == nil || file == "" {
 		return
 	}
@@ -146,8 +164,8 @@ func markPragmaUsed(file string, line int) {
 // file:line suppress at least one finding. file is compared as an
 // absolute path.
 func PragmaUsed(file string, line int) bool {
-	pragmaUsage.Lock()
-	defer pragmaUsage.Unlock()
+	pragmaUsage.mu.Lock()
+	defer pragmaUsage.mu.Unlock()
 	for recorded, lines := range pragmaUsage.used {
 		if !lines[line] {
 			continue

@@ -29,6 +29,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/lint/analysis"
 )
@@ -58,7 +59,11 @@ type cacheEntry struct {
 type resultCache struct {
 	dir     string
 	toolKey string
-	keys    map[string]string // import path -> package key (memo, post-order)
+	mu      sync.Mutex
+	// keys maps import path -> package key (memo, dependency order:
+	// a package's key is set before any dependent computes its own).
+	//doors:guardedby mu
+	keys map[string]string
 }
 
 // openCache prepares a cache rooted at dir and computes the tool key.
@@ -92,20 +97,32 @@ func openCache(dir string, analyzers []*analysis.Analyzer) (*resultCache, error)
 	}, nil
 }
 
-// keyFor computes (and memoizes) p's package key. Because run visits
-// packages in dependency post-order, every dependency's key is already
-// memoized; a dependency with no key (skipped, unreadable) poisons p's
-// key so p is never served stale results.
+// keyFor computes (and memoizes) p's package key. Because a package is
+// only scheduled after every package it depends on has completed, each
+// dependency's key is already memoized; a dependency with no key
+// (skipped, unreadable) poisons p's key so p is never served stale
+// results. Holding mu across computeKeyLocked's file reads is fine:
+// key computation is a tiny fraction of a package's analysis time.
 func (c *resultCache) keyFor(p *listPackage) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if k, ok := c.keys[p.ImportPath]; ok {
 		return k
 	}
-	k := c.computeKey(p)
+	k := c.computeKeyLocked(p)
 	c.keys[p.ImportPath] = k
 	return k
 }
 
-func (c *resultCache) computeKey(p *listPackage) string {
+// setKey records a sentinel key (stdlib, uncacheable) for p.
+func (c *resultCache) setKey(path, key string) {
+	c.mu.Lock()
+	c.keys[path] = key
+	c.mu.Unlock()
+}
+
+//doors:requires-lock c.mu
+func (c *resultCache) computeKeyLocked(p *listPackage) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "tool=%s\npkg=%s\n", c.toolKey, p.ImportPath)
 	for _, name := range p.GoFiles {

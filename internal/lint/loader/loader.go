@@ -1,10 +1,22 @@
 // Package loader runs the doorsvet analyzers outside go vet: it loads
 // package patterns by shelling out to "go list -export -deps -json"
 // (offline-safe; the repo has no external module dependencies),
-// type-checks every in-module package from source in topological
-// order, and applies every analyzer to each of them over one shared
-// in-memory fact store. Standard-library dependencies are imported
-// from the compiler's export data and never analyzed.
+// type-checks every in-module package from source, and applies every
+// analyzer to each of them over one shared in-memory fact store.
+// Standard-library dependencies are imported from the compiler's
+// export data and never analyzed.
+//
+// Independent packages of the dependency graph are analyzed
+// concurrently under a bounded worker pool: a package is scheduled
+// only when every package it depends on has completed, so facts still
+// flow strictly from importee to importer and every pass sees a
+// complete dependency store — the same guarantee the sequential
+// post-order walk gave, minus the idle cores. Output is deterministic
+// regardless of completion order: diagnostics are collected per
+// package and assembled in the go list order before the final
+// position sort. The pool itself is written to the contract the suite
+// enforces — lockguard-annotated shared state, WaitGroup-joined
+// workers — because doorsvet lints itself.
 //
 // Re-running the analyzers over dependencies — not just the named
 // target packages — is what makes interprocedural facts work in
@@ -33,7 +45,9 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/lint/analysis"
 )
@@ -66,12 +80,21 @@ type checkedPkg struct {
 	info  *types.Info
 }
 
+// Options configures a loader run.
+type Options struct {
+	// Parallel is the worker-pool size; <= 0 means GOMAXPROCS.
+	// Parallel == 1 reproduces the sequential post-order walk exactly.
+	Parallel int
+	// CacheDir enables the persistent result cache (see cache.go).
+	CacheDir string
+}
+
 // Run loads patterns (e.g. "./...") in dir, applies analyzers to every
 // in-module package in dependency order (facts flow from importee to
 // importer), and returns the diagnostics of the non-dependency target
 // packages sorted by position.
 func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
-	diags, _, err := run(dir, patterns, analyzers, nil)
+	diags, _, err := RunWith(dir, patterns, analyzers, Options{})
 	return diags, err
 }
 
@@ -81,19 +104,88 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 // skip analysis entirely, replaying their recorded diagnostics and
 // re-binding their exported facts from export data.
 func RunCached(dir string, patterns []string, analyzers []*analysis.Analyzer, cacheDir string) ([]Diagnostic, CacheStats, error) {
-	c, err := openCache(cacheDir, analyzers)
-	if err != nil {
-		// A broken cache must never break the lint: run uncached.
-		diags, runErr := Run(dir, patterns, analyzers)
-		return diags, CacheStats{}, runErr
-	}
-	return run(dir, patterns, analyzers, c)
+	return RunWith(dir, patterns, analyzers, Options{CacheDir: cacheDir})
 }
 
-func run(dir string, patterns []string, analyzers []*analysis.Analyzer, cache *resultCache) ([]Diagnostic, CacheStats, error) {
-	var stats CacheStats
+// RunWith is Run with explicit Options.
+func RunWith(dir string, patterns []string, analyzers []*analysis.Analyzer, opts Options) ([]Diagnostic, CacheStats, error) {
+	var cache *resultCache
+	if opts.CacheDir != "" {
+		c, err := openCache(opts.CacheDir, analyzers)
+		if err == nil {
+			cache = c
+		}
+		// A broken cache must never break the lint: run uncached.
+	}
+	return run(dir, patterns, analyzers, cache, opts.Parallel)
+}
+
+// node is one package's scheduling state. pending and dependents are
+// touched only by the coordinating goroutine; diags/err/skipped are
+// written by the single worker that owns the node and read by the
+// coordinator after its completion message — the done channel provides
+// the happens-before edge.
+type node struct {
+	p          *listPackage
+	pending    int // unprocessed in-graph dependencies
+	dependents []*node
+	diags      []Diagnostic
+	err        error
+}
+
+// runState is the shared mutable state of one loader run. Workers for
+// independent packages touch it concurrently, so every field is
+// mutex-guarded; the importer has its own lock (see impMu in run) so
+// export-data decoding never nests inside this one.
+type runState struct {
+	mu sync.Mutex
+	//doors:guardedby mu
+	checked map[string]*checkedPkg
+	//doors:guardedby mu
+	stats CacheStats
+	//doors:guardedby mu
+	failed bool // a package errored: remaining nodes skip analysis
+}
+
+func (st *runState) lookupChecked(path string) *checkedPkg {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.checked[path]
+}
+
+func (st *runState) setChecked(path string, cp *checkedPkg) {
+	st.mu.Lock()
+	st.checked[path] = cp
+	st.mu.Unlock()
+}
+
+func (st *runState) fail() {
+	st.mu.Lock()
+	st.failed = true
+	st.mu.Unlock()
+}
+
+func (st *runState) hasFailed() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.failed
+}
+
+func (st *runState) countHit() {
+	st.mu.Lock()
+	st.stats.Hits++
+	st.mu.Unlock()
+}
+
+func (st *runState) countMiss() {
+	st.mu.Lock()
+	st.stats.Misses++
+	st.mu.Unlock()
+}
+
+func run(dir string, patterns []string, analyzers []*analysis.Analyzer, cache *resultCache, parallel int) ([]Diagnostic, CacheStats, error) {
 	if err := analysis.Validate(analyzers); err != nil {
-		return nil, stats, err
+		return nil, CacheStats{}, err
 	}
 	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -102,12 +194,13 @@ func run(dir string, patterns []string, analyzers []*analysis.Analyzer, cache *r
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, stats, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+		return nil, CacheStats{}, fmt.Errorf("go list: %v\n%s", err, stderr.String())
 	}
 
 	// go list -deps emits a depth-first post-order: every package
-	// appears after all of its dependencies, which is exactly the
-	// analysis order facts need.
+	// appears after all of its dependencies. The parallel scheduler
+	// re-derives the partial order from Deps; the list order is kept
+	// for deterministic output assembly and error selection.
 	exports := make(map[string]string) // package path -> export data file
 	var ordered []*listPackage
 	dec := json.NewDecoder(&stdout)
@@ -116,7 +209,7 @@ func run(dir string, patterns []string, analyzers []*analysis.Analyzer, cache *r
 		if err := dec.Decode(p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, stats, fmt.Errorf("go list output: %v", err)
+			return nil, CacheStats{}, fmt.Errorf("go list output: %v", err)
 		}
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
@@ -125,7 +218,12 @@ func run(dir string, patterns []string, analyzers []*analysis.Analyzer, cache *r
 	}
 
 	fset := token.NewFileSet()
-	checked := make(map[string]*checkedPkg) // in-module packages, type-checked from source
+	st := &runState{checked: make(map[string]*checkedPkg)}
+
+	// The gc export-data importer is not safe for concurrent use;
+	// impMu serializes it. Source-checked packages resolve through
+	// runState first, so the common case never touches export data.
+	var impMu sync.Mutex
 	gcImporter := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := exports[path]
 		if !ok {
@@ -134,135 +232,91 @@ func run(dir string, patterns []string, analyzers []*analysis.Analyzer, cache *r
 		return os.Open(file)
 	})
 	imp := importerFunc(func(path string) (*types.Package, error) {
-		if cp, ok := checked[path]; ok {
+		if cp := st.lookupChecked(path); cp != nil {
 			return cp.pkg, nil
 		}
+		impMu.Lock()
+		defer impMu.Unlock()
 		return gcImporter.Import(path)
 	})
 
 	facts := analysis.NewFacts()
-	var diags []Diagnostic
+
+	// Build the dependency graph. Deps is the transitive closure, so
+	// scheduling is more conservative than import-edge precision — a
+	// package waits for everything beneath it — which is exactly the
+	// completeness facts need and costs nothing at this graph size.
+	nodes := make(map[string]*node, len(ordered))
 	for _, p := range ordered {
-		if p.Standard {
-			if cache != nil {
-				cache.keys[p.ImportPath] = keyStdlib // covered by the tool key's Go version
+		nodes[p.ImportPath] = &node{p: p}
+	}
+	for _, p := range ordered {
+		n := nodes[p.ImportPath]
+		for _, d := range p.Deps {
+			if dep, ok := nodes[d]; ok {
+				n.pending++
+				dep.dependents = append(dep.dependents, n)
 			}
-			continue // stdlib: export data only, never analyzed
 		}
-		if len(p.CgoFiles) > 0 {
-			if p.DepOnly {
-				if cache != nil {
-					cache.keys[p.ImportPath] = keyUncacheable
-				}
-				continue
-			}
-			return nil, stats, fmt.Errorf("%s: cgo packages are not supported", p.ImportPath)
-		}
+	}
 
-		// Cache probe: a package whose key — tool identity, source
-		// bytes, dependency keys — matches a stored entry replays its
-		// recorded diagnostics and re-binds its exported facts from
-		// export data, skipping parse, type-check and analysis. The
-		// export-data requirement keeps fact identity sound: importers
-		// type-checked from source resolve the hit package through the
-		// same gcImporter the fact decode used.
-		var cacheKey string
-		if cache != nil {
-			cacheKey = cache.keyFor(p)
-			if cacheKey != "" && exports[p.ImportPath] != "" {
-				if e, ok := cache.load(cacheKey); ok {
-					stats.Hits++
-					if !p.DepOnly {
-						diags = append(diags, e.Diags...)
-					}
-					lookup := func(path string) *types.Package {
-						if cp, ok := checked[path]; ok {
-							return cp.pkg
-						}
-						pkg, err := gcImporter.Import(path)
-						if err != nil {
-							return nil
-						}
-						return pkg
-					}
-					if err := facts.Decode(e.Facts, lookup); err != nil {
-						return nil, stats, fmt.Errorf("%s: cached facts: %v", p.ImportPath, err)
-					}
-					continue
-				}
-			}
-			stats.Misses++
-		}
+	workers := parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ordered) && len(ordered) > 0 {
+		workers = len(ordered)
+	}
 
-		var files []*ast.File
-		for _, name := range p.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
-			if err != nil {
-				return nil, stats, err
+	// Bounded worker pool over the ready frontier. Buffers are sized
+	// to the whole graph so neither the coordinator's enqueues nor the
+	// workers' completion sends ever block: the coordinator is free to
+	// drain completions, and every worker exits when queue closes.
+	queue := make(chan *node, len(ordered))
+	completions := make(chan *node, len(ordered))
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(q, done chan *node, st *runState, facts *analysis.Facts, fset *token.FileSet, imp types.Importer, cache *resultCache, exports map[string]string, analyzers []*analysis.Analyzer) {
+			defer wg.Done()
+			for n := range q {
+				processNode(n, st, facts, fset, imp, cache, exports, analyzers)
+				done <- n
 			}
-			files = append(files, f)
+		}(queue, completions, st, facts, fset, imp, cache, exports, analyzers)
+	}
+	for _, p := range ordered {
+		if n := nodes[p.ImportPath]; n.pending == 0 {
+			queue <- n
 		}
-		if len(files) == 0 {
-			if cache != nil {
-				cache.keys[p.ImportPath] = keyUncacheable
-			}
-			continue
-		}
-		info := &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Implicits:  make(map[ast.Node]types.Object),
-			Instances:  make(map[*ast.Ident]types.Instance),
-			Scopes:     make(map[ast.Node]*types.Scope),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		}
-		tc := &types.Config{Importer: imp, Sizes: types.SizesFor("gc", build.Default.GOARCH)}
-		pkg, err := tc.Check(p.ImportPath, fset, files, info)
-		if err != nil {
-			return nil, stats, fmt.Errorf("%s: %v", p.ImportPath, err)
-		}
-		checked[p.ImportPath] = &checkedPkg{pkg: pkg, files: files, info: info}
-		module := ""
-		if p.Module != nil {
-			module = p.Module.Path
-		}
-		target := !p.DepOnly
-		// Diagnostics are always collected per package — even for
-		// dependency passes, whose findings are dropped from this run's
-		// output — because the cache entry must replay them faithfully
-		// if a later run names this package as a target.
-		var pkgDiags []Diagnostic
-		for _, a := range analyzers {
-			a := a
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      fset,
-				Files:     files,
-				Pkg:       pkg,
-				TypesInfo: info,
-				Module:    module,
-				Dir:       p.Dir,
-				Report: func(d analysis.Diagnostic) {
-					pkgDiags = append(pkgDiags, Diagnostic{
-						Analyzer: a.Name,
-						Position: fset.Position(d.Pos),
-						Message:  d.Message,
-					})
-				},
-			}
-			facts.Bind(pass)
-			if _, err := a.Run(pass); err != nil {
-				return nil, stats, fmt.Errorf("%s: %s: %v", p.ImportPath, a.Name, err)
+	}
+	for completed := 0; completed < len(ordered); completed++ {
+		n := <-completions
+		for _, d := range n.dependents {
+			d.pending--
+			if d.pending == 0 {
+				queue <- d
 			}
 		}
-		if target {
-			diags = append(diags, pkgDiags...)
+	}
+	close(queue)
+	wg.Wait()
+
+	// Deterministic assembly: the go list order, not completion order.
+	// The first error in that order is the root cause — dependencies
+	// precede dependents, so a dependent's cascading type-check error
+	// never shadows the package that actually broke.
+	var diags []Diagnostic
+	st.mu.Lock()
+	stats := st.stats
+	st.mu.Unlock()
+	for _, p := range ordered {
+		n := nodes[p.ImportPath]
+		if n.err != nil {
+			return nil, stats, n.err
 		}
-		if cache != nil && cacheKey != "" {
-			if factBytes, err := facts.EncodePackage(p.ImportPath); err == nil {
-				cache.store(cacheKey, pkgDiags, factBytes)
-			}
+		if !p.DepOnly {
+			diags = append(diags, n.diags...)
 		}
 	}
 
@@ -280,6 +334,147 @@ func run(dir string, patterns []string, analyzers []*analysis.Analyzer, cache *r
 		return a.Message < b.Message
 	})
 	return diags, stats, nil
+}
+
+// processNode analyzes one package: cache probe, parse, type-check,
+// analyzer passes, cache store. It runs on a worker goroutine; every
+// shared structure it touches (runState, the fact store, the cache's
+// key memo, the importer) is independently synchronized.
+func processNode(n *node, st *runState, facts *analysis.Facts, fset *token.FileSet, imp types.Importer, cache *resultCache, exports map[string]string, analyzers []*analysis.Analyzer) {
+	p := n.p
+	if p.Standard {
+		if cache != nil {
+			cache.setKey(p.ImportPath, keyStdlib) // covered by the tool key's Go version
+		}
+		return // stdlib: export data only, never analyzed
+	}
+	if len(p.CgoFiles) > 0 {
+		if p.DepOnly {
+			if cache != nil {
+				cache.setKey(p.ImportPath, keyUncacheable)
+			}
+			return
+		}
+		n.err = fmt.Errorf("%s: cgo packages are not supported", p.ImportPath)
+		st.fail()
+		return
+	}
+	if st.hasFailed() {
+		// Another package already broke the run; its error wins (it
+		// precedes this node in dependency order or the assembly pass
+		// picks the earliest). Skipping keeps workers from burning
+		// time on passes whose output is discarded.
+		if cache != nil {
+			cache.setKey(p.ImportPath, keyUncacheable)
+		}
+		return
+	}
+
+	// Cache probe: a package whose key — tool identity, source bytes,
+	// dependency keys — matches a stored entry replays its recorded
+	// diagnostics and re-binds its exported facts from export data,
+	// skipping parse, type-check and analysis. The export-data
+	// requirement keeps fact identity sound: importers type-checked
+	// from source resolve the hit package through the same gcImporter
+	// the fact decode used.
+	var cacheKey string
+	if cache != nil {
+		cacheKey = cache.keyFor(p)
+		if cacheKey != "" && exports[p.ImportPath] != "" {
+			if e, ok := cache.load(cacheKey); ok {
+				st.countHit()
+				lookup := func(path string) *types.Package {
+					pkg, err := imp.Import(path)
+					if err != nil {
+						return nil
+					}
+					return pkg
+				}
+				if err := facts.Decode(e.Facts, lookup); err != nil {
+					n.err = fmt.Errorf("%s: cached facts: %v", p.ImportPath, err)
+					st.fail()
+					return
+				}
+				n.diags = e.Diags
+				return
+			}
+		}
+		st.countMiss()
+	}
+
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			n.err = err
+			st.fail()
+			return
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		if cache != nil {
+			cache.setKey(p.ImportPath, keyUncacheable)
+		}
+		return
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{Importer: imp, Sizes: types.SizesFor("gc", build.Default.GOARCH)}
+	pkg, err := tc.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		n.err = fmt.Errorf("%s: %v", p.ImportPath, err)
+		st.fail()
+		return
+	}
+	st.setChecked(p.ImportPath, &checkedPkg{pkg: pkg, files: files, info: info})
+	module := ""
+	if p.Module != nil {
+		module = p.Module.Path
+	}
+	// Diagnostics are always collected per package — even for
+	// dependency passes, whose findings are dropped from this run's
+	// output — because the cache entry must replay them faithfully
+	// if a later run names this package as a target.
+	var pkgDiags []Diagnostic
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Module:    module,
+			Dir:       p.Dir,
+			Report: func(d analysis.Diagnostic) {
+				pkgDiags = append(pkgDiags, Diagnostic{
+					Analyzer: a.Name,
+					Position: fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+		}
+		facts.Bind(pass)
+		if _, err := a.Run(pass); err != nil {
+			n.err = fmt.Errorf("%s: %s: %v", p.ImportPath, a.Name, err)
+			st.fail()
+			return
+		}
+	}
+	n.diags = pkgDiags
+	if cache != nil && cacheKey != "" {
+		if factBytes, err := facts.EncodePackage(p.ImportPath); err == nil {
+			cache.store(cacheKey, pkgDiags, factBytes)
+		}
+	}
 }
 
 type importerFunc func(path string) (*types.Package, error)

@@ -1,8 +1,10 @@
 package loader_test
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -81,5 +83,86 @@ func Probe(r *p1.Registry) {
 	}
 	if !sawCall || !sawWrite {
 		t.Fatalf("cross-package fact flow broken: call=%v write=%v in %v", sawCall, sawWrite, diags)
+	}
+}
+
+// TestParallelDeterminism pins the parallel scheduler's contract: a
+// wide graph — one fact-exporting base package, several independent
+// leaves that race through the worker pool, and a top package whose
+// findings depend on the base's lockguard facts — must produce
+// byte-identical diagnostics whether analyzed sequentially or by
+// eight workers, across repeated runs.
+func TestParallelDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module m\n\ngo 1.22\n")
+	write("base/base.go", `// Package base exports a guarded table.
+package base
+
+import "sync"
+
+// Table pairs a mutex with the rows it guards.
+type Table struct {
+	Mu sync.Mutex
+	//doors:guardedby Mu
+	Rows map[string]int
+}
+`)
+	// Independent leaves: no edges between them, so any pool ordering
+	// is possible; each carries exactly one golifetime finding.
+	for i := 0; i < 6; i++ {
+		write(fmt.Sprintf("leaf%d/leaf.go", i), fmt.Sprintf(`// Package leaf%d leaks a goroutine.
+package leaf%d
+
+// Fire spawns and forgets.
+func Fire() {
+	go func() {}()
+}
+`, i, i))
+	}
+	write("top/top.go", `// Package top violates base's guard contract.
+package top
+
+import (
+	"m/base"
+	_ "m/leaf0"
+	_ "m/leaf1"
+	_ "m/leaf2"
+	_ "m/leaf3"
+	_ "m/leaf4"
+	_ "m/leaf5"
+)
+
+// Poke writes a guarded field lockless: a cross-package finding that
+// only exists if base's GuardFact survived the parallel schedule.
+func Poke(t *base.Table, k string) {
+	t.Rows[k] = 1
+}
+`)
+
+	seq, _, err := loader.RunWith(dir, []string{"./..."}, lint.Suite(), loader.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 7 { // 6 leaks + 1 guarded write
+		t.Fatalf("sequential run: want 7 diagnostics, got %d: %v", len(seq), seq)
+	}
+	for round := 0; round < 3; round++ {
+		par, _, err := loader.RunWith(dir, []string{"./..."}, lint.Suite(), loader.Options{Parallel: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("round %d: parallel diagnostics diverge from sequential:\nseq: %v\npar: %v", round, seq, par)
+		}
 	}
 }

@@ -39,6 +39,8 @@ var checkNames = map[string]bool{
 	"shardcapture": true,
 	"hotalloc":     true,
 	"retain":       true,
+	"lockguard":    true,
+	"golifetime":   true,
 }
 
 // ListPragmas walks the tree under root and returns every //lint:allow

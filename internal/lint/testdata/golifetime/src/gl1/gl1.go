@@ -1,0 +1,138 @@
+// Package gl1 exercises golifetime: WaitGroup joins (including the
+// Add-inside-goroutine and Add-after-spawn findings), channel joins,
+// context/done-channel cancelability, named-callee spawns, and the
+// daemon pragma.
+package gl1
+
+import (
+	"context"
+	"sync"
+)
+
+func Leak() {
+	go func() {}() // want `goroutine has no provable bounded lifetime`
+}
+
+func WgOK() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}
+
+func WgParamOK() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func(w *sync.WaitGroup) { defer w.Done() }(&wg)
+	wg.Wait()
+}
+
+func AddInside() {
+	var wg sync.WaitGroup
+	go func() { // want `Add inside the spawned goroutine`
+		wg.Add(1)
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func AddAfter() {
+	var wg sync.WaitGroup
+	go func() { defer wg.Done() }() // want `wg\.Add must precede the go statement`
+	wg.Add(1)
+	wg.Wait()
+}
+
+func NoWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }() // want `wg\.Wait is not reachable in the spawning function`
+}
+
+func ChanOK() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+func CloseJoinOK() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+}
+
+func ChanNoReceive() {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }() // want `no provable bounded lifetime`
+}
+
+func CtxOK(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func DoneChanOK(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+func Daemon() {
+	//lint:allow golifetime -- fixture: metrics daemon lives for the process
+	go func() {
+		for {
+		}
+	}()
+}
+
+func NamedOK() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup) { defer wg.Done() }
+
+func NamedChanOK() int {
+	ch := make(chan int, 1)
+	go produce(ch)
+	return <-ch
+}
+
+func produce(ch chan int) { ch <- 1 }
+
+func NamedCtxOK(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+func NamedLeak() {
+	go fire() // want `no provable bounded lifetime`
+}
+
+func fire() {}
+
+// A goroutine spawned from inside another goroutine: the inner lit is
+// its own spawning context.
+func NestedOK() {
+	outer := make(chan int)
+	go func() {
+		inner := make(chan int)
+		go func() { inner <- 1 }()
+		outer <- <-inner
+	}()
+	<-outer
+}

@@ -1,0 +1,183 @@
+// Package lg1 exercises lockguard's same-package checks: guarded
+// reads/writes, defer-unlock regions, RWMutex read vs write modes,
+// requires-lock methods, double-acquire, and lock-order inversion.
+package lg1
+
+import "sync"
+
+type Counter struct { // want Counter:`guarded\(n:mu\)`
+	mu sync.Mutex
+	//doors:guardedby mu
+	n int
+}
+
+func (c *Counter) Inc() { // want Inc:`locks\(acquires=lg1\.Counter\.mu`
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Bad() int {
+	return c.n // want `guarded field n read without holding c\.mu`
+}
+
+func (c *Counter) BadWrite() {
+	c.n = 7 // want `guarded field n written without holding c\.mu`
+}
+
+func (c *Counter) DeferOK() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *Counter) Double() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.Lock() // want `c\.mu is already held: second acquisition self-deadlocks`
+	c.n++
+}
+
+// bump must only run with the counter's mutex held.
+//
+//doors:requires-lock c.mu
+func (c *Counter) bump() { // want bump:`locks\(requires=mu\)`
+	c.n++
+}
+
+func (c *Counter) CallsBumpOK() {
+	c.mu.Lock()
+	c.bump()
+	c.mu.Unlock()
+}
+
+func (c *Counter) CallsBumpBad() {
+	c.bump() // want `call to Counter\.bump requires holding c\.mu`
+}
+
+func (c *Counter) IncTwice() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Inc() // want `call to Counter\.Inc acquires lg1\.Counter\.mu, which is already held`
+}
+
+func (c *Counter) Allowed() {
+	//lint:allow lockguard -- fixture: single-goroutine setup phase
+	c.n++
+}
+
+// Constructors touch guarded fields before the value escapes: exempt.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	return c
+}
+
+// A closure does not inherit its creator's critical section.
+func (c *Counter) LeakyClosure() func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() {
+		c.n++ // want `guarded field n written without holding c\.mu`
+	}
+}
+
+type Gauge struct { // want Gauge:`guarded\(v:mu\)`
+	mu sync.RWMutex
+	//doors:guardedby mu
+	v int
+}
+
+func (g *Gauge) Read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+func (g *Gauge) WriteUnderRLock() {
+	g.mu.RLock()
+	g.v = 1 // want `guarded field v written while g\.mu is only read-held`
+	g.mu.RUnlock()
+}
+
+func (g *Gauge) WriteOK() {
+	g.mu.Lock()
+	g.v = 2
+	g.mu.Unlock()
+}
+
+type Embedded struct { // want Embedded:`guarded\(count:Mutex\)`
+	sync.Mutex
+	//doors:guardedby Mutex
+	count int
+}
+
+// Promoted and explicit spellings resolve to the same lock instance.
+func (e *Embedded) Inc() {
+	e.Lock()
+	e.count++
+	e.Mutex.Unlock()
+}
+
+// Table is the cross-package surface lg2 exercises via GuardFacts.
+type Table struct { // want Table:`guarded\(Rows:Mu\)`
+	Mu sync.Mutex
+	//doors:guardedby Mu
+	Rows map[string]int
+}
+
+// MustHold is lg2's cross-package requires-lock target.
+//
+//doors:requires-lock t.Mu
+func (t *Table) MustHold() { // want MustHold:`locks\(requires=Mu\)`
+	t.Rows["x"]++
+}
+
+// Touch locks Mu internally; callers must not already hold it.
+func (t *Table) Touch() { // want Touch:`locks\(acquires=lg1\.Table\.Mu`
+	t.Mu.Lock()
+	t.Rows["y"]++
+	t.Mu.Unlock()
+}
+
+// Within-package lock-order inversion between two annotated types.
+type A struct { // want A:`guarded\(n:mu\)`
+	mu sync.Mutex
+	//doors:guardedby mu
+	n int
+}
+
+type B struct { // want B:`guarded\(n:mu\)`
+	mu sync.Mutex
+	//doors:guardedby mu
+	n int
+}
+
+func LockAB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order inversion`
+	b.n++
+	a.n++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func LockBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock-order inversion`
+	a.n++
+	b.n++
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Package-level mutexes for the cross-package inversion case: lg1
+// only ever takes MuA before MuB.
+var MuA, MuB sync.Mutex
+
+func OrderAB() {
+	MuA.Lock()
+	MuB.Lock()
+	MuB.Unlock()
+	MuA.Unlock()
+}

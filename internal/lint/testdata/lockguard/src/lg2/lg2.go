@@ -1,0 +1,47 @@
+// Package lg2 imports lg1. Every finding here proves cross-package
+// fact flow: lockguard never sees lg1's annotations while analyzing
+// lg2 — only the GuardFact and LockFact entries lg1's pass exported.
+package lg2
+
+import "lg1"
+
+func PutBad(t *lg1.Table, k string) {
+	t.Rows[k] = 1 // want `guarded field Rows written without holding t\.Mu`
+}
+
+func PutOK(t *lg1.Table, k string) {
+	t.Mu.Lock()
+	t.Rows[k] = 1
+	t.Mu.Unlock()
+}
+
+func ReadBad(t *lg1.Table, k string) int {
+	return t.Rows[k] // want `guarded field Rows read without holding t\.Mu`
+}
+
+func CallBad(t *lg1.Table) {
+	t.MustHold() // want `call to Table\.MustHold requires holding t\.Mu`
+}
+
+func CallOK(t *lg1.Table) {
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	t.MustHold()
+}
+
+// DoubleVia self-deadlocks through lg1's exported acquire set: Touch
+// takes the table's mutex that is already held here.
+func DoubleVia(t *lg1.Table) {
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	t.Touch() // want `call to Table\.Touch acquires lg1\.Table\.Mu, which is already held`
+}
+
+// OrderBA inverts lg1's MuA-then-MuB order; the conflict is only
+// visible through lg1's LockFact pairs.
+func OrderBA() {
+	lg1.MuB.Lock()
+	lg1.MuA.Lock() // want `lock-order inversion`
+	lg1.MuA.Unlock()
+	lg1.MuB.Unlock()
+}

@@ -19,6 +19,17 @@
 // property is what lets the sharded survey engine split a population
 // across several Networks and still produce bit-identical results at any
 // shard count.
+//
+// Concurrency contract: a Network and everything reachable from it —
+// hosts, endpoints, TCP state, resolvers bound to its hosts — is
+// confined to the goroutine that calls Net.Run, from construction
+// until Run returns. Nothing in this package takes a lock, on purpose:
+// parallelism lives one level up, where the campaign engine runs one
+// Network per shard goroutine and the shards share only read-only
+// structures (routing registry, population view) or explicitly
+// lock-guarded sinks. Handing a live Network, or any object inside it,
+// to another goroutine is a race; the lockguard/golifetime analyzers
+// and the racestress harness enforce the boundary from both sides.
 package netsim
 
 import (

@@ -180,6 +180,26 @@ func (w *World) ScheduleChurn(fraction float64, duration time.Duration, seed int
 	return churned
 }
 
+// ResolverStats sums the stats of every resolver in the world. The
+// same *Resolver can be indexed under both its v4 and v6 address, so
+// each instance is counted once. Stats addition is commutative, making
+// the sum independent of map iteration order — the total is
+// deterministic at any shard count. Call it only after Net.Run
+// returns: resolvers are confined to the event-loop goroutine while
+// the simulation is live.
+func (w *World) ResolverStats() resolver.Stats {
+	var total resolver.Stats
+	seen := make(map[*resolver.Resolver]bool)
+	for _, res := range w.Resolvers {
+		if seen[res] {
+			continue
+		}
+		seen[res] = true
+		total.Add(res.Stats)
+	}
+	return total
+}
+
 // ScheduleChaos installs inj as the world's transit fault layer and
 // schedules the resolver crashes its schedule selects: at the crash
 // time every layer of the resolver's middleware stack drops its soft
