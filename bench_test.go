@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/campaign"
 	"repro/internal/ditl"
 	"repro/internal/geo"
 	"repro/internal/labexp"
@@ -82,6 +83,45 @@ func BenchmarkHeadlineReachability1M(b *testing.B) {
 		}
 		if got := int(s.Scanner.Stats.TargetsAdmitted); got < 1_000_000 {
 			b.Fatalf("admitted %d targets, want 1M+", got)
+		}
+		if s.Report.V4.ReachableAddrs == 0 {
+			b.Fatal("survey reached nothing")
+		}
+	}
+}
+
+// BenchmarkHeadlineReachabilityPaperScale runs the survey at the
+// paper's full scale: ~12M admitted targets (§3 scanned 12M+
+// addresses), the fold engine end to end. The population is a
+// ditl.View at DITL-plausible density (47,000 ASes, dead-target mean
+// raised to 200), the campaign is the inbound-SAV scan (~one probe per
+// target, no follow-ups — the paper's own full-population pass), and
+// the reduce is the external merge: shard hit runs spill to disk and
+// stream back through the reducers, so peak residency is O(live
+// shards) + the population-sized read-only structures (registry, hit
+// list) all the way through Report. One iteration is the whole
+// campaign; run it with -benchtime 1x (scripts/bench.sh --mem does,
+// under GOMEMLIMIT — completing under the limit is the
+// flat-peak-memory check at paper scale).
+func BenchmarkHeadlineReachabilityPaperScale(b *testing.B) {
+	inboundSAV, err := campaign.ByName("inbound-sav")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		s, err := RunSurvey(SurveyConfig{
+			Population:  ditl.Params{Seed: int64(i), ASes: 47000, DeadTargetMean: 200},
+			Campaign:    inboundSAV,
+			Scanner:     scanner.Config{Seed: int64(i) + 1, Rate: 20_000_000},
+			Shards:      256,
+			MaxParallel: 2,
+			Fold:        true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := s.Scanner.Stats.TargetsAdmitted; got < 10_000_000 {
+			b.Fatalf("admitted %d targets, want 10M+", got)
 		}
 		if s.Report.V4.ReachableAddrs == 0 {
 			b.Fatal("survey reached nothing")

@@ -5,7 +5,7 @@
 //
 //	dsavsurvey [-ases N] [-seed N] [-rate QPS] [-loss P] [-shards K]
 //	           [-campaign NAME] [-phases LIST]
-//	           [-stream] [-maxparallel N]
+//	           [-stream] [-fold] [-maxparallel N]
 //	           [-wildcard] [-alldsav] [-nodsav] [-figures]
 //	           [-chaos] [-invariants=false]
 //	           [-cpuprofile FILE] [-memprofile FILE]
@@ -44,6 +44,7 @@ func main() {
 		chaosOn  = flag.Bool("chaos", false, "inject the deterministic fault schedule (link flap, dup/reorder/corrupt, resolver crashes, clock skew)")
 		invar    = flag.Bool("invariants", true, "check simulation invariants on every delivery and cache event")
 		stream   = flag.Bool("stream", false, "stream the population: synthesize each shard's ASes on demand and discard each world after its observations reduce (identical results, per-shard peak memory)")
+		fold     = flag.Bool("fold", false, "external-merge reduce (implies -stream): spill each shard's sorted hit run to disk and stream the hierarchical merge through the reducers; peak memory stays per-shard through the report")
 		maxPar   = flag.Int("maxparallel", 0, "with -stream, max concurrently live shard simulations (0 = one per CPU); the peak-memory knob")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -99,6 +100,7 @@ func main() {
 		Scanner:           scanner.Config{Seed: *seed + 2, Rate: *rate},
 		Shards:            *shards,
 		Stream:            *stream,
+		Fold:              *fold,
 		MaxParallel:       *maxPar,
 		DisableInvariants: !*invar,
 	}
@@ -115,9 +117,11 @@ func main() {
 	for i, ph := range s.Campaign.Phases {
 		names[i] = ph.Name()
 	}
+	// Under -fold the merged buffers are never materialized; the stats
+	// counters carry the same totals.
 	fmt.Printf("Campaign %q (phases: %s): %d probes over %v of virtual time; %d hits, %d partial (QNAME-minimized) hits\n\n",
 		s.Campaign.Name, strings.Join(names, " → "),
-		s.Probes, s.Duration, len(s.Scanner.Hits), len(s.Scanner.Partials))
+		s.Probes, s.Duration, s.Scanner.Stats.HitsObserved, s.Scanner.Stats.PartialHitsObserved)
 	if *chaosOn {
 		fmt.Printf("Chaos: %d resolver crashes injected\n", s.ChaosCrashes)
 	}

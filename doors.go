@@ -72,6 +72,15 @@ type SurveyConfig struct {
 	// MaxParallel bounds how many shard simulations are live at once in
 	// Stream mode (the peak-memory knob); 0 picks GOMAXPROCS.
 	MaxParallel int
+	// Fold extends Stream with the external-merge reduce path: each
+	// shard's sorted hit run spills to a temporary run file as the
+	// shard finishes, and the final reduce streams the hierarchical
+	// k-way merge of those files through the reducers — peak residency
+	// stays O(live shards) all the way through the Report. The Report
+	// is bit-identical to the other engines'; Survey.Scanner's Targets,
+	// Hits and Partials are nil (Stats still carries the counts).
+	// Implies Stream.
+	Fold bool
 	// Chaos, when Enabled, subjects the survey to a deterministic fault
 	// schedule (link flap, duplication, reordering, corruption, resolver
 	// crashes, clock skew) keyed on causal identity, so chaotic runs are
@@ -97,6 +106,7 @@ func (c SurveyConfig) engineConfig() campaign.Config {
 		Shards:            c.Shards,
 		Stream:            c.Stream,
 		MaxParallel:       c.MaxParallel,
+		Fold:              c.Fold,
 		Chaos:             c.Chaos,
 		DisableInvariants: c.DisableInvariants,
 	}
@@ -131,7 +141,7 @@ func GeoDB(pop ditl.Pop) *geo.DB {
 // their ASes on demand from a ditl.View over the same seed, producing
 // the identical survey under per-shard memory.
 func RunSurvey(cfg SurveyConfig) (*Survey, error) {
-	if cfg.Stream {
+	if cfg.Stream || cfg.Fold {
 		return RunSurveyOn(ditl.NewView(cfg.Population), cfg)
 	}
 	return RunSurveyOn(ditl.Generate(cfg.Population), cfg)

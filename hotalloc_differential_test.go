@@ -21,6 +21,7 @@ import (
 	"repro/internal/eventq"
 	"repro/internal/resolver"
 	"repro/internal/routing"
+	"repro/internal/runs"
 	"repro/internal/scanner"
 )
 
@@ -34,6 +35,7 @@ var (
 	sinkCat  scanner.SourceCategory
 	sinkPfx  netip.Prefix
 	sinkSpec ditl.ResolverSpec
+	sinkHit  scanner.Hit
 )
 
 func assertZeroAllocs(t *testing.T, name string, f func()) {
@@ -107,6 +109,36 @@ func TestHotPathsAllocationFree(t *testing.T) {
 	})
 	assertZeroAllocs(t, "routing.IsSpecialPurpose", func() {
 		sinkBool = routing.IsSpecialPurpose(a4)
+	})
+
+	// The merge core: run comparators and a warmed Merger draining
+	// in-memory runs. Merger.Next's only dynamic calls are the Source
+	// seam, which on the slice path allocates nothing.
+	hits := []scanner.Hit{
+		{Recv: time.Second, Dst: a4, Src: src, ASN: 64500},
+		{Recv: 2 * time.Second, Dst: a6, Src: src, ASN: 64501},
+	}
+	assertZeroAllocs(t, "scanner.LessHit", func() {
+		sinkBool = scanner.LessHit(&hits[0], &hits[1])
+	})
+	parts := []scanner.PartialHit{
+		{Recv: time.Second, Client: a4, Name: "a.example."},
+		{Recv: 2 * time.Second, Client: a6, Name: "b.example."},
+	}
+	assertZeroAllocs(t, "scanner.LessPartial", func() {
+		sinkBool = scanner.LessPartial(&parts[0], &parts[1])
+	})
+	// Runs long enough that the measured draws never exhaust a source
+	// (AllocsPerRun takes ~201 items; the merger holds 1024).
+	big := make([]scanner.Hit, 512)
+	for i := range big {
+		big[i] = scanner.Hit{Recv: time.Duration(i) * time.Millisecond, Dst: a4, ASN: 64500}
+	}
+	m := runs.NewMerger(scanner.LessHit,
+		&runs.SliceSource[scanner.Hit]{Run: big},
+		&runs.SliceSource[scanner.Hit]{Run: big})
+	assertZeroAllocs(t, "runs.Merger.Next", func() {
+		sinkHit, sinkBool = m.Next()
 	})
 
 	// ditl slab accessors, measured inside the streaming view's

@@ -13,6 +13,7 @@
 package analysis
 
 import (
+	"math/bits"
 	"net/netip"
 	"sort"
 	"time"
@@ -40,6 +41,26 @@ type Input struct {
 	FollowUpCount int
 	FPDB          *fingerprint.DB
 	Bands         []stats.Band
+	// Stream, when non-nil, supplies the merged observation streams in
+	// place of the Hits/Targets slices — the fold engine's external
+	// merge. Reducers never notice the difference: they read both
+	// through the Context's eachHit/eachTarget accessors.
+	Stream *Streams
+}
+
+// Streams are re-drainable observation sources for a Context whose
+// Input carries no materialized slices. Each call must replay the full
+// canonical sequence — the merged hit stream in LessHit order, the
+// merged target list in population order — because independent reducers
+// each drain their own pass. The yielded *scanner.Hit is only valid for
+// the duration of the yield call; a consumer that keeps a hit must copy
+// the value (the sources reuse decode state between items). Partials
+// have no stream: Partition folds each shard's partials into the
+// QNAME-minimization sets below, so no reducer reads raw partials after
+// the per-shard stage.
+type Streams struct {
+	Hits    func(yield func(h *scanner.Hit)) error
+	Targets func(yield func(t scanner.Target)) error
 }
 
 // DefaultBands derives the Table 4 banding from the §5.3.2 pools.
@@ -239,15 +260,66 @@ func (in Input) withDefaults() Input {
 }
 
 // Context is the partitioned observation state every reducer reads: the
-// (defaulted) Input plus the target-ASN index and the per-target
-// observation maps. Partition builds it once; reducers treat it as
-// read-only, so each writes its own disjoint slice of the Report and a
-// campaign may run any subset of reducers in any order.
+// (defaulted) Input plus the compact per-target observation maps.
+// Partition builds it once; reducers treat it as read-only, so each
+// writes its own disjoint slice of the Report and a campaign may run
+// any subset of reducers in any order.
+//
+// Everything in a merged Context is sized by the *results*, never the
+// survey: reachable and late are keyed by observed targets, and the
+// QNAME-minimization sets by observed clients and ASes. The full target
+// list and the hit log are read through eachTarget/eachHit, which walk
+// either the Input's slices or, in the fold engine, the re-drainable
+// merged streams — so the final reduce holds no O(total targets) state.
 type Context struct {
-	in        Input
-	targetASN map[netip.Addr]routing.ASN
-	reachable map[netip.Addr]*targetObs
-	lateAddrs map[netip.Addr]bool
+	in Input
+	// reachable maps each reachable target (≥1 timely spoofed full-name
+	// hit) to its compact observation record.
+	reachable map[netip.Addr]targetObs
+	// late maps targets whose over-threshold hits were filtered (§3.6.3)
+	// to their AS.
+	late map[netip.Addr]routing.ASN
+	// qminClients are targeted addresses observed sending QNAME-minimized
+	// queries; qminASNs the origin ASes of all minimized-query clients
+	// (§3.6.4). Folded per shard from the raw partials.
+	qminClients map[netip.Addr]bool
+	qminASNs    map[routing.ASN]bool
+	// srcErr is the first Streams failure observed during a Reduce.
+	srcErr error
+}
+
+// Err reports the first observation-stream failure encountered while
+// reducing; nil for in-memory inputs.
+func (c *Context) Err() error { return c.srcErr }
+
+// eachHit drives fn over the merged hit sequence in canonical LessHit
+// order: the Input's slice when materialized, else the fold engine's
+// merged run stream. The pointer is valid only during the call.
+func (c *Context) eachHit(fn func(h *scanner.Hit)) {
+	if st := c.in.Stream; st != nil && st.Hits != nil {
+		if err := st.Hits(fn); err != nil && c.srcErr == nil {
+			c.srcErr = err
+		}
+		return
+	}
+	for i := range c.in.Hits {
+		fn(&c.in.Hits[i])
+	}
+}
+
+// eachTarget drives fn over the admitted target list in population
+// order: the Input's slice when materialized, else the fold engine's
+// view-derived stream.
+func (c *Context) eachTarget(fn func(t scanner.Target)) {
+	if st := c.in.Stream; st != nil && st.Targets != nil {
+		if err := st.Targets(fn); err != nil && c.srcErr == nil {
+			c.srcErr = err
+		}
+		return
+	}
+	for _, t := range c.in.Targets {
+		fn(t)
+	}
 }
 
 // Reducer is one named, independent slice of the Report computation.
@@ -313,8 +385,12 @@ func Analyze(in Input) *Report {
 	return r
 }
 
-// Partition applies defaults and folds the hit log into per-target
-// observations — the shared state the reducers consume.
+// Partition applies defaults and folds the hit and partial logs into
+// the compact per-target observation maps — the shared state the
+// reducers consume. The target-ASN index and the per-target scratch
+// maps it needs are transient: they are sized by this shard's slice of
+// the survey and become garbage when Partition returns, leaving only
+// result-sized state on the Context.
 func Partition(in Input) *Context {
 	in = in.withDefaults()
 
@@ -324,33 +400,38 @@ func Partition(in Input) *Context {
 	}
 
 	// Partition hits: valid (spoofed, timely, aimed at a known target),
-	// late (over-threshold), open-probe.
-	obs := make(map[netip.Addr]*targetObs)
-	get := func(a netip.Addr) *targetObs {
+	// late (over-threshold), open-probe. The per-target source sets are
+	// scratch — only their cardinality survives, because a target's hits
+	// all arrive in its own shard (the sharding is by target AS), so the
+	// per-shard distinct-source count is already the survey-wide count.
+	type scratch struct {
+		cats    uint8
+		open    bool
+		sources map[netip.Addr]bool
+	}
+	obs := make(map[netip.Addr]*scratch)
+	get := func(a netip.Addr) *scratch {
 		o := obs[a]
 		if o == nil {
-			o = &targetObs{
-				categories: make(map[scanner.SourceCategory]bool),
-				sources:    make(map[netip.Addr]bool),
-			}
+			o = &scratch{sources: make(map[netip.Addr]bool)}
 			obs[a] = o
 		}
 		return o
 	}
 
-	lateAddrs := make(map[netip.Addr]bool)
+	late := make(map[netip.Addr]routing.ASN)
 	for i := range in.Hits {
 		h := &in.Hits[i]
-		if _, known := targetASN[h.Dst]; !known {
+		asn, known := targetASN[h.Dst]
+		if !known {
 			continue
 		}
 		cat := scanner.Categorize(h.Src, h.Dst, in.ScannerAddrs)
 		if h.Lifetime > in.LifetimeThreshold {
-			lateAddrs[h.Dst] = true
+			late[h.Dst] = asn
 			continue
 		}
 		o := get(h.Dst)
-		o.sawTimely = true
 		if cat == scanner.CatNotSpoofed {
 			if h.Kind == scanner.ProbeMain {
 				o.open = true
@@ -358,59 +439,92 @@ func Partition(in Input) *Context {
 			continue
 		}
 		if h.Kind == scanner.ProbeMain {
-			o.categories[cat] = true
+			o.cats |= catBit(cat)
 			o.sources[h.Src] = true
 		}
 	}
 
-	// Reachable = targeted + at least one timely spoofed full-name hit.
-	reachable := make(map[netip.Addr]*targetObs)
-	for a, o := range obs {
-		if len(o.categories) > 0 {
-			reachable[a] = o
+	// Fold the partials into the §3.6.4 sets. A partial's client can
+	// only be a target of its own shard (clients live in the shard's
+	// ASes), so the per-shard fold over the shard-local target index
+	// unions into exactly the survey-wide sets.
+	qminClients := make(map[netip.Addr]bool)
+	qminASNs := make(map[routing.ASN]bool)
+	for i := range in.Partials {
+		p := &in.Partials[i]
+		if _, isTarget := targetASN[p.Client]; isTarget {
+			qminClients[p.Client] = true
+		}
+		if origin := in.Reg.OriginOf(p.Client); origin != nil {
+			qminASNs[origin.ASN] = true
 		}
 	}
 
-	return &Context{in: in, targetASN: targetASN, reachable: reachable, lateAddrs: lateAddrs}
+	// Reachable = targeted + at least one timely spoofed full-name hit,
+	// compacted to the value record (category bits, distinct-source
+	// count, open flag, AS).
+	reachable := make(map[netip.Addr]targetObs, len(obs))
+	for a, o := range obs {
+		if o.cats != 0 {
+			reachable[a] = targetObs{
+				asn:  targetASN[a],
+				nsrc: int32(len(o.sources)),
+				cats: o.cats,
+				open: o.open,
+			}
+		}
+	}
+
+	return &Context{in: in, reachable: reachable, late: late, qminClients: qminClients, qminASNs: qminASNs}
 }
 
 // MergeContexts combines per-shard Partition outputs into one Context
-// over the canonically merged Input (sorted hits/partials, concatenated
-// targets). Shards hold disjoint target sets and every per-target fold
-// in Partition is commutative and idempotent (set inserts, bool ors),
-// so unioning the per-shard maps reproduces exactly the Context a
-// single Partition over the merged input would build — which is what
-// lets the campaign runner reduce each shard's observations as soon as
-// that shard finishes and discard its world. The reducers that scan
-// raw hits (ports, forwarding) read them from the merged Input, which
-// the runner sorts canonically at every shard count.
+// over the canonically merged Input. Shards hold disjoint target sets
+// and every per-target fold in Partition is commutative and idempotent
+// (set inserts, bool ors), so unioning the per-shard maps reproduces
+// exactly the Context a single Partition over the merged input would
+// build — which is what lets the campaign runner reduce each shard's
+// observations as soon as that shard finishes and discard its world.
+//
+// The division of labor with internal/runs: the *ordered* halves of the
+// old merged Input — the hit log and the target list — are merged by
+// the runner's k-way run merge (in memory, or streamed off spilled run
+// files in the fold engine) and reach the reducers through
+// eachHit/eachTarget; MergeContexts itself unions only the unordered,
+// result-sized per-target state. Nothing here is proportional to the
+// survey's target count.
 func MergeContexts(in Input, parts []*Context) *Context {
 	in = in.withDefaults()
 	if len(parts) == 1 {
 		parts[0].in = in
 		return parts[0]
 	}
-	nASN, nReach, nLate := 0, 0, 0
+	nReach, nLate, nQC, nQA := 0, 0, 0, 0
 	for _, p := range parts {
-		nASN += len(p.targetASN)
 		nReach += len(p.reachable)
-		nLate += len(p.lateAddrs)
+		nLate += len(p.late)
+		nQC += len(p.qminClients)
+		nQA += len(p.qminASNs)
 	}
 	merged := &Context{
-		in:        in,
-		targetASN: make(map[netip.Addr]routing.ASN, nASN),
-		reachable: make(map[netip.Addr]*targetObs, nReach),
-		lateAddrs: make(map[netip.Addr]bool, nLate),
+		in:          in,
+		reachable:   make(map[netip.Addr]targetObs, nReach),
+		late:        make(map[netip.Addr]routing.ASN, nLate),
+		qminClients: make(map[netip.Addr]bool, nQC),
+		qminASNs:    make(map[routing.ASN]bool, nQA),
 	}
 	for _, p := range parts {
-		for a, asn := range p.targetASN {
-			merged.targetASN[a] = asn
-		}
 		for a, o := range p.reachable {
 			merged.reachable[a] = o
 		}
-		for a := range p.lateAddrs {
-			merged.lateAddrs[a] = true
+		for a, asn := range p.late {
+			merged.late[a] = asn
+		}
+		for a := range p.qminClients {
+			merged.qminClients[a] = true
+		}
+		for asn := range p.qminASNs {
+			merged.qminASNs[asn] = true
 		}
 	}
 	return merged
@@ -421,7 +535,7 @@ func MergeContexts(in Input, parts []*Context) *Context {
 func computeSources(c *Context, r *Report) {
 	var nsrc4, nsrc6 []int
 	for a, o := range c.reachable {
-		n := len(o.sources)
+		n := int(o.nsrc)
 		if a.Is4() {
 			nsrc4 = append(nsrc4, n)
 			if n <= 2 {
@@ -439,10 +553,10 @@ func computeSources(c *Context, r *Report) {
 				r.Over50SourcesV6++
 			}
 		}
-		if o.categories[scanner.CatDstAsSrc] {
+		if o.has(scanner.CatDstAsSrc) {
 			r.Infiltration.DstAsSrcAddrs++
 		}
-		if o.categories[scanner.CatLoopback] {
+		if o.has(scanner.CatLoopback) {
 			r.Infiltration.LoopbackAddrs++
 		}
 	}
@@ -463,13 +577,29 @@ func computeReachable(c *Context, r *Report) {
 	sortAddrs(r.OpenAddrs)
 }
 
-// targetObs accumulates per-target observations during hit partitioning.
+// targetObs is one reachable target's compact observation record: its
+// AS, the bitmask of spoofed-source categories that reached it, the
+// distinct-source count, and whether the non-spoofed open-resolver
+// probe got through. A value type a few words wide — the merged
+// reachable map stays a small multiple of the result size even at the
+// paper's 12M-target scale (the old record carried two maps per
+// target, and a survey-sized address→ASN index besides).
 type targetObs struct {
-	categories map[scanner.SourceCategory]bool
-	sources    map[netip.Addr]bool
-	open       bool
-	sawTimely  bool
+	asn  routing.ASN
+	nsrc int32
+	cats uint8
+	open bool
 }
+
+// catBit maps a spoofed-source category to its bit (the category
+// constants are small consecutive ints; CatNotSpoofed is never stored).
+func catBit(c scanner.SourceCategory) uint8 { return 1 << uint(c) }
+
+// has reports whether sources of category c reached the target.
+func (o targetObs) has(c scanner.SourceCategory) bool { return o.cats&catBit(c) != 0 }
+
+// ncats counts the distinct categories that reached the target.
+func (o targetObs) ncats() int { return bits.OnesCount8(o.cats) }
 
 // sortAddrs orders addresses for deterministic output.
 func sortAddrs(a []netip.Addr) {

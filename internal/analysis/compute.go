@@ -12,12 +12,12 @@ import (
 )
 
 func computeHeadline(c *Context, r *Report) {
-	in, targetASN, reachable := c.in, c.targetASN, c.reachable
+	reachable := c.reachable
 	asSeen4 := make(map[routing.ASN]bool)
 	asSeen6 := make(map[routing.ASN]bool)
 	asReach4 := make(map[routing.ASN]bool)
 	asReach6 := make(map[routing.ASN]bool)
-	for _, t := range in.Targets {
+	c.eachTarget(func(t scanner.Target) {
 		if t.Addr.Is4() {
 			r.V4.Targets++
 			asSeen4[t.ASN] = true
@@ -25,15 +25,14 @@ func computeHeadline(c *Context, r *Report) {
 			r.V6.Targets++
 			asSeen6[t.ASN] = true
 		}
-	}
-	for a := range reachable {
-		asn := targetASN[a]
+	})
+	for a, o := range reachable {
 		if a.Is4() {
 			r.V4.ReachableAddrs++
-			asReach4[asn] = true
+			asReach4[o.asn] = true
 		} else {
 			r.V6.ReachableAddrs++
-			asReach6[asn] = true
+			asReach6[o.asn] = true
 		}
 	}
 	r.V4.ASes, r.V6.ASes = len(asSeen4), len(asSeen6)
@@ -41,22 +40,21 @@ func computeHeadline(c *Context, r *Report) {
 }
 
 func computeCountries(c *Context, r *Report) {
-	in, targetASN, reachable := c.in, c.targetASN, c.reachable
+	in, reachable := c.in, c.reachable
 	if in.Geo == nil {
 		return
 	}
 	perAS := make(map[routing.ASN]geo.ASStat)
-	for _, t := range in.Targets {
+	c.eachTarget(func(t scanner.Target) {
 		st := perAS[t.ASN]
 		st.Targets++
 		perAS[t.ASN] = st
-	}
-	for a := range reachable {
-		asn := targetASN[a]
-		st := perAS[asn]
+	})
+	for _, o := range reachable {
+		st := perAS[o.asn]
 		st.ReachableAddrs++
 		st.Reachable = true
-		perAS[asn] = st
+		perAS[o.asn] = st
 	}
 	r.Countries = in.Geo.Aggregate(perAS)
 	r.Table1 = geo.TopByASCount(r.Countries, 10)
@@ -69,7 +67,7 @@ var allCategories = []scanner.SourceCategory{
 }
 
 func computeTable3(c *Context, r *Report) {
-	targetASN, reachable := c.targetASN, c.reachable
+	reachable := c.reachable
 	build := func(v6 bool) []CategoryRow {
 		// Per-AS union of categories.
 		asCats := make(map[routing.ASN]map[scanner.SourceCategory]bool)
@@ -85,20 +83,20 @@ func computeTable3(c *Context, r *Report) {
 			if a.Is6() != v6 {
 				continue
 			}
-			asn := targetASN[a]
+			asn := o.asn
 			if asCats[asn] == nil {
 				asCats[asn] = make(map[scanner.SourceCategory]bool)
 			}
 			for i, c := range allCategories {
-				if o.categories[c] {
+				if o.has(c) {
 					rows[i].InclusiveAddrs++
 					inclASN[c][asn] = true
 					asCats[asn][c] = true
 				}
 			}
-			if len(o.categories) == 1 {
+			if o.ncats() == 1 {
 				for i, c := range allCategories {
-					if o.categories[c] {
+					if o.has(c) {
 						rows[i].ExclusiveAddrs++
 					}
 				}
@@ -123,17 +121,16 @@ func computeTable3(c *Context, r *Report) {
 }
 
 func computeOpenClosed(c *Context, r *Report) {
-	targetASN, reachable := c.targetASN, c.reachable
+	reachable := c.reachable
 	asReach := make(map[routing.ASN]bool)
 	asClosed := make(map[routing.ASN]bool)
-	for a, o := range reachable {
-		asn := targetASN[a]
-		asReach[asn] = true
+	for _, o := range reachable {
+		asReach[o.asn] = true
 		if o.open {
 			r.OpenClosed.Open++
 		} else {
 			r.OpenClosed.Closed++
-			asClosed[asn] = true
+			asClosed[o.asn] = true
 		}
 	}
 	r.OpenClosed.ReachableASes = len(asReach)
@@ -141,7 +138,7 @@ func computeOpenClosed(c *Context, r *Report) {
 }
 
 func computePorts(c *Context, r *Report) {
-	in, targetASN, reachable := c.in, c.targetASN, c.reachable
+	in, reachable := c.in, c.reachable
 	pr := &r.Ports
 	pr.HistFullOpen = stats.NewHistogram(500, 65535)
 	pr.HistFullClosed = stats.NewHistogram(500, 65535)
@@ -153,24 +150,24 @@ func computePorts(c *Context, r *Report) {
 
 	// Gather direct follow-up observations per target: UDP transport
 	// queries whose source IP matches the probed target (§5.2: only
-	// direct responders are analyzed).
+	// direct responders are analyzed). The SYN hit is copied by value —
+	// a streamed hit does not survive its yield.
 	ports := make(map[netip.Addr][]uint16)
-	syn := make(map[netip.Addr]*scanner.Hit)
-	for i := range in.Hits {
-		h := &in.Hits[i]
+	syn := make(map[netip.Addr]scanner.Hit)
+	c.eachHit(func(h *scanner.Hit) {
 		if h.Client != h.Dst || h.Lifetime > in.LifetimeThreshold {
-			continue
+			return
 		}
 		if _, ok := reachable[h.Dst]; !ok {
-			continue
+			return
 		}
 		switch {
 		case (h.Kind == scanner.ProbeV4 || h.Kind == scanner.ProbeV6) && h.Transport == authserver.TransportUDP:
 			ports[h.Dst] = append(ports[h.Dst], h.ClientPort)
 		case h.Kind == scanner.ProbeTC && h.Transport == authserver.TransportTCP && h.SYN != nil:
-			syn[h.Dst] = h
+			syn[h.Dst] = *h
 		}
-	}
+	})
 
 	zeroASNs := make(map[routing.ASN]bool)
 	zeroASNsClosed := make(map[routing.ASN]bool)
@@ -184,10 +181,10 @@ func computePorts(c *Context, r *Report) {
 		raw = raw[:in.FollowUpCount]
 		o := reachable[a]
 		sample := PortSample{
-			Addr: a, ASN: targetASN[a],
+			Addr: a, ASN: o.asn,
 			RawPorts: raw, Open: o.open,
 		}
-		if h := syn[a]; h != nil {
+		if h, ok := syn[a]; ok {
 			sample.P0f = in.FPDB.Classify(h.SYN)
 		}
 		adj := make([]int, len(raw))
@@ -290,30 +287,29 @@ func computeForwarding(c *Context, r *Report) {
 	in, reachable := c.in, c.reachable
 	type fw struct{ direct, forwarded bool }
 	perTarget := make(map[netip.Addr]*fw)
-	for i := range in.Hits {
-		h := &in.Hits[i]
+	c.eachHit(func(h *scanner.Hit) {
 		// §5.4: the zone is dual-stack, so direct/forwarded is judged on
 		// the family-matching transport follow-ups only — a dual-stack
 		// resolver probed at its v6 address answers v4-zone queries from
 		// its v4 address, which must not be mistaken for forwarding.
 		if h.Dst.Is4() && h.Kind != scanner.ProbeV4 {
-			continue
+			return
 		}
 		if h.Dst.Is6() && h.Kind != scanner.ProbeV6 {
-			continue
+			return
 		}
 		// Leaf-zone queries only: a v4-only (v6-only) zone is served by a
 		// v4-only (v6-only) server, so genuine transport-probe queries
 		// arrive over that family. Referral lookups at the dual-stack
 		// parent can arrive over the other family and must not count.
 		if h.Kind == scanner.ProbeV4 && !h.Client.Is4() {
-			continue
+			return
 		}
 		if h.Kind == scanner.ProbeV6 && !h.Client.Is6() {
-			continue
+			return
 		}
 		if _, ok := reachable[h.Dst]; !ok || h.Lifetime > in.LifetimeThreshold {
-			continue
+			return
 		}
 		f := perTarget[h.Dst]
 		if f == nil {
@@ -325,7 +321,7 @@ func computeForwarding(c *Context, r *Report) {
 		} else {
 			f.forwarded = true
 		}
-	}
+	})
 	for a, f := range perTarget {
 		if a.Is4() {
 			r.Forwarding.V4Resolved++
@@ -354,19 +350,19 @@ func computeForwarding(c *Context, r *Report) {
 }
 
 func computeMiddlebox(c *Context, r *Report) {
-	in, targetASN, reachable := c.in, c.targetASN, c.reachable
+	in, reachable := c.in, c.reachable
 	reachAS := make(map[routing.ASN]bool)
 	directAS := make(map[routing.ASN]bool)
 	publicAS := make(map[routing.ASN]bool)
-	for a := range reachable {
-		reachAS[targetASN[a]] = true
+	for _, o := range reachable {
+		reachAS[o.asn] = true
 	}
-	for i := range in.Hits {
-		h := &in.Hits[i]
-		if _, ok := reachable[h.Dst]; !ok || h.Lifetime > in.LifetimeThreshold {
-			continue
+	c.eachHit(func(h *scanner.Hit) {
+		o, ok := reachable[h.Dst]
+		if !ok || h.Lifetime > in.LifetimeThreshold {
+			return
 		}
-		asn := targetASN[h.Dst]
+		asn := o.asn
 		// The registry's roles are the single source of truth: a client
 		// in public-DNS space (AS.PublicService) explains the relay;
 		// third-party upstream space carries no role and stays in
@@ -379,7 +375,7 @@ func computeMiddlebox(c *Context, r *Report) {
 				publicAS[asn] = true
 			}
 		}
-	}
+	})
 	r.Middlebox.ReachableASes = len(reachAS)
 	for asn := range reachAS {
 		switch {
@@ -394,29 +390,21 @@ func computeMiddlebox(c *Context, r *Report) {
 }
 
 func computeQmin(c *Context, r *Report) {
-	in, targetASN, reachable := c.in, c.targetASN, c.reachable
-	clients := make(map[netip.Addr]bool)
-	asns := make(map[routing.ASN]bool)
-	for _, p := range in.Partials {
-		if _, isTarget := targetASN[p.Client]; isTarget {
-			clients[p.Client] = true
-		}
-		if origin := in.Reg.OriginOf(p.Client); origin != nil {
-			asns[origin.ASN] = true
-		}
-	}
-	r.Qmin.ClientAddrs = len(clients)
-	for c := range clients {
-		if _, ok := reachable[c]; !ok {
+	// The raw partials were folded into the client/AS sets per shard
+	// (Partition); only the reachable cross-reference happens here.
+	reachable := c.reachable
+	r.Qmin.ClientAddrs = len(c.qminClients)
+	for a := range c.qminClients {
+		if _, ok := reachable[a]; !ok {
 			r.Qmin.NeverFull++
 		}
 	}
 	reachASN := make(map[routing.ASN]bool)
-	for a := range reachable {
-		reachASN[targetASN[a]] = true
+	for _, o := range reachable {
+		reachASN[o.asn] = true
 	}
-	r.Qmin.ASNs = len(asns)
-	for asn := range asns {
+	r.Qmin.ASNs = len(c.qminASNs)
+	for asn := range c.qminASNs {
 		if reachASN[asn] {
 			r.Qmin.DetectedAnyway++
 		}
@@ -424,18 +412,18 @@ func computeQmin(c *Context, r *Report) {
 }
 
 func computeLifetime(c *Context, r *Report) {
-	targetASN, reachable, lateAddrs := c.targetASN, c.reachable, c.lateAddrs
+	reachable := c.reachable
 	lateOnlyAS := make(map[routing.ASN]bool)
 	reachASN := make(map[routing.ASN]bool)
-	for a := range reachable {
-		reachASN[targetASN[a]] = true
+	for _, o := range reachable {
+		reachASN[o.asn] = true
 	}
-	for a := range lateAddrs {
+	for a, asn := range c.late {
 		if _, ok := reachable[a]; ok {
 			continue // also seen timely: not excluded
 		}
 		r.Lifetime.OverThresholdAddrs++
-		lateOnlyAS[targetASN[a]] = true
+		lateOnlyAS[asn] = true
 	}
 	r.Lifetime.OverThresholdASes = len(lateOnlyAS)
 	for asn := range lateOnlyAS {

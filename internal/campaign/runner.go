@@ -3,6 +3,8 @@ package campaign
 import (
 	"fmt"
 	"net/netip"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/resolver"
 	"repro/internal/routing"
+	"repro/internal/runs"
 	"repro/internal/scanner"
 	"repro/internal/world"
 )
@@ -53,6 +56,17 @@ type Config struct {
 	// MaxParallel × shard size. 0 picks runtime.GOMAXPROCS(0). Ignored
 	// by the retained engine, which holds every shard at once.
 	MaxParallel int
+	// Fold extends Stream with the external-merge reduce path: each
+	// shard's sorted hit run spills to a temporary run file the moment
+	// the shard finishes, and the final reduce streams the hierarchical
+	// k-way merge of those files through the reducers instead of
+	// materializing merged buffers. Peak residency stays O(live shards)
+	// all the way through Report — nothing after a shard's simulation
+	// holds O(total targets) state. The Report is bit-identical to the
+	// other engines'; the trade-off is that Result.Scanner's Targets,
+	// Hits and Partials are nil (Stats still carries the counts, and
+	// reducers saw exactly the canonical sequences). Implies Stream.
+	Fold bool
 	// Chaos, when Enabled, subjects the campaign to a deterministic
 	// fault schedule keyed on causal identity. Infrastructure ASes (as
 	// recorded on the registry) are exempt; chaos stresses the measured
@@ -239,7 +253,14 @@ func (r *Runner) Run(c *Campaign, pop ditl.Pop, cfg Config) (*Result, error) {
 	if c == nil {
 		c = NewSurvey()
 	}
-	if cfg.Scanner.V6HitList == nil {
+	// The streaming engines derive the IPv6 hit list in a dedicated
+	// view sweep up front: every shard's planner needs the complete
+	// list before any Plan, and the per-shard admission sweeps run
+	// concurrently later. The retained engine builds all shards
+	// sequentially anyway, so it accumulates the list during the
+	// admission sweep itself (see runRetained) — one pass over the view
+	// instead of two.
+	if cfg.Scanner.V6HitList == nil && (cfg.Stream || cfg.Fold) {
 		cfg.Scanner.V6HitList = V6HitList(pop)
 	}
 	cfg.World.Invariants = !cfg.DisableInvariants
@@ -247,7 +268,7 @@ func (r *Runner) Run(c *Campaign, pop ditl.Pop, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Stream {
+	if cfg.Stream || cfg.Fold {
 		return r.runStreaming(c, pop, cfg, reg)
 	}
 	return r.runRetained(c, pop, cfg, reg)
@@ -290,12 +311,22 @@ func shardInput(sc *scanner.Scanner, addr4, addr6 netip.Addr, reg *routing.Regis
 func (r *Runner) runRetained(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Registry) (*Result, error) {
 	shards := cfg.ShardCount()
 
-	// Stage 1: build each shard's world and scanner, and let every
-	// phase plan (but not yet schedule) its probes.
+	// Stage 1: build each shard's world and scanner and admit its
+	// candidates — streamed straight off the population view, never
+	// collected into a slice — then let every phase plan (but not yet
+	// schedule) its probes. Admission for every shard completes before
+	// any shard plans: when no IPv6 hit list was configured, the
+	// admission sweep doubles as its derivation (the /64 of every v6
+	// candidate, admitted or not, exactly what a dedicated V6HitList
+	// sweep would collect), and planning reads the completed list.
 	parts := ditl.PartitionIndices(pop.NumASes(), shards)
 	worlds := make([]*world.World, shards)
 	shs := make([]*Shard, shards)
-	probes := 0
+	var hl map[netip.Prefix]bool
+	if cfg.Scanner.V6HitList == nil {
+		hl = make(map[netip.Prefix]bool, pop.V6AddrCount())
+		cfg.Scanner.V6HitList = hl
+	}
 	for k := range parts {
 		indices := parts[k]
 		if shards == 1 {
@@ -309,12 +340,14 @@ func (r *Runner) runRetained(c *Campaign, pop ditl.Pop, cfg Config, reg *routing
 		if err != nil {
 			return nil, err
 		}
-		sc.Admit(CandidateAddrs(pop, indices))
-		sh := &Shard{Index: k, World: w, Scanner: sc}
+		admitShard(sc, pop, indices, hl)
+		worlds[k], shs[k] = w, &Shard{Index: k, World: w, Scanner: sc}
+	}
+	probes := 0
+	for _, sh := range shs {
 		for _, ph := range c.Phases {
 			probes += ph.Plan(sh)
 		}
-		worlds[k], shs[k] = w, sh
 	}
 
 	// Stage 2: the campaign window depends only on the campaign-wide
@@ -359,6 +392,7 @@ func (r *Runner) runRetained(c *Campaign, pop ditl.Pop, cfg Config, reg *routing
 	var rsink resolver.StatsSink
 	if shards == 1 {
 		worlds[0].Net.Run()
+		shs[0].Scanner.SealRuns()
 		ctxs[0] = analysis.Partition(shardInput(shs[0].Scanner, worlds[0].ScannerAddr4, worlds[0].ScannerAddr6, reg, gdb, cfg))
 		rsink.Add(worlds[0].ResolverStats())
 		r.shardDone()
@@ -369,6 +403,7 @@ func (r *Runner) runRetained(c *Campaign, pop ditl.Pop, cfg Config, reg *routing
 			go func(k int, gdb *geo.DB, cfg Config, r *Runner, rsink *resolver.StatsSink) {
 				defer wg.Done()
 				worlds[k].Net.Run()
+				shs[k].Scanner.SealRuns()
 				ctxs[k] = analysis.Partition(shardInput(shs[k].Scanner, worlds[k].ScannerAddr4, worlds[k].ScannerAddr6, reg, gdb, cfg))
 				rsink.Add(worlds[k].ResolverStats())
 				r.shardDone()
@@ -379,22 +414,38 @@ func (r *Runner) runRetained(c *Campaign, pop ditl.Pop, cfg Config, reg *routing
 
 	// Stage 4: deterministic merge. Targets concatenate in shard order
 	// (= population order, since shards are contiguous); hits and
-	// partials sort by their full content keys. The sorts run at every
-	// shard count — K=1 included — so the merged sequences are
-	// bit-identical however the campaign was split. The per-shard
-	// partial reductions union under the merged Input (their key spaces
-	// are disjoint: targets are per-AS and ASes are per-shard), which
-	// MergeContexts re-binds so order-sensitive reducers read the
-	// canonical sequences, never shard-local order.
+	// partials — each shard's already a canonically sorted run after
+	// SealRuns — k-way merge stably by run index. A stable merge of
+	// per-shard stable sorts in shard order equals the stable sort of
+	// the concatenation the old engine computed, so the merged
+	// sequences are bit-identical however the campaign was split, and
+	// K=1 passes through untouched. The per-shard partial reductions
+	// union under the merged Input (their key spaces are disjoint:
+	// targets are per-AS and ASes are per-shard), which MergeContexts
+	// re-binds so order-sensitive reducers read the canonical
+	// sequences, never shard-local order.
 	sc := shs[0].Scanner
-	for _, o := range shs[1:] {
-		sc.Targets = append(sc.Targets, o.Scanner.Targets...)
-		sc.Hits = append(sc.Hits, o.Scanner.Hits...)
-		sc.Partials = append(sc.Partials, o.Scanner.Partials...)
-		sc.Stats.Add(o.Scanner.Stats)
+	if len(shs) > 1 {
+		nT, nH, nP := 0, 0, 0
+		hitRuns := make([][]scanner.Hit, len(shs))
+		partRuns := make([][]scanner.PartialHit, len(shs))
+		for k, o := range shs {
+			nT += len(o.Scanner.Targets)
+			nH += len(o.Scanner.Hits)
+			nP += len(o.Scanner.Partials)
+			hitRuns[k], partRuns[k] = o.Scanner.Hits, o.Scanner.Partials
+		}
+		targets := make([]scanner.Target, 0, nT)
+		for _, o := range shs {
+			targets = append(targets, o.Scanner.Targets...)
+		}
+		sc.Targets = targets
+		sc.Hits = runs.MergeSlices(make([]scanner.Hit, 0, nH), scanner.LessHit, hitRuns...)
+		sc.Partials = runs.MergeSlices(make([]scanner.PartialHit, 0, nP), scanner.LessPartial, partRuns...)
+		for _, o := range shs[1:] {
+			sc.Stats.Add(o.Scanner.Stats)
+		}
 	}
-	scanner.SortHits(sc.Hits)
-	scanner.SortPartials(sc.Partials)
 	publicDNS := mergedPublicDNS(worlds)
 
 	var inv *world.InvariantReport
@@ -445,7 +496,10 @@ type shardOut struct {
 	asPublicDNS  []netip.Addr
 	inv          world.InvariantReport
 	crashes      int
-	err          error
+	// runPath is the shard's spilled sorted hit run (fold engine only;
+	// targets/hits/partials above stay nil in that mode).
+	runPath string
+	err     error
 }
 
 // runStreaming is the memory-flat engine. It makes two passes over the
@@ -474,7 +528,10 @@ func (r *Runner) runStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routin
 	shards := cfg.ShardCount()
 	parts := ditl.PartitionIndices(pop.NumASes(), shards)
 
-	// Pass A: world-free probe counting.
+	// Pass A: world-free probe counting. Each planner lives only for
+	// its shard's loop iteration — retaining all K planners would be
+	// O(total targets), exactly what the streaming engine exists to
+	// avoid.
 	probes := 0
 	var planCfg scanner.Config
 	for k := range parts {
@@ -482,7 +539,7 @@ func (r *Runner) runStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routin
 		if k == 0 {
 			planCfg = pl.Cfg
 		}
-		pl.Admit(CandidateAddrs(pop, parts[k]))
+		admitShard(pl, pop, parts[k], nil)
 		sh := &Shard{Index: k, Scanner: pl}
 		for _, ph := range c.Phases {
 			probes += ph.Plan(sh)
@@ -494,6 +551,18 @@ func (r *Runner) runStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routin
 		inj = chaos.NewInjector(cfg.Chaos)
 		inj.SetWindow(duration)
 		inj.SetEligibleRegistry(reg)
+	}
+
+	// The fold engine spills each shard's sorted hit run here the
+	// moment the shard finishes; the reduce streams the files back.
+	foldDir := ""
+	if cfg.Fold {
+		dir, err := os.MkdirTemp("", "doors-fold-")
+		if err != nil {
+			return nil, err
+		}
+		foldDir = dir
+		defer os.RemoveAll(dir)
 	}
 
 	// Pass B: simulate shards on a bounded worker pool. The injector,
@@ -511,7 +580,7 @@ func (r *Runner) runStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routin
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			outs[k] = runShardStreaming(c, pop, cfg, reg, gdb, inj, k, parts[k], duration)
+			outs[k] = runShardStreaming(c, pop, cfg, reg, gdb, inj, k, parts[k], duration, foldDir)
 			rsink.Add(outs[k].rstats)
 			r.shardDone()
 		}(k, pop, cfg, gdb, inj, r, &rsink)
@@ -523,29 +592,15 @@ func (r *Runner) runStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routin
 		}
 	}
 
-	// Merge in shard order — identical to the retained engine's stage 4.
-	nT, nH, nP := 0, 0, 0
-	for _, o := range outs {
-		nT += len(o.targets)
-		nH += len(o.hits)
-		nP += len(o.partials)
-	}
-	targets := make([]scanner.Target, 0, nT)
-	hits := make([]scanner.Hit, 0, nH)
-	partials := make([]scanner.PartialHit, 0, nP)
+	// Scalar merge in shard order, common to both reduce paths.
 	var stats scanner.Stats
 	ctxs := make([]*analysis.Context, shards)
 	chaosCrashes := 0
 	for k, o := range outs {
-		targets = append(targets, o.targets...)
-		hits = append(hits, o.hits...)
-		partials = append(partials, o.partials...)
 		stats.Add(o.stats)
 		ctxs[k] = o.ctx
 		chaosCrashes += o.crashes
 	}
-	scanner.SortHits(hits)
-	scanner.SortPartials(partials)
 
 	n := len(outs[0].publicDNS)
 	for _, o := range outs {
@@ -566,19 +621,69 @@ func (r *Runner) runStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routin
 		inv = &merged
 	}
 
-	// The merged result scanner: buffers, registry, addresses and stats
-	// only — it has no host and no world behind it, exactly like the
-	// buffers the retained merge leaves on shard 0's scanner.
+	// The merged result scanner: registry, addresses and stats — it has
+	// no host and no world behind it, exactly like the buffers the
+	// retained merge leaves on shard 0's scanner. The classic streaming
+	// reduce materializes the merged buffers onto it; the fold reduce
+	// leaves them nil and streams the spilled runs instead.
 	sc := &scanner.Scanner{
 		Addr4: outs[0].addr4, Addr6: outs[0].addr6,
 		Reg: reg, Cfg: outs[0].cfg, Stats: stats,
-		Targets: targets, Hits: hits, Partials: partials,
+	}
+	var in analysis.Input
+	if cfg.Fold {
+		// Hierarchical external merge: pre-merge the spilled shard runs
+		// in contiguous groups of mergeFanIn until one level fits, then
+		// stream the final k-way merge through the reducers. Contiguous
+		// grouping + run-index stability make any grouping byte-identical
+		// to the flat merge (see internal/runs).
+		paths := make([]string, len(outs))
+		for k, o := range outs {
+			paths[k] = o.runPath
+		}
+		paths, err := reduceRuns(foldDir, paths)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: fold pre-merge: %w", err)
+		}
+		in = analysis.Input{
+			ScannerAddrs:      []netip.Addr{sc.Addr4, sc.Addr6},
+			Reg:               reg,
+			Geo:               gdb,
+			LifetimeThreshold: cfg.LifetimeThreshold,
+			FollowUpCount:     cfg.Scanner.FollowUpCount,
+			Stream: &analysis.Streams{
+				Hits:    foldHitStream(paths),
+				Targets: foldTargetStream(pop, reg, cfg.Scanner),
+			},
+		}
+	} else {
+		// Merge in shard order — identical to the retained engine's
+		// stage 4: targets concatenate, the sealed hit/partial runs
+		// k-way merge stably into exactly-sized buffers.
+		nT, nH, nP := 0, 0, 0
+		hitRuns := make([][]scanner.Hit, len(outs))
+		partRuns := make([][]scanner.PartialHit, len(outs))
+		for k, o := range outs {
+			nT += len(o.targets)
+			nH += len(o.hits)
+			nP += len(o.partials)
+			hitRuns[k], partRuns[k] = o.hits, o.partials
+		}
+		targets := make([]scanner.Target, 0, nT)
+		for _, o := range outs {
+			targets = append(targets, o.targets...)
+		}
+		sc.Targets = targets
+		sc.Hits = runs.MergeSlices(make([]scanner.Hit, 0, nH), scanner.LessHit, hitRuns...)
+		sc.Partials = runs.MergeSlices(make([]scanner.PartialHit, 0, nP), scanner.LessPartial, partRuns...)
+		in = shardInput(sc, sc.Addr4, sc.Addr6, reg, gdb, cfg)
 	}
 	report := &analysis.Report{}
-	analysis.MergeContexts(
-		shardInput(sc, sc.Addr4, sc.Addr6, reg, gdb, cfg),
-		ctxs,
-	).Reduce(report, c.reducers())
+	mctx := analysis.MergeContexts(in, ctxs)
+	mctx.Reduce(report, c.reducers())
+	if err := mctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: fold reduce: %w", err)
+	}
 
 	result := &Result{
 		Campaign:   c,
@@ -596,9 +701,11 @@ func (r *Runner) runStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routin
 }
 
 // runShardStreaming simulates one shard end to end: build, plan,
-// schedule, observe, run, partition. Everything but the returned
-// shardOut is garbage when it returns.
-func runShardStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Registry, gdb *geo.DB, inj *chaos.Injector, k int, indices []int, duration time.Duration) *shardOut {
+// schedule, observe, run, seal, partition — and, under the fold
+// engine (foldDir non-empty), spill the sealed hit run to disk and
+// drop the buffers. Everything but the returned shardOut is garbage
+// when it returns.
+func runShardStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Registry, gdb *geo.DB, inj *chaos.Injector, k int, indices []int, duration time.Duration, foldDir string) *shardOut {
 	w, err := world.BuildWith(pop, reg, cfg.World, indices)
 	if err != nil {
 		return &shardOut{err: err}
@@ -607,7 +714,7 @@ func runShardStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Regis
 	if err != nil {
 		return &shardOut{err: err}
 	}
-	sc.Admit(CandidateAddrs(pop, indices))
+	admitShard(sc, pop, indices, nil)
 	sh := &Shard{Index: k, World: w, Scanner: sc}
 	for _, ph := range c.Phases {
 		ph.Plan(sh)
@@ -626,16 +733,201 @@ func runShardStreaming(c *Campaign, pop ditl.Pop, cfg Config, reg *routing.Regis
 		ph.Observe(sh)
 	}
 	w.Net.Run()
+	sc.SealRuns()
 	out.ctx = analysis.Partition(shardInput(sc, w.ScannerAddr4, w.ScannerAddr6, reg, gdb, cfg))
 	out.rstats = w.ResolverStats()
-	out.targets, out.hits, out.partials = sc.Targets, sc.Hits, sc.Partials
 	out.stats, out.cfg = sc.Stats, sc.Cfg
 	out.addr4, out.addr6 = w.ScannerAddr4, w.ScannerAddr6
 	out.publicDNS, out.asPublicDNS = w.PublicDNS, w.ASPublicDNS
 	if !cfg.DisableInvariants {
 		out.inv = w.Invariants.Report()
 	}
+	if foldDir != "" {
+		// Partition has folded everything it needs; the sorted hit run
+		// spills and the shard's buffers die with this frame. Partials
+		// need no spill (folded into the per-shard qmin sets) and the
+		// target list re-derives from the view at reduce time.
+		path := filepath.Join(foldDir, fmt.Sprintf("shard-%05d.run", k))
+		if err := scanner.WriteHitRun(path, sc.Hits); err != nil {
+			return &shardOut{err: err}
+		}
+		out.runPath = path
+	} else {
+		out.targets, out.hits, out.partials = sc.Targets, sc.Hits, sc.Partials
+	}
 	return out
+}
+
+// admitShard streams the shard's DITL-derived candidate targets (live
+// resolvers and dead addresses alike; the scanner cannot tell them
+// apart, §3.6.2) straight off the population view into the scanner's
+// admission predicate — no intermediate slice. When hl is non-nil the
+// sweep also accumulates the IPv6 hit list: the /64 of every v6
+// candidate before admission filtering (an excluded address's subnet is
+// still known-active space), exactly the set V6HitList collects.
+func admitShard(sc *scanner.Scanner, pop ditl.Pop, indices []int, hl map[netip.Prefix]bool) {
+	sc.AdmitHint(pop.CandidateCount(indices))
+	admit := func(a netip.Addr) {
+		if hl != nil && a.IsValid() && a.Is6() {
+			hl[routing.SubnetOf(a)] = true
+		}
+		sc.AdmitOne(a)
+	}
+	pop.EachAS(indices, func(_ int, as *ditl.ASSpec) {
+		for k := 0; k < as.NumResolvers(); k++ {
+			r := as.Resolver(k)
+			if r.HasV4() {
+				admit(r.Addr4)
+			}
+			if r.HasV6() {
+				admit(r.Addr6)
+			}
+		}
+		for _, d := range as.DeadTargets {
+			admit(d)
+		}
+	})
+}
+
+// mergeFanIn bounds how many run files the fold reduce holds open at
+// once. Package variable so the grouping-invariance test can shrink it;
+// any value ≥ 2 produces byte-identical output.
+var mergeFanIn = 16
+
+// reduceRuns pre-merges the spilled shard runs in contiguous groups of
+// mergeFanIn, level by level, deleting each level's inputs, until at
+// most mergeFanIn files remain for the final streaming merge.
+func reduceRuns(dir string, paths []string) ([]string, error) {
+	for gen := 0; len(paths) > mergeFanIn; gen++ {
+		next := make([]string, 0, (len(paths)+mergeFanIn-1)/mergeFanIn)
+		for i := 0; i < len(paths); i += mergeFanIn {
+			group := paths[i:min(i+mergeFanIn, len(paths))]
+			if len(group) == 1 {
+				next = append(next, group[0])
+				continue
+			}
+			out := filepath.Join(dir, fmt.Sprintf("merge-%d-%05d.run", gen, i/mergeFanIn))
+			if err := mergeRunFiles(out, group); err != nil {
+				return nil, err
+			}
+			for _, p := range group {
+				os.Remove(p)
+			}
+			next = append(next, out)
+		}
+		paths = next
+	}
+	return paths, nil
+}
+
+// mergeRunFiles streams the stable k-way merge of the input run files
+// into a new run file. Peak residency: one decoded hit per input plus
+// the buffered writers.
+func mergeRunFiles(outPath string, inPaths []string) error {
+	srcs := make([]runs.Source[scanner.Hit], len(inPaths))
+	readers := make([]*scanner.HitRunReader, len(inPaths))
+	defer func() {
+		for _, rd := range readers {
+			if rd != nil {
+				rd.Close()
+			}
+		}
+	}()
+	for i, p := range inPaths {
+		rd, err := scanner.OpenHitRun(p)
+		if err != nil {
+			return err
+		}
+		readers[i], srcs[i] = rd, rd
+	}
+	w, err := scanner.CreateHitRun(outPath)
+	if err != nil {
+		return err
+	}
+	m := runs.NewMerger(scanner.LessHit, srcs...)
+	var h scanner.Hit
+	for {
+		var ok bool
+		h, ok = m.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(&h); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := m.Err(); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// foldHitStream returns the re-drainable merged hit stream over the
+// final level of run files: each drain opens the files, streams their
+// stable k-way merge through yield one hit at a time, and closes them.
+func foldHitStream(paths []string) func(yield func(h *scanner.Hit)) error {
+	return func(yield func(h *scanner.Hit)) error {
+		srcs := make([]runs.Source[scanner.Hit], len(paths))
+		readers := make([]*scanner.HitRunReader, len(paths))
+		defer func() {
+			for _, rd := range readers {
+				if rd != nil {
+					rd.Close()
+				}
+			}
+		}()
+		for i, p := range paths {
+			rd, err := scanner.OpenHitRun(p)
+			if err != nil {
+				return err
+			}
+			readers[i], srcs[i] = rd, rd
+		}
+		m := runs.NewMerger(scanner.LessHit, srcs...)
+		var h scanner.Hit
+		for {
+			var ok bool
+			h, ok = m.Next()
+			if !ok {
+				break
+			}
+			yield(&h)
+		}
+		return m.Err()
+	}
+}
+
+// foldTargetStream returns the re-drainable merged target stream: the
+// population's candidates in view order (= shard concatenation order,
+// since shards are contiguous) through the exact admission predicate,
+// via a host-less planner's AdmitCheck — same verdicts the shards'
+// admission sweeps recorded, no O(targets) slice.
+func foldTargetStream(pop ditl.Pop, reg *routing.Registry, cfg scanner.Config) func(yield func(t scanner.Target)) error {
+	return func(yield func(t scanner.Target)) error {
+		pl := scanner.NewPlanner(reg, cfg)
+		check := func(a netip.Addr) {
+			if t, ok := pl.AdmitCheck(a); ok {
+				yield(t)
+			}
+		}
+		pop.EachAS(nil, func(_ int, as *ditl.ASSpec) {
+			for k := 0; k < as.NumResolvers(); k++ {
+				r := as.Resolver(k)
+				if r.HasV4() {
+					check(r.Addr4)
+				}
+				if r.HasV6() {
+					check(r.Addr6)
+				}
+			}
+			for _, d := range as.DeadTargets {
+				check(d)
+			}
+		})
+		return nil
+	}
 }
 
 // CandidateAddrs collects the DITL-derived candidate targets (live

@@ -157,11 +157,28 @@ func (q *Queue) Step() bool {
 	return true
 }
 
+// releaseThreshold is the slab size (in items) above which a full drain
+// releases the queue's arrays. Below it the arrays are kept for reuse:
+// a caller cycling schedule/Run on a small queue would otherwise pay a
+// regrow on every cycle for a residency win measured in kilobytes.
+// Above it the slab is survey-sized — it was grown by the shard's peak
+// outstanding-event count and is the drained queue's entire residency.
+const releaseThreshold = 1 << 16
+
 // Run processes events until the queue drains or Stop is called. It
-// returns the final virtual time.
+// returns the final virtual time. A full drain of a large queue
+// releases the slab, heap and free-list arrays: they are sized by the
+// simulation's peak outstanding-event count, and between Net.Run
+// returning and the shard's world dying (partition under the streaming
+// engines, the whole Result lifetime under the retained one) they would
+// otherwise be the queue's entire residency. The queue stays usable —
+// scheduling after a drain regrows from empty.
 func (q *Queue) Run() time.Duration {
 	q.stopped = false
 	for !q.stopped && q.Step() {
+	}
+	if len(q.heap) == 0 && cap(q.items) > releaseThreshold {
+		q.heap, q.items, q.free = nil, nil, nil
 	}
 	return q.now
 }

@@ -225,3 +225,48 @@ func TestQuickTimeNeverRegresses(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunReleasesLargeSlabs(t *testing.T) {
+	noop := func(time.Duration) {}
+
+	// Small queue: slabs survive a full drain so schedule/Run cycles
+	// stay regrow-free.
+	q := New()
+	for i := 0; i < 1024; i++ {
+		q.After(time.Duration(i)*time.Microsecond, noop)
+	}
+	q.Run()
+	if q.items == nil || q.free == nil {
+		t.Fatalf("small drain released slabs: items=%v free=%v", q.items == nil, q.free == nil)
+	}
+
+	// Survey-sized queue: a full drain must drop the arrays — they are
+	// the drained queue's entire residency.
+	q = New()
+	for i := 0; i <= releaseThreshold; i++ {
+		q.After(time.Duration(i)*time.Microsecond, noop)
+	}
+	q.Run()
+	if q.heap != nil || q.items != nil || q.free != nil {
+		t.Fatalf("large drain kept slabs: heap=%d items=%d free=%d", cap(q.heap), cap(q.items), cap(q.free))
+	}
+
+	// Still usable after release.
+	ran := false
+	q.After(time.Microsecond, func(time.Duration) { ran = true })
+	q.Run()
+	if !ran {
+		t.Fatal("queue unusable after slab release")
+	}
+
+	// A partial drain (Stop mid-run) must keep everything.
+	q = New()
+	for i := 0; i <= releaseThreshold; i++ {
+		q.After(time.Duration(i)*time.Microsecond, noop)
+	}
+	q.After(0, func(time.Duration) { q.Stop() })
+	q.Run()
+	if q.items == nil {
+		t.Fatal("partial drain released slabs with events still queued")
+	}
+}

@@ -101,7 +101,8 @@ var autoHotPath = map[string][]string{
 	"internal/detrand":  {"Mix", "HashBytes", "AddrWords", "Float64", "Intn"},
 	"internal/ditl":     {"ASSpec.NumResolvers", "ASSpec.Resolver", "resolverSlab.spec"},
 	"internal/resolver": {"aclLayer.Admit", "ACL.Allows", "forwardLayer.advance", "forwardLayer.OnFinish", "forwardLayer.OnCrash", "cacheLayer.OnCrash"},
-	"internal/scanner":  {"Scanner.sendPlanned", "Scanner.probeIDs", "Scanner.optedOut", "Categorize"},
+	"internal/runs":     {"Merger.Next"},
+	"internal/scanner":  {"Scanner.sendPlanned", "Scanner.probeIDs", "Scanner.optedOut", "Categorize", "LessHit", "LessPartial"},
 	"internal/routing":  {"SubnetOf", "IsLoopback", "IsPrivate", "IsSpecialPurpose", "Registry.Routed", "Registry.OriginOf", "Trie.Lookup"},
 }
 

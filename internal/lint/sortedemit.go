@@ -38,12 +38,15 @@ var SortedEmit = &analysis.Analyzer{
 
 // sortedEmitScope lists the package names whose map iterations feed
 // canonical output: the analysis and report builders, the campaign
-// engine (shard merge), and the root doors package.
+// engine (shard merge), the merge core and the run-file spill path it
+// streams (runs feeds the canonical merged sequences directly), and
+// the root doors package.
 var sortedEmitScope = map[string]bool{
 	"analysis": true,
 	"report":   true,
 	"doors":    true,
 	"campaign": true,
+	"runs":     true,
 }
 
 func runSortedEmit(pass *analysis.Pass) (interface{}, error) {

@@ -135,50 +135,62 @@ type PartialHit struct {
 	Name   dnswire.Name
 }
 
-// SortHits orders hits by their full content key (Recv first). Every
-// field that distinguishes two observations participates, so sorting a
-// concatenation of shard-local hit buffers yields the same sequence no
-// matter how the survey was sharded.
-func SortHits(hits []Hit) {
-	sort.SliceStable(hits, func(i, j int) bool {
-		a, b := &hits[i], &hits[j]
-		switch {
-		case a.Recv != b.Recv:
-			return a.Recv < b.Recv
-		case a.TS != b.TS:
-			return a.TS < b.TS
-		case a.Dst != b.Dst:
-			return a.Dst.Less(b.Dst)
-		case a.Src != b.Src:
-			return a.Src.Less(b.Src)
-		case a.ASN != b.ASN:
-			return a.ASN < b.ASN
-		case a.Kind != b.Kind:
-			return a.Kind < b.Kind
-		case a.Client != b.Client:
-			return a.Client.Less(b.Client)
-		case a.ClientPort != b.ClientPort:
-			return a.ClientPort < b.ClientPort
-		default:
-			return a.Transport < b.Transport
-		}
-	})
+// LessHit is the canonical hit ordering (Recv first). Every field that
+// distinguishes two observations participates, so sorting shard-local
+// hit buffers by it and merging the sorted runs with a stable run-index
+// tie-break (internal/runs) yields the same sequence no matter how the
+// survey was sharded. It is the single definition of hit order: the
+// per-shard sort, the k-way merge, and the sortedness checks all take
+// it by reference.
+//
+//doors:hotpath
+func LessHit(a, b *Hit) bool {
+	switch {
+	case a.Recv != b.Recv:
+		return a.Recv < b.Recv
+	case a.TS != b.TS:
+		return a.TS < b.TS
+	case a.Dst != b.Dst:
+		return a.Dst.Less(b.Dst)
+	case a.Src != b.Src:
+		return a.Src.Less(b.Src)
+	case a.ASN != b.ASN:
+		return a.ASN < b.ASN
+	case a.Kind != b.Kind:
+		return a.Kind < b.Kind
+	case a.Client != b.Client:
+		return a.Client.Less(b.Client)
+	case a.ClientPort != b.ClientPort:
+		return a.ClientPort < b.ClientPort
+	default:
+		return a.Transport < b.Transport
+	}
 }
 
-// SortPartials orders partial hits by (Recv, Client, Name), the
-// canonical merge order for shard-local partial buffers.
+// LessPartial is the canonical partial-hit ordering: (Recv, Client,
+// Name). Like LessHit it is shared by the per-shard sort and the
+// shard-run merge.
+//
+//doors:hotpath
+func LessPartial(a, b *PartialHit) bool {
+	switch {
+	case a.Recv != b.Recv:
+		return a.Recv < b.Recv
+	case a.Client != b.Client:
+		return a.Client.Less(b.Client)
+	default:
+		return a.Name < b.Name
+	}
+}
+
+// SortHits orders hits canonically (see LessHit).
+func SortHits(hits []Hit) {
+	sort.SliceStable(hits, func(i, j int) bool { return LessHit(&hits[i], &hits[j]) })
+}
+
+// SortPartials orders partial hits canonically (see LessPartial).
 func SortPartials(ps []PartialHit) {
-	sort.SliceStable(ps, func(i, j int) bool {
-		a, b := &ps[i], &ps[j]
-		switch {
-		case a.Recv != b.Recv:
-			return a.Recv < b.Recv
-		case a.Client != b.Client:
-			return a.Client.Less(b.Client)
-		default:
-			return a.Name < b.Name
-		}
-	})
+	sort.SliceStable(ps, func(i, j int) bool { return LessPartial(&ps[i], &ps[j]) })
 }
 
 // Config tunes the scanner.
@@ -342,22 +354,87 @@ func (s *Scanner) optedOut(a netip.Addr) bool {
 // Admit filters candidate addresses per §3.1: special-purpose addresses
 // and addresses without an announced route are excluded.
 func (s *Scanner) Admit(candidates []netip.Addr) {
-	if s.Targets == nil {
-		s.Targets = make([]Target, 0, len(candidates))
-	}
+	s.AdmitHint(len(candidates))
 	for _, a := range candidates {
-		switch {
-		case routing.IsSpecialPurpose(a):
-			s.Stats.ExcludedSpecial++
-		case !s.Reg.Routed(a):
-			s.Stats.ExcludedUnrouted++
-		case s.optedOut(a):
-			s.Stats.ExcludedOptOut++
-		default:
-			s.Targets = append(s.Targets, Target{Addr: a, ASN: s.Reg.OriginOf(a).ASN})
-			s.Stats.TargetsAdmitted++
-		}
+		s.AdmitOne(a)
 	}
+}
+
+// AdmitHint presizes the target list for n upcoming candidates, so a
+// streaming admission (AdmitOne per candidate straight off a population
+// view, no intermediate slice) appends without growth copies. A no-op
+// once admission has begun.
+func (s *Scanner) AdmitHint(n int) {
+	if s.Targets == nil {
+		s.Targets = make([]Target, 0, n)
+	}
+}
+
+// admitVerdict is the outcome of the §3.1 admission predicate.
+type admitVerdict uint8
+
+const (
+	admitOK admitVerdict = iota
+	admitSpecial
+	admitUnrouted
+	admitOptOut
+)
+
+// admitVerdict is the one definition of the admission predicate, in
+// filter order: batch Admit, the campaign engines' streaming admission,
+// and the fold engine's target-stream re-derivation all reach it.
+func (s *Scanner) admitVerdict(a netip.Addr) admitVerdict {
+	switch {
+	case routing.IsSpecialPurpose(a):
+		return admitSpecial
+	case !s.Reg.Routed(a):
+		return admitUnrouted
+	case s.optedOut(a):
+		return admitOptOut
+	default:
+		return admitOK
+	}
+}
+
+// AdmitOne applies the §3.1 admission filter to a single candidate,
+// recording the outcome: the target list grows on admission, the stats
+// count either way.
+func (s *Scanner) AdmitOne(a netip.Addr) {
+	switch s.admitVerdict(a) {
+	case admitSpecial:
+		s.Stats.ExcludedSpecial++
+	case admitUnrouted:
+		s.Stats.ExcludedUnrouted++
+	case admitOptOut:
+		s.Stats.ExcludedOptOut++
+	default:
+		s.Targets = append(s.Targets, Target{Addr: a, ASN: s.Reg.OriginOf(a).ASN})
+		s.Stats.TargetsAdmitted++
+	}
+}
+
+// AdmitCheck applies the admission predicate without recording
+// anything: it reports whether a would be admitted and the Target it
+// would become. The fold engine re-derives the merged target stream
+// through it at reduce time — same predicate, same order, no O(targets)
+// slice. It reflects the scanner's opt-out state at call time, which
+// for a fresh planner is admission-time state (empty).
+func (s *Scanner) AdmitCheck(a netip.Addr) (Target, bool) {
+	if s.admitVerdict(a) != admitOK {
+		return Target{}, false
+	}
+	return Target{Addr: a, ASN: s.Reg.OriginOf(a).ASN}, true
+}
+
+// SealRuns seals the observation buffers into canonically sorted runs
+// (LessHit / LessPartial order). The campaign runner calls it on the
+// shard's own goroutine the moment the shard's simulation finishes, so
+// the sorts parallelize with other shards' simulations and the merge
+// stage only ever sees sorted runs — which is what lets it stream
+// instead of re-sorting a concatenation.
+func (s *Scanner) SealRuns() {
+	SortHits(s.Hits)
+	SortPartials(s.Partials)
 }
 
 // targetRand returns the private RNG stream for a target: seeded from

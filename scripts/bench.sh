@@ -5,11 +5,13 @@
 # single-CPU machine the sharded numbers match the serial ones; the
 # speedup shows up with GOMAXPROCS > 1.
 #
-# With --mem, the script additionally runs the 1M-target streaming
-# survey (BenchmarkHeadlineReachability1M, one iteration) under
-# GOMEMLIMIT (default 4GiB, override via BENCH_MEMLIMIT) — completing
-# under the limit is the flat-peak-memory check — and writes a heap
-# profile next to the JSON output (<out>.memprofile).
+# With --mem, the script additionally runs the memory-scale surveys
+# under GOMEMLIMIT (default 4GiB, override via BENCH_MEMLIMIT) —
+# completing under the limit is the flat-peak-memory check — and writes
+# a heap profile next to the JSON output (<out>.memprofile):
+#   - BenchmarkHeadlineReachability1M: 1M+ targets, streaming engine
+#   - BenchmarkHeadlineReachabilityPaperScale: ~12M targets (the
+#     paper's full §3 scale), fold engine (external-merge reduce)
 #
 # With a baseline JSON argument (a previous run's output), the script
 # also guards against regressions: if the new
@@ -35,8 +37,9 @@ trap 'rm -f "$tmp"' EXIT
 go test -run '^$' -bench 'BenchmarkQueue$' -benchmem -count=1 ./internal/eventq | tee -a "$tmp"
 go test -run '^$' -bench '^BenchmarkHeadlineReachability(Sharded)?$' -benchmem -count=1 -benchtime 3x -timeout 30m . | tee -a "$tmp"
 if [ "$mem" = 1 ]; then
-    GOMEMLIMIT="${BENCH_MEMLIMIT:-4GiB}" go test -run '^$' -bench '^BenchmarkHeadlineReachability1M$' \
-        -benchmem -count=1 -benchtime 1x -timeout 60m \
+    GOMEMLIMIT="${BENCH_MEMLIMIT:-4GiB}" go test -run '^$' \
+        -bench '^BenchmarkHeadlineReachability(1M|PaperScale)$' \
+        -benchmem -count=1 -benchtime 1x -timeout 120m \
         -memprofile "$out.memprofile" . | tee -a "$tmp"
 fi
 

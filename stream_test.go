@@ -69,6 +69,59 @@ func TestStreamingMatchesRetained(t *testing.T) {
 	}
 }
 
+// TestFoldMatchesRetained pins the fold engine's guarantee: a survey
+// run under Config.Fold — shard hit runs spilled to disk, the reduce
+// streaming their hierarchical merge through the reducers, the target
+// stream re-derived from the view — produces the identical Report,
+// stats and scalars as the retained engine, at several shard counts,
+// with the merged buffers never materialized.
+func TestFoldMatchesRetained(t *testing.T) {
+	cfg := SurveyConfig{
+		Population: ditl.Params{Seed: 7, ASes: 40},
+		Scanner:    scanner.Config{Seed: 8, Rate: 10000},
+	}
+	base, err := RunSurvey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct{ shards, maxPar int }{
+		{1, 1}, {2, 2}, {8, 3},
+	} {
+		fcfg := cfg
+		fcfg.Fold = true
+		fcfg.Shards = tc.shards
+		fcfg.MaxParallel = tc.maxPar
+		s, err := RunSurvey(fcfg)
+		if err != nil {
+			t.Fatalf("fold shards=%d: %v", tc.shards, err)
+		}
+		if s.World != nil || s.Worlds != nil {
+			t.Fatalf("fold shards=%d retained worlds", tc.shards)
+		}
+		if s.Scanner.Targets != nil || s.Scanner.Hits != nil || s.Scanner.Partials != nil {
+			t.Fatalf("fold shards=%d materialized merged buffers", tc.shards)
+		}
+		if s.Scanner.Stats != base.Scanner.Stats {
+			t.Fatalf("fold shards=%d: stats differ: %+v vs %+v",
+				tc.shards, s.Scanner.Stats, base.Scanner.Stats)
+		}
+		if !reflect.DeepEqual(s.Report, base.Report) {
+			t.Fatalf("fold shards=%d: reports differ", tc.shards)
+		}
+		if !reflect.DeepEqual(s.PublicDNS, base.PublicDNS) {
+			t.Fatalf("fold shards=%d: public DNS lists differ", tc.shards)
+		}
+		if s.Probes != base.Probes || s.Duration != base.Duration {
+			t.Fatalf("fold shards=%d: probes/duration differ: %d/%v vs %d/%v",
+				tc.shards, s.Probes, s.Duration, base.Probes, base.Duration)
+		}
+		if s.Invariants == nil || !s.Invariants.Ok() {
+			t.Fatalf("fold shards=%d: invariant report missing or failing", tc.shards)
+		}
+	}
+}
+
 // TestStreamingChaosAndChurn pins the streaming engine under the
 // stressed paths: chaos faults and churn must produce the same merged
 // observations as the retained engine at the same shard count (the
@@ -103,5 +156,21 @@ func TestStreamingChaosAndChurn(t *testing.T) {
 	}
 	if !reflect.DeepEqual(s.Report, base.Report) {
 		t.Fatal("chaos stream: reports differ")
+	}
+
+	fcfg := cfg
+	fcfg.Fold = true
+	f, err := RunSurvey(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ChaosCrashes != base.ChaosCrashes {
+		t.Fatalf("chaos fold: crashes %d vs %d", f.ChaosCrashes, base.ChaosCrashes)
+	}
+	if f.Scanner.Stats != base.Scanner.Stats {
+		t.Fatalf("chaos fold: stats differ: %+v vs %+v", f.Scanner.Stats, base.Scanner.Stats)
+	}
+	if !reflect.DeepEqual(f.Report, base.Report) {
+		t.Fatal("chaos fold: reports differ")
 	}
 }
